@@ -1,0 +1,76 @@
+// Ablation 4 — pre-computed fault dictionary vs effect-cause diagnosis.
+//
+// The dictionary approach pre-simulates the whole fault universe once
+// (build cost ~ O(faults x patterns), storage ~ O(faults x failing bits))
+// and answers single-defect queries by O(1) lookup; the effect-cause
+// multiplet method simulates only the failing cone's candidates per case.
+// Quantifies the trade on g200/g1k for single and double defects: build
+// time & storage vs per-case CPU, and the dictionary's collapse on
+// composite (multi-defect) signatures.
+#include "bench/common.hpp"
+#include "diag/dictionary.hpp"
+#include "diag/metrics.hpp"
+#include "diag/multiplet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdd;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Ablation 4",
+                      "fault dictionary vs effect-cause multiplet");
+
+  const std::size_t cases = bench::scaled_cases(args, 25);
+  std::vector<std::string> names = {"g200", "g1k"};
+  if (args.fast) names.pop_back();
+
+  TextTable table({"circuit", "k", "method", "cases", "hit", "exact",
+                   "per-case[ms]", "build[s]", "stored bits"});
+  for (const std::string& name : names) {
+    const BenchCircuit bc = load_bench_circuit(name);
+    const Netlist& nl = bc.netlist;
+    FaultSimulator fsim(nl, bc.patterns);
+    const CollapsedFaults collapsed(nl);
+    const FaultDictionary dict(nl, bc.patterns);
+
+    for (std::size_t k = 1; k <= 2; ++k) {
+      std::mt19937_64 rng(0xAB44 + k);
+      double dict_hit = 0, multi_hit = 0, dict_cpu = 0, multi_cpu = 0;
+      std::size_t n = 0, dict_exact = 0, multi_exact = 0;
+      for (std::size_t c = 0; c < cases; ++c) {
+        DefectSampleConfig dc;
+        dc.multiplicity = k;
+        dc.bridge_fraction = 0.2;
+        const auto defect = sample_defect(nl, fsim, dc, rng);
+        if (!defect) continue;
+        const Datalog log = datalog_from_defect(nl, *defect, bc.patterns,
+                                                fsim.good_response());
+        if (!log.has_failures()) continue;
+        ++n;
+
+        const DiagnosisReport rd = dict.diagnose(log);
+        dict_hit += evaluate_against_truth(rd, *defect, collapsed).hit_rate;
+        dict_exact += rd.explains_all;
+        dict_cpu += rd.cpu_seconds;
+
+        DiagnosisContext ctx(nl, bc.patterns, log);
+        const DiagnosisReport rm = diagnose_multiplet(ctx);
+        multi_hit += evaluate_against_truth(rm, *defect, collapsed).hit_rate;
+        multi_exact += rm.explains_all;
+        multi_cpu += rm.cpu_seconds;
+      }
+      table.add_row({name, std::to_string(k), "dictionary",
+                     std::to_string(n), fmt_pct(dict_hit / n),
+                     fmt_pct(static_cast<double>(dict_exact) / n),
+                     fmt(1000.0 * dict_cpu / n, 2),
+                     fmt(dict.build_seconds(), 2),
+                     std::to_string(dict.stored_bits())});
+      table.add_row({name, std::to_string(k), "multiplet",
+                     std::to_string(n), fmt_pct(multi_hit / n),
+                     fmt_pct(static_cast<double>(multi_exact) / n),
+                     fmt(1000.0 * multi_cpu / n, 2), "-", "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// openmdd bench harness — shared helpers.
+//
+// Every table/figure binary accepts:
+//   --cases N     override the per-cell campaign case count
+//   --fast        quarter-size campaigns (CI smoke)
+// and prints the reproduced table in the paper's layout followed by a CSV
+// block (for plotting).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "workload/campaign.hpp"
+#include "workload/circuits.hpp"
+#include "workload/table.hpp"
+
+namespace mdd::bench {
+
+struct BenchArgs {
+  std::size_t cases = 0;  // 0 = binary's default
+  bool fast = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      args.fast = true;
+    } else if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
+      args.cases = static_cast<std::size_t>(std::atol(argv[++i]));
+    }
+  }
+  return args;
+}
+
+inline std::size_t scaled_cases(const BenchArgs& args, std::size_t dflt) {
+  if (args.cases > 0) return args.cases;
+  return args.fast ? std::max<std::size_t>(4, dflt / 4) : dflt;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "==============================================================\n"
+            << id << " — " << title << "\n"
+            << "(reconstructed evaluation; see DESIGN.md / EXPERIMENTS.md)\n"
+            << "==============================================================\n";
+}
+
+/// Runs one campaign cell and returns the result (thin wrapper to keep the
+/// per-table binaries declarative).
+inline CampaignResult run_cell(const BenchCircuit& bc, CampaignConfig cfg) {
+  return run_campaign(bc.netlist, bc.patterns, cfg);
+}
+
+}  // namespace mdd::bench

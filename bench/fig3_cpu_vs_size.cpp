@@ -1,0 +1,38 @@
+// Figure 3 — diagnosis CPU time vs circuit size (k = 3).
+//
+// Per-case CPU of each diagnoser across the circuit-size ladder. The
+// multiplet method's cost is dominated by candidate solo signatures plus
+// rounds × shortlist composite re-simulations, all bit-parallel, so it
+// stays interactive through the 5k-gate substitute.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdd;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Figure 3", "diagnosis CPU vs circuit size (k=3)");
+
+  std::vector<std::string> names = {"c17", "add8", "g200", "g1k", "g5k"};
+  if (args.fast) names.pop_back();
+  const std::size_t cases = bench::scaled_cases(args, 12);
+
+  TextTable table({"circuit", "gates", "patterns", "cases", "single[ms]",
+                   "slat[ms]", "multiplet[ms]"});
+  for (const std::string& name : names) {
+    const BenchCircuit bc = load_bench_circuit(name);
+    CampaignConfig cfg;
+    cfg.n_cases = cases;
+    cfg.defect.multiplicity = 3;
+    cfg.defect.bridge_fraction = 0.25;
+    cfg.seed = 0xF163;
+    const CampaignResult r = bench::run_cell(bc, cfg);
+    table.add_row({name, std::to_string(bc.netlist.n_gates()),
+                   std::to_string(bc.patterns.n_patterns()),
+                   std::to_string(r.n_cases), fmt(r.single.avg_cpu_ms(), 1),
+                   fmt(r.slat.avg_cpu_ms(), 1),
+                   fmt(r.multiplet.avg_cpu_ms(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

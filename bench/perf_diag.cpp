@@ -1,0 +1,87 @@
+// Perf B — diagnosis-pipeline micro-benchmarks (google-benchmark).
+//
+// Measures the stages of one diagnosis case on g1k: candidate extraction,
+// context construction (solo-signature cache fill happens lazily inside
+// the diagnosers), and each diagnoser end-to-end.
+#include <benchmark/benchmark.h>
+
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+#include "workload/campaign.hpp"
+#include "workload/circuits.hpp"
+
+namespace {
+
+using namespace mdd;
+
+struct Fixture {
+  BenchCircuit bc = load_bench_circuit("g1k");
+  FaultSimulator fsim{bc.netlist, bc.patterns};
+  std::vector<Fault> defect;
+  Datalog log;
+
+  Fixture() {
+    std::mt19937_64 rng(0xD1A6);
+    DefectSampleConfig cfg;
+    cfg.multiplicity = 3;
+    cfg.bridge_fraction = 0.25;
+    defect = *sample_defect(bc.netlist, fsim, cfg, rng);
+    log = datalog_from_defect(bc.netlist, defect, bc.patterns,
+                              fsim.good_response());
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_CandidateExtraction(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extract_candidates(f.bc.netlist, f.bc.patterns, f.log));
+  }
+}
+BENCHMARK(BM_CandidateExtraction);
+
+void BM_ContextConstruction(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, f.log);
+    benchmark::DoNotOptimize(ctx.n_candidates());
+  }
+}
+BENCHMARK(BM_ContextConstruction);
+
+void BM_DiagnoseSingleFault(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, f.log);
+    benchmark::DoNotOptimize(diagnose_single_fault(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseSingleFault);
+
+void BM_DiagnoseSlat(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, f.log);
+    benchmark::DoNotOptimize(diagnose_slat(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseSlat);
+
+void BM_DiagnoseMultiplet(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, f.log);
+    benchmark::DoNotOptimize(diagnose_multiplet(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseMultiplet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

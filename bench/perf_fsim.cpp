@@ -1,0 +1,97 @@
+// Perf A — simulation-kernel micro-benchmarks (google-benchmark).
+//
+// Measures the bit-parallel good machine, the composite faulty machine,
+// signature extraction and critical path tracing: the kernels whose
+// throughput bounds every diagnosis experiment.
+#include <benchmark/benchmark.h>
+
+#include "fsim/cpt.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/generator.hpp"
+#include "sim/event_sim.hpp"
+
+namespace {
+
+using namespace mdd;
+
+const Netlist& circuit(const std::string& name) {
+  static std::map<std::string, Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, make_named_circuit(name)).first;
+  return it->second;
+}
+
+void BM_GoodMachineBlock(benchmark::State& state) {
+  const Netlist& nl = circuit(state.range(0) == 0 ? "g1k" : "g5k");
+  const PatternSet stimuli = PatternSet::random(64, nl.n_inputs(), 1);
+  BlockSim sim(nl);
+  for (auto _ : state) {
+    sim.run(stimuli, 0);
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.n_gates()) * 64);
+}
+BENCHMARK(BM_GoodMachineBlock)->Arg(0)->Arg(1);
+
+void BM_FaultyMachineBlock(benchmark::State& state) {
+  const Netlist& nl = circuit("g1k");
+  const PatternSet stimuli = PatternSet::random(64, nl.n_inputs(), 1);
+  FaultyMachine fm(nl);
+  const std::vector<Fault> faults{
+      Fault::stem_sa(nl.n_nets() / 2, true),
+      Fault::bridge_dom(nl.n_nets() / 3, nl.n_nets() / 2 + 7)};
+  fm.set_faults(faults);
+  for (auto _ : state) {
+    fm.run(stimuli, 0);
+    benchmark::DoNotOptimize(fm.value(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.n_gates()) * 64);
+}
+BENCHMARK(BM_FaultyMachineBlock);
+
+void BM_SignatureExtraction(benchmark::State& state) {
+  const Netlist& nl = circuit("g1k");
+  const PatternSet stimuli =
+      PatternSet::random(static_cast<std::size_t>(state.range(0)),
+                         nl.n_inputs(), 1);
+  FaultSimulator fsim(nl, stimuli);
+  const Fault f = Fault::stem_sa(nl.n_nets() / 2, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.signature(f));
+  }
+}
+BENCHMARK(BM_SignatureExtraction)->Arg(128)->Arg(512);
+
+void BM_CriticalPathTrace(benchmark::State& state) {
+  const Netlist& nl = circuit("g1k");
+  const PatternSet stimuli = PatternSet::random(8, nl.n_inputs(), 1);
+  EventSim sim(nl);
+  sim.apply(stimuli, 0);
+  CriticalPathTracer cpt(nl);
+  std::uint32_t po = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpt.critical_nets(sim, po));
+    po = (po + 1) % static_cast<std::uint32_t>(nl.n_outputs());
+  }
+}
+BENCHMARK(BM_CriticalPathTrace);
+
+void BM_EventFlip(benchmark::State& state) {
+  const Netlist& nl = circuit("g1k");
+  const PatternSet stimuli = PatternSet::random(8, nl.n_inputs(), 1);
+  EventSim sim(nl);
+  sim.apply(stimuli, 0);
+  NetId n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.flip_observed_outputs(n));
+    n = (n + 37) % static_cast<NetId>(nl.n_nets());
+  }
+}
+BENCHMARK(BM_EventFlip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

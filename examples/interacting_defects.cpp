@@ -1,0 +1,64 @@
+// openmdd example: two interacting defects.
+//
+// Demonstrates the point of the reproduced method. Two defects whose
+// observation cones overlap produce failing patterns where both are
+// sensitized at once — error effects mask or reinforce, so many failing
+// patterns match no single-fault simulation exactly. The SLAT baseline
+// discards those patterns; the no-assumptions multiplet diagnoser scores
+// candidate pairs with true composite simulation and recovers both sites.
+#include <iostream>
+#include <random>
+
+#include "workload/campaign.hpp"
+#include "workload/circuits.hpp"
+
+int main() {
+  using namespace mdd;
+
+  BenchCircuit bc = load_bench_circuit("g200");
+  const Netlist& nl = bc.netlist;
+  FaultSimulator fsim(nl, bc.patterns);
+  const CollapsedFaults collapsed(nl);
+
+  // Sample an interacting double stuck-at defect deterministically.
+  DefectSampleConfig dcfg;
+  dcfg.multiplicity = 2;
+  dcfg.bridge_fraction = 0.0;
+  dcfg.interaction = InteractionLevel::SameCone;
+  std::mt19937_64 rng(7);
+  const auto defect = sample_defect(nl, fsim, dcfg, rng);
+  if (!defect) {
+    std::cerr << "could not sample an interacting defect\n";
+    return 1;
+  }
+  std::cout << "injected defects:\n";
+  for (const Fault& f : *defect) std::cout << "  " << to_string(f, nl) << "\n";
+
+  const Datalog log = datalog_from_defect(nl, *defect, bc.patterns,
+                                          fsim.good_response());
+  std::cout << "datalog: " << log.observed.n_failing_patterns()
+            << " failing patterns, " << log.observed.n_error_bits()
+            << " failing bits\n\n";
+
+  DiagnosisContext ctx(nl, bc.patterns, log);
+
+  auto show = [&](const DiagnosisReport& r) {
+    const TruthEvaluation ev = evaluate_against_truth(r, *defect, collapsed);
+    std::cout << r.method << ": " << r.suspects.size() << " suspects, hit "
+              << ev.n_hit << "/" << ev.n_injected
+              << (r.explains_all ? ", exact" : "");
+    if (r.method == "slat")
+      std::cout << "  [SLAT patterns: " << r.n_slat_patterns
+                << ", discarded non-SLAT: " << r.n_nonslat_patterns << "]";
+    std::cout << "\n";
+    for (const ScoredCandidate& sc : r.suspects)
+      std::cout << "  " << to_string(sc.fault, nl) << "\n";
+  };
+
+  DiagnosisReport single = diagnose_single_fault(ctx);
+  single.suspects.resize(std::min<std::size_t>(single.suspects.size(), 2));
+  show(single);
+  show(diagnose_slat(ctx));
+  show(diagnose_multiplet(ctx));
+  return 0;
+}

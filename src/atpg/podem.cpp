@@ -1,0 +1,298 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mdd {
+
+namespace {
+
+/// True if good/bad values are both binary and differ (a "D" net).
+bool is_error(Val3 good, Val3 bad) {
+  return v3_is_binary(good) && v3_is_binary(bad) && good != bad;
+}
+
+bool is_unknown(Val3 good, Val3 bad) {
+  return good == Val3::X || bad == Val3::X;
+}
+
+}  // namespace
+
+Podem::Podem(const Netlist& netlist, Options options)
+    : netlist_(&netlist),
+      options_(options),
+      good_(netlist),
+      bad_(netlist),
+      scoap_(compute_scoap(netlist)) {}
+
+void Podem::simulate_both() {
+  good_.run();
+  bad_.run();
+}
+
+bool Podem::fault_activated() const {
+  const Val3 v = good_.value(fault_site_);
+  return v3_is_binary(v) && v3_to_bool(v) != fault_.stuck_value();
+}
+
+bool Podem::fault_effect_at_output() const {
+  for (NetId o : netlist_->outputs())
+    if (is_error(good_.value(o), bad_.value(o))) return true;
+  return false;
+}
+
+bool Podem::x_path_exists() const {
+  // Forward reachability from every error net through unknown nets to a PO.
+  const Netlist& nl = *netlist_;
+  std::vector<bool> seen(nl.n_nets(), false);
+  std::vector<NetId> stack;
+  for (NetId n = 0; n < nl.n_nets(); ++n) {
+    if (is_error(good_.value(n), bad_.value(n))) {
+      stack.push_back(n);
+      seen[n] = true;
+    }
+  }
+  // Branch faults: the error is born inside the faulted gate (its input
+  // nets show no good/bad difference), so seed from the gate output while
+  // it is still unresolved.
+  if (fault_.pin != kStemPin && fault_activated() && !seen[fault_.net] &&
+      is_unknown(good_.value(fault_.net), bad_.value(fault_.net))) {
+    stack.push_back(fault_.net);
+    seen[fault_.net] = true;
+  }
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const bool err = is_error(good_.value(n), bad_.value(n));
+    const bool unk = is_unknown(good_.value(n), bad_.value(n));
+    if (!err && !unk) continue;  // settled identical value: blocked
+    if (netlist_->output_index(n).has_value() && (err || unk)) return true;
+    for (NetId s : nl.fanouts(n)) {
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<Podem::Objective> Podem::next_objective() {
+  // Phase 1: activate the fault.
+  if (good_.value(fault_site_) == Val3::X)
+    return Objective{fault_site_, v3_from_bool(!fault_.stuck_value())};
+  if (!fault_activated()) return std::nullopt;
+
+  // Phase 2: advance the D-frontier — pick the frontier gate with the
+  // lowest level and target one of its X inputs with the non-controlling
+  // value.
+  const Netlist& nl = *netlist_;
+  NetId best_gate = kNoNet;
+  for (NetId g = 0; g < nl.n_nets(); ++g) {
+    if (!is_unknown(good_.value(g), bad_.value(g))) continue;
+    // A branch-faulted gate carries the nascent error even though none of
+    // its input *nets* differ (the override lives on the pin).
+    bool has_error_input = (g == fault_.net && fault_.pin != kStemPin);
+    for (NetId f : nl.fanins(g))
+      if (is_error(good_.value(f), bad_.value(f))) {
+        has_error_input = true;
+        break;
+      }
+    if (!has_error_input) continue;
+    if (best_gate == kNoNet || nl.level(g) < nl.level(best_gate)) best_gate = g;
+  }
+  if (best_gate == kNoNet) return std::nullopt;
+
+  const GateKind k = nl.kind(best_gate);
+  for (NetId f : nl.fanins(best_gate)) {
+    if (good_.value(f) == Val3::X && bad_.value(f) == Val3::X) {
+      const bool target =
+          has_controlling_value(k) ? !controlling_value(k) : false;
+      return Objective{f, v3_from_bool(target)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Podem::PiAssignment> Podem::backtrace(Objective obj) const {
+  const Netlist& nl = *netlist_;
+  NetId net = obj.net;
+  bool want = v3_to_bool(obj.value);
+  for (std::size_t guard = 0; guard <= nl.n_nets(); ++guard) {
+    const GateKind k = nl.kind(net);
+    if (k == GateKind::Input) {
+      // Position of this PI in the inputs() list.
+      const auto& ins = nl.inputs();
+      const auto it = std::find(ins.begin(), ins.end(), net);
+      assert(it != ins.end());
+      const std::size_t pi = static_cast<std::size_t>(it - ins.begin());
+      if (good_.input(pi) != Val3::X)
+        return std::nullopt;  // already assigned: objective unreachable
+      return PiAssignment{pi, v3_from_bool(want)};
+    }
+    const auto fi = nl.fanins(net);
+    if (fi.empty()) return std::nullopt;  // tie cell: cannot control
+    if (k == GateKind::Buf || k == GateKind::Not) {
+      if (k == GateKind::Not) want = !want;
+      net = fi[0];
+      continue;
+    }
+    if (k == GateKind::Xor || k == GateKind::Xnor) {
+      // Choose an X input; make the chosen input's target consistent with
+      // the known inputs (unknown others counted as 0).
+      bool parity = (k == GateKind::Xnor);  // output inversion folded in
+      NetId chosen = kNoNet;
+      for (NetId f : fi) {
+        if (good_.value(f) == Val3::One) parity = !parity;
+        if (chosen == kNoNet && good_.value(f) == Val3::X) chosen = f;
+      }
+      if (chosen == kNoNet) return std::nullopt;
+      want = want != parity;
+      net = chosen;
+      continue;
+    }
+    // AND/NAND/OR/NOR.
+    const bool c = controlling_value(k);
+    const bool inv = is_inverting(k);
+    const bool base_want = inv ? !want : want;  // desired pre-inversion value
+    NetId chosen = kNoNet;
+    if (base_want == c) {
+      // One controlling input suffices: cheapest-to-control X input
+      // (SCOAP CC toward the controlling value).
+      for (NetId f : fi) {
+        if (good_.value(f) != Val3::X) continue;
+        if (chosen == kNoNet || scoap_.cc(f, c) < scoap_.cc(chosen, c))
+          chosen = f;
+      }
+      want = c;
+    } else {
+      // All inputs must be non-controlling: tackle the hardest first so
+      // infeasible assignments fail before effort is spent on easy ones.
+      for (NetId f : fi) {
+        if (good_.value(f) != Val3::X) continue;
+        if (chosen == kNoNet || scoap_.cc(f, !c) > scoap_.cc(chosen, !c))
+          chosen = f;
+      }
+      want = !c;
+    }
+    if (chosen == kNoNet) return std::nullopt;
+    net = chosen;
+  }
+  return std::nullopt;  // unreachable (guard)
+}
+
+PodemResult Podem::generate(const Fault& fault) {
+  if (!fault.is_stuck_at())
+    throw std::invalid_argument("Podem: only stuck-at faults supported");
+  validate_fault(fault, *netlist_);
+  fault_ = fault;
+
+  good_.reset();
+  bad_.reset();
+  const Val3 stuck = v3_from_bool(fault.stuck_value());
+  if (fault.pin == kStemPin) {
+    fault_site_ = fault.net;
+    bad_.set_override(fault.net, stuck);
+  } else {
+    fault_site_ = netlist_->fanins(fault.net)[fault.pin];
+    bad_.set_pin_override(fault.net, fault.pin, stuck);
+  }
+
+  PodemResult result;
+  struct Decision {
+    std::size_t pi;
+    bool flipped;
+  };
+  std::vector<Decision> decisions;
+  simulate_both();
+
+  const std::size_t n_pis = netlist_->n_inputs();
+  auto current_pattern = [&]() {
+    std::vector<Val3> pat(n_pis);
+    for (std::size_t i = 0; i < n_pis; ++i) pat[i] = good_.input(i);
+    return pat;
+  };
+
+  // Iterative PODEM search. Each loop either succeeds, extends the decision
+  // stack by one PI assignment, or backtracks.
+  for (;;) {
+    if (fault_effect_at_output()) {
+      result.outcome = PodemOutcome::Detected;
+      result.pattern = current_pattern();
+      return result;
+    }
+
+    bool dead = false;
+    const Val3 site_good = good_.value(fault_site_);
+    if (v3_is_binary(site_good) &&
+        v3_to_bool(site_good) == fault_.stuck_value()) {
+      dead = true;  // activation impossible under current assignment
+    } else if (fault_activated() && !x_path_exists()) {
+      dead = true;  // effect exists but cannot reach any PO
+    }
+
+    std::optional<Objective> obj;
+    if (!dead) {
+      obj = next_objective();
+      if (!obj && fault_activated()) dead = true;  // D-frontier exhausted
+      if (!obj && !fault_activated()) dead = true; // cannot activate
+    }
+    std::optional<PiAssignment> assignment;
+    if (!dead && obj) {
+      assignment = backtrace(*obj);
+      if (!assignment) dead = true;
+    }
+
+    if (!dead && assignment) {
+      decisions.push_back({assignment->pi, false});
+      good_.set_input(assignment->pi, assignment->value);
+      bad_.set_input(assignment->pi, assignment->value);
+      simulate_both();
+      continue;
+    }
+
+    // Backtrack.
+    for (;;) {
+      if (decisions.empty()) {
+        result.outcome = PodemOutcome::Untestable;
+        return result;
+      }
+      Decision& d = decisions.back();
+      if (d.flipped) {
+        good_.set_input(d.pi, Val3::X);
+        bad_.set_input(d.pi, Val3::X);
+        decisions.pop_back();
+        continue;
+      }
+      ++result.backtracks;
+      if (result.backtracks > options_.backtrack_limit) {
+        result.outcome = PodemOutcome::Aborted;
+        return result;
+      }
+      d.flipped = true;
+      const Val3 cur = good_.input(d.pi);
+      const Val3 flipped = v3_not(cur);
+      good_.set_input(d.pi, flipped);
+      bad_.set_input(d.pi, flipped);
+      simulate_both();
+      break;
+    }
+  }
+}
+
+std::optional<std::vector<bool>> generate_test(const Netlist& netlist,
+                                               const Fault& fault,
+                                               bool fill_value,
+                                               std::size_t backtrack_limit) {
+  Podem podem(netlist, {backtrack_limit});
+  const PodemResult r = podem.generate(fault);
+  if (r.outcome != PodemOutcome::Detected) return std::nullopt;
+  std::vector<bool> pattern(r.pattern.size());
+  for (std::size_t i = 0; i < r.pattern.size(); ++i)
+    pattern[i] = r.pattern[i] == Val3::X ? fill_value
+                                         : v3_to_bool(r.pattern[i]);
+  return pattern;
+}
+
+}  // namespace mdd

@@ -1,0 +1,86 @@
+// openmdd — PODEM automatic test pattern generation for stuck-at faults.
+//
+// Classic PODEM (Goel 1981): decisions are made only on primary inputs;
+// objectives (activate the fault, then advance the D-frontier) are mapped
+// to PI assignments by backtrace through easiest-to-control paths; implied
+// values come from a pair of three-valued simulations (good machine and
+// faulty machine with the stuck site overridden). A backtrack limit bounds
+// per-fault effort; exceeding it marks the fault *aborted* rather than
+// untestable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/scoap.hpp"
+#include "fault/fault.hpp"
+#include "sim/sim3.hpp"
+
+namespace mdd {
+
+enum class PodemOutcome : std::uint8_t {
+  Detected,    ///< test found (pattern is valid)
+  Untestable,  ///< search space exhausted: fault is redundant
+  Aborted,     ///< backtrack limit exceeded
+};
+
+struct PodemResult {
+  PodemOutcome outcome = PodemOutcome::Aborted;
+  /// PI values for Detected; X positions may be filled arbitrarily.
+  std::vector<Val3> pattern;
+  std::size_t backtracks = 0;
+};
+
+struct PodemOptions {
+  std::size_t backtrack_limit = 200;
+};
+
+class Podem {
+ public:
+  using Options = PodemOptions;
+
+  explicit Podem(const Netlist& netlist, Options options = Options{});
+
+  /// Generates a test for a *stem or branch* stuck-at fault. Branch faults
+  /// are handled by targeting the stem value at the branch source with
+  /// propagation restricted through the branched gate.
+  PodemResult generate(const Fault& fault);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  struct Objective {
+    NetId net;
+    Val3 value;
+  };
+
+  struct PiAssignment {
+    std::size_t pi;
+    Val3 value;
+  };
+
+  bool fault_activated() const;
+  bool fault_effect_at_output() const;
+  bool x_path_exists() const;
+  std::optional<Objective> next_objective();
+  std::optional<PiAssignment> backtrace(Objective obj) const;
+  void simulate_both();
+
+  const Netlist* netlist_;
+  Options options_;
+  Scalar3Sim good_;
+  Scalar3Sim bad_;
+  Fault fault_{};
+  NetId fault_site_ = kNoNet;  ///< net whose good value must differ
+  Scoap scoap_;  ///< SCOAP measures drive the backtrace input choices
+};
+
+/// Convenience: a binary pattern detecting `fault`, if PODEM succeeds.
+/// X positions are filled with `fill_value`.
+std::optional<std::vector<bool>> generate_test(const Netlist& netlist,
+                                               const Fault& fault,
+                                               bool fill_value = false,
+                                               std::size_t backtrack_limit = 200);
+
+}  // namespace mdd

@@ -1,0 +1,129 @@
+#include "atpg/scoap.hpp"
+
+#include <algorithm>
+
+namespace mdd {
+
+namespace {
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t s = a + b;
+  return std::min(s, Scoap::kInf);
+}
+
+}  // namespace
+
+Scoap compute_scoap(const Netlist& nl) {
+  Scoap scoap;
+  scoap.cc0.assign(nl.n_nets(), Scoap::kInf);
+  scoap.cc1.assign(nl.n_nets(), Scoap::kInf);
+  scoap.co.assign(nl.n_nets(), Scoap::kInf);
+
+  // Forward: controllability in topological order.
+  for (NetId g : nl.topo_order()) {
+    const auto fi = nl.fanins(g);
+    switch (nl.kind(g)) {
+      case GateKind::Input:
+        scoap.cc0[g] = scoap.cc1[g] = 1;
+        break;
+      case GateKind::Const0:
+        scoap.cc0[g] = 1;
+        break;
+      case GateKind::Const1:
+        scoap.cc1[g] = 1;
+        break;
+      case GateKind::Buf:
+        scoap.cc0[g] = sat_add(scoap.cc0[fi[0]], 1);
+        scoap.cc1[g] = sat_add(scoap.cc1[fi[0]], 1);
+        break;
+      case GateKind::Not:
+        scoap.cc0[g] = sat_add(scoap.cc1[fi[0]], 1);
+        scoap.cc1[g] = sat_add(scoap.cc0[fi[0]], 1);
+        break;
+      case GateKind::And:
+      case GateKind::Nand: {
+        std::uint32_t all1 = 0, min0 = Scoap::kInf;
+        for (NetId f : fi) {
+          all1 = sat_add(all1, scoap.cc1[f]);
+          min0 = std::min(min0, scoap.cc0[f]);
+        }
+        const std::uint32_t out1 = sat_add(all1, 1);   // all inputs 1
+        const std::uint32_t out0 = sat_add(min0, 1);   // any input 0
+        const bool inv = nl.kind(g) == GateKind::Nand;
+        scoap.cc1[g] = inv ? out0 : out1;
+        scoap.cc0[g] = inv ? out1 : out0;
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        std::uint32_t all0 = 0, min1 = Scoap::kInf;
+        for (NetId f : fi) {
+          all0 = sat_add(all0, scoap.cc0[f]);
+          min1 = std::min(min1, scoap.cc1[f]);
+        }
+        const std::uint32_t out0 = sat_add(all0, 1);
+        const std::uint32_t out1 = sat_add(min1, 1);
+        const bool inv = nl.kind(g) == GateKind::Nor;
+        scoap.cc1[g] = inv ? out0 : out1;
+        scoap.cc0[g] = inv ? out1 : out0;
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        // Fold inputs pairwise: cheapest way to reach parity 0 / 1.
+        std::uint32_t p0 = scoap.cc0[fi[0]], p1 = scoap.cc1[fi[0]];
+        for (std::size_t j = 1; j < fi.size(); ++j) {
+          const std::uint32_t q0 = scoap.cc0[fi[j]], q1 = scoap.cc1[fi[j]];
+          const std::uint32_t n0 =
+              std::min(sat_add(p0, q0), sat_add(p1, q1));
+          const std::uint32_t n1 =
+              std::min(sat_add(p0, q1), sat_add(p1, q0));
+          p0 = n0;
+          p1 = n1;
+        }
+        const bool inv = nl.kind(g) == GateKind::Xnor;
+        scoap.cc0[g] = sat_add(inv ? p1 : p0, 1);
+        scoap.cc1[g] = sat_add(inv ? p0 : p1, 1);
+        break;
+      }
+    }
+  }
+
+  // Backward: observability in reverse topological order.
+  for (NetId o : nl.outputs()) scoap.co[o] = 0;
+  const auto& topo = nl.topo_order();
+  for (std::size_t idx = topo.size(); idx-- > 0;) {
+    const NetId g = topo[idx];
+    if (scoap.co[g] >= Scoap::kInf) continue;  // unobservable gate
+    const auto fi = nl.fanins(g);
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      std::uint32_t side = 0;  // cost of enabling the side inputs
+      switch (nl.kind(g)) {
+        case GateKind::And:
+        case GateKind::Nand:
+          for (std::size_t j = 0; j < fi.size(); ++j)
+            if (j != i) side = sat_add(side, scoap.cc1[fi[j]]);
+          break;
+        case GateKind::Or:
+        case GateKind::Nor:
+          for (std::size_t j = 0; j < fi.size(); ++j)
+            if (j != i) side = sat_add(side, scoap.cc0[fi[j]]);
+          break;
+        case GateKind::Xor:
+        case GateKind::Xnor:
+          for (std::size_t j = 0; j < fi.size(); ++j)
+            if (j != i)
+              side = sat_add(side,
+                             std::min(scoap.cc0[fi[j]], scoap.cc1[fi[j]]));
+          break;
+        default:
+          break;  // BUF/NOT: no side inputs
+      }
+      const std::uint32_t through = sat_add(sat_add(scoap.co[g], side), 1);
+      scoap.co[fi[i]] = std::min(scoap.co[fi[i]], through);
+    }
+  }
+  return scoap;
+}
+
+}  // namespace mdd

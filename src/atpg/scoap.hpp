@@ -1,0 +1,41 @@
+// openmdd — SCOAP testability analysis (Goldstein 1979).
+//
+// Combinational controllability CC0/CC1 (minimum "effort" to set a net to
+// 0/1, counted in gate traversals) and observability CO (effort to
+// propagate a net's value to a primary output). Used by PODEM's backtrace
+// to choose the easiest controlling input / hardest non-controlling input,
+// and exposed for reporting (hard-to-test net identification).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+
+struct Scoap {
+  /// Large finite sentinel for uncontrollable/unobservable nets (ties and
+  /// arithmetic stay well-defined, unlike with infinities).
+  static constexpr std::uint32_t kInf = 1u << 24;
+
+  std::vector<std::uint32_t> cc0;  ///< per net: cost to drive 0
+  std::vector<std::uint32_t> cc1;  ///< per net: cost to drive 1
+  std::vector<std::uint32_t> co;   ///< per net: cost to observe
+
+  /// Cost to drive net `n` to `value`.
+  std::uint32_t cc(NetId n, bool value) const {
+    return value ? cc1[n] : cc0[n];
+  }
+  /// Combined stuck-at-v test effort for a net (controll to !v + observe).
+  std::uint32_t test_effort(NetId n, bool stuck_value) const {
+    const std::uint32_t c = cc(n, !stuck_value);
+    return c >= kInf || co[n] >= kInf ? kInf : c + co[n];
+  }
+};
+
+/// Computes SCOAP measures for a finalized netlist. One forward pass for
+/// controllability (topological), one backward pass for observability.
+Scoap compute_scoap(const Netlist& netlist);
+
+}  // namespace mdd

@@ -1,0 +1,197 @@
+#include "atpg/tpg.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "fsim/propagate.hpp"
+
+namespace mdd {
+
+TpgResult generate_tests(const Netlist& netlist, const TpgOptions& options) {
+  const CollapsedFaults collapsed(netlist);
+  const std::vector<Fault>& targets = collapsed.representatives();
+
+  TpgResult result;
+  result.n_target_faults = targets.size();
+  result.patterns = PatternSet(0, netlist.n_inputs());
+
+  std::vector<Fault> undetected(targets.begin(), targets.end());
+  std::mt19937_64 rng(options.seed);
+
+  // Phase 1: random rounds with fault dropping. A pattern from the batch is
+  // kept only if it is the first detector of some still-undetected fault.
+  for (std::size_t round = 0; round < options.max_random_rounds; ++round) {
+    if (undetected.empty()) break;
+    if (result.patterns.n_patterns() >= options.max_patterns) break;
+    const PatternSet batch =
+        PatternSet::random(options.random_batch, netlist.n_inputs(), rng());
+    SingleFaultPropagator prop(netlist, batch);
+    std::vector<bool> keep(batch.n_patterns(), false);
+    std::vector<Fault> still;
+    still.reserve(undetected.size());
+    for (const Fault& f : undetected) {
+      const ErrorSignature sig = prop.signature(f);
+      if (!sig.empty()) {
+        keep[sig.failing_patterns().front()] = true;
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == undetected.size()) break;  // round detected nothing
+    for (std::size_t p = 0; p < batch.n_patterns(); ++p) {
+      if (keep[p] && result.patterns.n_patterns() < options.max_patterns)
+        result.patterns.append(batch.pattern(p));
+    }
+    undetected = std::move(still);
+  }
+
+  // Phase 2: PODEM top-up for random-resistant faults. Generated patterns
+  // are accumulated in small batches and fault-dropped so one deterministic
+  // pattern can retire several remaining faults.
+  if (options.run_podem && !undetected.empty()) {
+    Podem podem(netlist, {options.backtrack_limit});
+    PatternSet batch(0, netlist.n_inputs());
+    std::vector<bool> retired(undetected.size(), false);
+
+    auto flush_batch = [&](std::size_t next_index) {
+      if (batch.n_patterns() == 0) return;
+      // Fault-drop: retire any remaining target this batch happens to
+      // detect, so it never costs a PODEM run of its own.
+      SingleFaultPropagator prop(netlist, batch);
+      for (std::size_t j = next_index; j < undetected.size(); ++j)
+        if (!retired[j] && !prop.signature(undetected[j]).empty())
+          retired[j] = true;
+      for (std::size_t p = 0; p < batch.n_patterns(); ++p)
+        if (result.patterns.n_patterns() < options.max_patterns)
+          result.patterns.append(batch.pattern(p));
+      batch = PatternSet(0, netlist.n_inputs());
+    };
+
+    for (std::size_t i = 0; i < undetected.size(); ++i) {
+      if (retired[i]) continue;
+      const PodemResult pr = podem.generate(undetected[i]);
+      if (pr.outcome == PodemOutcome::Untestable) {
+        ++result.n_untestable;
+        continue;
+      }
+      if (pr.outcome == PodemOutcome::Aborted) {
+        ++result.n_aborted;
+        continue;
+      }
+      std::vector<bool> pattern(pr.pattern.size());
+      for (std::size_t j = 0; j < pr.pattern.size(); ++j)
+        pattern[j] = pr.pattern[j] == Val3::X ? (rng() & 1u)
+                                              : v3_to_bool(pr.pattern[j]);
+      batch.append(pattern);
+      if (batch.n_patterns() == 64) flush_batch(i + 1);
+    }
+    flush_batch(undetected.size());
+  }
+
+  // Phase 3: optional reverse-order compaction over the kept set.
+  if (options.compact && result.patterns.n_patterns() > 1) {
+    result.patterns = compact_reverse(netlist, result.patterns, targets);
+  }
+
+  // Final accounting on the finished pattern set.
+  if (result.patterns.n_patterns() > 0) {
+    SingleFaultPropagator prop(netlist, result.patterns);
+    for (const Fault& f : targets)
+      if (!prop.signature(f).empty()) ++result.n_detected;
+  }
+  return result;
+}
+
+TdfTpgResult generate_tdf_tests(const Netlist& netlist,
+                                const TdfTpgOptions& options) {
+  TdfTpgResult result;
+  const std::vector<Fault> targets = all_transition_faults(netlist);
+  result.n_target_faults = targets.size();
+  result.launch = PatternSet(0, netlist.n_inputs());
+  result.capture = PatternSet(0, netlist.n_inputs());
+
+  std::vector<Fault> undetected(targets.begin(), targets.end());
+  std::mt19937_64 rng(options.seed);
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    if (undetected.empty()) break;
+    if (result.capture.n_patterns() >= options.max_pairs) break;
+    const PatternSet launch =
+        PatternSet::random(options.pair_batch, netlist.n_inputs(), rng());
+    const PatternSet capture =
+        PatternSet::random(options.pair_batch, netlist.n_inputs(), rng());
+    SingleFaultPropagator prop(netlist, launch, capture);
+    std::vector<bool> keep(options.pair_batch, false);
+    std::vector<Fault> still;
+    still.reserve(undetected.size());
+    for (const Fault& f : undetected) {
+      const ErrorSignature sig = prop.signature(f);
+      if (!sig.empty()) {
+        keep[sig.failing_patterns().front()] = true;
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == undetected.size()) break;
+    for (std::size_t p = 0; p < options.pair_batch; ++p) {
+      if (keep[p] && result.capture.n_patterns() < options.max_pairs) {
+        result.launch.append(launch.pattern(p));
+        result.capture.append(capture.pattern(p));
+      }
+    }
+    undetected = std::move(still);
+  }
+
+  if (result.capture.n_patterns() > 0) {
+    SingleFaultPropagator prop(netlist, result.launch, result.capture);
+    for (const Fault& f : targets)
+      if (!prop.signature(f).empty()) ++result.n_detected;
+  }
+  return result;
+}
+
+PatternSet compact_reverse(const Netlist& netlist, const PatternSet& patterns,
+                           std::span<const Fault> faults) {
+  SingleFaultPropagator prop(netlist, patterns);
+  // Per-fault detecting-pattern lists.
+  std::vector<std::vector<std::uint32_t>> detectors;
+  detectors.reserve(faults.size());
+  for (const Fault& f : faults) {
+    detectors.push_back(prop.signature(f).failing_patterns());
+  }
+  // Greedy reverse scan: keep a pattern if some fault's detector set
+  // contains it and no already-kept pattern.
+  std::vector<bool> kept(patterns.n_patterns(), false);
+  std::vector<bool> fault_covered(faults.size(), false);
+  for (std::size_t p = patterns.n_patterns(); p-- > 0;) {
+    bool needed = false;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (fault_covered[fi]) continue;
+      const auto& det = detectors[fi];
+      if (det.empty()) continue;
+      if (!std::binary_search(det.begin(), det.end(),
+                              static_cast<std::uint32_t>(p)))
+        continue;
+      // Is `p` the last remaining chance for this fault (no kept detector
+      // yet and no detector earlier than p)? Greedy reverse: keep p if the
+      // fault has no kept detector and p is its highest uncovered detector.
+      needed = true;
+      break;
+    }
+    if (!needed) continue;
+    kept[p] = true;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (fault_covered[fi]) continue;
+      const auto& det = detectors[fi];
+      if (std::binary_search(det.begin(), det.end(),
+                             static_cast<std::uint32_t>(p)))
+        fault_covered[fi] = true;
+    }
+  }
+  PatternSet out(0, patterns.n_signals());
+  for (std::size_t p = 0; p < patterns.n_patterns(); ++p)
+    if (kept[p]) out.append(patterns.pattern(p));
+  return out;
+}
+
+}  // namespace mdd

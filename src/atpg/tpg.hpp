@@ -1,0 +1,91 @@
+// openmdd — production test-set generation flow.
+//
+// The standard industrial recipe, used to make the diagnosis experiments
+// consume realistic pattern sets:
+//   1. random-pattern bootstrap with fault dropping (only patterns that
+//      detect a new fault are kept);
+//   2. PODEM top-up for random-resistant faults;
+//   3. optional reverse-order static compaction.
+// Coverage is computed over collapsed stuck-at representatives.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/podem.hpp"
+#include "fault/collapse.hpp"
+#include "fsim/fsim.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+struct TpgOptions {
+  std::size_t random_batch = 256;     ///< candidate patterns per random round
+  std::size_t max_random_rounds = 8;  ///< rounds stop early when a round
+                                      ///< detects nothing new
+  bool run_podem = true;              ///< top-up random-resistant faults
+  std::size_t backtrack_limit = 100;
+  bool compact = true;                ///< reverse-order static compaction
+  std::size_t max_patterns = 4096;
+  std::uint64_t seed = 1;
+};
+
+struct TpgResult {
+  PatternSet patterns;
+  std::size_t n_target_faults = 0;  ///< collapsed representatives
+  std::size_t n_detected = 0;
+  std::size_t n_untestable = 0;     ///< proven redundant by PODEM
+  std::size_t n_aborted = 0;        ///< PODEM backtrack limit hit
+
+  double coverage() const {
+    return n_target_faults == 0
+               ? 1.0
+               : static_cast<double>(n_detected) /
+                     static_cast<double>(n_target_faults);
+  }
+  /// Coverage excluding proven-untestable faults.
+  double effective_coverage() const {
+    const std::size_t testable = n_target_faults - n_untestable;
+    return testable == 0 ? 1.0
+                         : static_cast<double>(n_detected) /
+                               static_cast<double>(testable);
+  }
+};
+
+/// Generates a stuck-at test set for `netlist`.
+TpgResult generate_tests(const Netlist& netlist, const TpgOptions& options = {});
+
+/// Reverse-order static compaction: returns the subset of `patterns`
+/// (original order preserved) that keeps every fault in `faults` detected.
+PatternSet compact_reverse(const Netlist& netlist, const PatternSet& patterns,
+                           std::span<const Fault> faults);
+
+// ---- transition-fault (two-pattern) test generation -------------------------
+
+struct TdfTpgOptions {
+  std::size_t pair_batch = 256;   ///< candidate pairs per random round
+  std::size_t max_rounds = 8;
+  std::size_t max_pairs = 4096;
+  std::uint64_t seed = 1;
+};
+
+struct TdfTpgResult {
+  PatternSet launch;
+  PatternSet capture;
+  std::size_t n_target_faults = 0;  ///< transition universe (2 per net)
+  std::size_t n_detected = 0;
+
+  double coverage() const {
+    return n_target_faults == 0
+               ? 1.0
+               : static_cast<double>(n_detected) /
+                     static_cast<double>(n_target_faults);
+  }
+};
+
+/// Random two-pattern (launch-on-capture style) transition test generation
+/// with fault dropping: a pair is kept only when it first-detects a
+/// still-undetected slow-to-rise/fall fault.
+TdfTpgResult generate_tdf_tests(const Netlist& netlist,
+                                const TdfTpgOptions& options = {});
+
+}  // namespace mdd

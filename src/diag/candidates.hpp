@@ -1,0 +1,63 @@
+// openmdd — initial candidate extraction.
+//
+// Builds the candidate fault pool the diagnosers score. Per failing
+// pattern, the good machine is simulated and every failing output is
+// back-traced with critical path tracing; the union over all failing
+// (pattern, output) pairs is kept (union, not intersection — with multiple
+// defects different patterns expose different sites, so intersecting would
+// assume exactly the failing-pattern property this library avoids).
+//
+// Bridge candidates are instantiated on top: for each suspect stem, nearby
+// non-feedback partner nets give dominant-bridge candidates with the
+// suspect as victim. A structural back-cone fallback covers the corner
+// where CPT's classical multi-controlling-input rule under-approximates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diag/datalog.hpp"
+#include "fault/fault.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+struct CandidateOptions {
+  bool include_bridges = true;
+  /// Bridge partners per suspect net: nearest-by-id nets whose good values
+  /// are behaviour-consistent with the aggressor role.
+  std::size_t bridge_partners = 16;
+  /// Hard cap on the candidate pool (kept by descending CPT support;
+  /// stuck-at candidates survive ties against bridges).
+  std::size_t max_candidates = 6000;
+  /// Failing patterns traced (all if larger; tracing is cheap but bounded
+  /// for pathological logs).
+  std::size_t max_traced_patterns = 64;
+  /// Add stem stuck-at candidates for the whole fan-in cone of the failing
+  /// outputs when CPT support is thin (< this many candidates).
+  std::size_t back_cone_threshold = 2;
+};
+
+struct CandidatePool {
+  std::vector<Fault> faults;
+  /// Per-fault support: in how many traced (pattern, output) failures the
+  /// fault appeared as critical (bridges inherit their victim's support).
+  std::vector<std::uint32_t> support;
+};
+
+CandidatePool extract_candidates(const Netlist& netlist,
+                                 const PatternSet& patterns,
+                                 const Datalog& datalog,
+                                 const CandidateOptions& options = {});
+
+/// Pair-testing (transition) variant: traces capture-frame failures; every
+/// critical stem whose value moved between launch and capture additionally
+/// yields a slow-to-rise/slow-to-fall candidate in the observed direction.
+/// Bridge candidates are not generated in pair mode.
+CandidatePool extract_tdf_candidates(const Netlist& netlist,
+                                     const PatternSet& launch,
+                                     const PatternSet& capture,
+                                     const Datalog& datalog,
+                                     const CandidateOptions& options = {});
+
+}  // namespace mdd

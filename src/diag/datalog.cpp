@@ -1,0 +1,115 @@
+#include "diag/datalog.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <random>
+#include <vector>
+
+namespace mdd {
+
+namespace {
+
+/// Deterministic X-mask: each (pattern, output) observation is masked with
+/// probability `fraction`.
+ErrorSignature make_x_mask(std::size_t n_patterns, std::size_t n_outputs,
+                           double fraction, std::uint64_t seed) {
+  ErrorSignature mask_sig(n_patterns, n_outputs);
+  if (fraction <= 0.0) return mask_sig;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> chance(0.0, 1.0);
+  std::vector<Word> mask(mask_sig.n_po_words());
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    bool any = false;
+    std::fill(mask.begin(), mask.end(), kAllZero);
+    for (std::size_t o = 0; o < n_outputs; ++o) {
+      if (chance(rng) < fraction) {
+        mask[o / 64] |= Word{1} << (o % 64);
+        any = true;
+      }
+    }
+    if (any) mask_sig.append(static_cast<std::uint32_t>(p), mask);
+  }
+  return mask_sig;
+}
+
+}  // namespace
+
+Datalog make_datalog(const ErrorSignature& full, std::size_t n_patterns,
+                     const DatalogOptions& options) {
+  Datalog log;
+  log.observed = ErrorSignature(n_patterns, full.n_outputs());
+  log.n_patterns_applied = n_patterns;
+  log.masked = make_x_mask(n_patterns, full.n_outputs(),
+                           options.x_mask_fraction, options.x_mask_seed);
+
+  std::vector<Word> mask(full.n_po_words());
+  std::size_t n_logged = 0;
+  std::uint32_t last_logged_pattern = 0;
+  for (std::size_t i = 0; i < full.n_failing_patterns(); ++i) {
+    if (n_logged >= options.max_failing_patterns) {
+      log.pattern_truncated = true;
+      // The tester stopped at the last logged failing pattern.
+      log.n_patterns_applied = last_logged_pattern + 1;
+      break;
+    }
+    const auto m = full.mask(i);
+    std::copy(m.begin(), m.end(), mask.begin());
+    // X-masked observations disappear from the log entirely.
+    const auto xm = log.masked.mask_of_pattern(full.failing_patterns()[i]);
+    if (!xm.empty()) {
+      bool any = false;
+      for (std::size_t w = 0; w < mask.size(); ++w) {
+        mask[w] &= ~xm[w];
+        any = any || mask[w] != kAllZero;
+      }
+      if (!any) continue;  // every failing pin masked: pattern looks passing
+    }
+    // Per-pattern pin cap: keep the lowest-indexed failing pins.
+    std::size_t bits = 0;
+    for (Word w : mask) bits += static_cast<std::size_t>(std::popcount(w));
+    if (bits > options.max_failing_pins) {
+      log.pin_truncated = true;
+      std::size_t kept = 0;
+      for (std::size_t w = 0; w < mask.size(); ++w) {
+        Word out = kAllZero;
+        Word in = mask[w];
+        while (in && kept < options.max_failing_pins) {
+          const Word lowest = in & (~in + 1);
+          out |= lowest;
+          in ^= lowest;
+          ++kept;
+        }
+        mask[w] = out;
+      }
+    }
+    log.observed.append(full.failing_patterns()[i], mask);
+    ++n_logged;
+    last_logged_pattern = full.failing_patterns()[i];
+  }
+  return log;
+}
+
+Datalog datalog_from_defect(const Netlist& netlist,
+                            std::span<const Fault> defect,
+                            const PatternSet& patterns,
+                            const PatternSet& good,
+                            const DatalogOptions& options) {
+  const PatternSet faulty = simulate_with_faults(netlist, defect, patterns);
+  const ErrorSignature full = ErrorSignature::diff(good, faulty);
+  return make_datalog(full, patterns.n_patterns(), options);
+}
+
+Datalog datalog_from_defect_pair(const Netlist& netlist,
+                                 std::span<const Fault> defect,
+                                 const PatternSet& launch,
+                                 const PatternSet& capture,
+                                 const PatternSet& good,
+                                 const DatalogOptions& options) {
+  FaultyMachine machine(netlist);
+  machine.set_faults(defect);
+  const PatternSet faulty = machine.simulate_pair(launch, capture);
+  const ErrorSignature full = ErrorSignature::diff(good, faulty);
+  return make_datalog(full, capture.n_patterns(), options);
+}
+
+}  // namespace mdd

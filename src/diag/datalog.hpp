@@ -1,0 +1,71 @@
+// openmdd — tester datalog.
+//
+// A datalog is what diagnosis actually gets from the ATE: for each failing
+// pattern, the set of failing outputs (scan cells / primary outputs), for a
+// known applied-pattern window. Real testers truncate: they stop logging
+// after N failing patterns and/or cap the failing pins recorded per
+// pattern. Both models are implemented so the truncation experiment
+// (Figure 4) can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fault/fault.hpp"
+#include "fsim/fsim.hpp"
+
+namespace mdd {
+
+struct DatalogOptions {
+  /// ATE stops after logging this many failing patterns; later patterns
+  /// count as "not applied".
+  std::size_t max_failing_patterns = SIZE_MAX;
+  /// At most this many failing pins are recorded per failing pattern
+  /// (lowest output indices kept, matching scan-out order).
+  std::size_t max_failing_pins = SIZE_MAX;
+  /// Fraction of (pattern, output) observations that are X-masked — the
+  /// tester could not compare them (unknown simulation values, compactor
+  /// masking). Masked bits are neither pass nor fail; diagnosis must
+  /// ignore them on both sides of the match.
+  double x_mask_fraction = 0.0;
+  std::uint64_t x_mask_seed = 0x5EED;
+};
+
+struct Datalog {
+  /// Observed (possibly truncated) error bits; never includes masked bits.
+  ErrorSignature observed;
+  /// (pattern, output) observations the tester could not compare. Bits
+  /// here are unknown: not failures, but not passes either.
+  ErrorSignature masked;
+  /// Patterns [0, n_patterns_applied) were applied; everything in that
+  /// window not listed in `observed` or `masked` passed.
+  std::size_t n_patterns_applied = 0;
+  bool pattern_truncated = false;  ///< hit max_failing_patterns
+  bool pin_truncated = false;      ///< some pattern lost pins
+
+  bool has_failures() const { return !observed.empty(); }
+};
+
+/// Applies ATE truncation to a full error signature.
+Datalog make_datalog(const ErrorSignature& full, std::size_t n_patterns,
+                     const DatalogOptions& options = {});
+
+/// End-to-end helper: simulate `defect` (any multiplet) against `patterns`
+/// and log the failures. `good` must be the good-machine response.
+Datalog datalog_from_defect(const Netlist& netlist,
+                            std::span<const Fault> defect,
+                            const PatternSet& patterns,
+                            const PatternSet& good,
+                            const DatalogOptions& options = {});
+
+/// Pair-testing variant: simulate `defect` under launch/capture pairs and
+/// log the capture-frame failures. `good` must be the good capture
+/// response (PairFaultSimulator::good_response()).
+Datalog datalog_from_defect_pair(const Netlist& netlist,
+                                 std::span<const Fault> defect,
+                                 const PatternSet& launch,
+                                 const PatternSet& capture,
+                                 const PatternSet& good,
+                                 const DatalogOptions& options = {});
+
+}  // namespace mdd

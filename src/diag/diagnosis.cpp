@@ -1,0 +1,77 @@
+#include "diag/diagnosis.hpp"
+
+namespace mdd {
+
+namespace {
+
+PatternSet make_window(const PatternSet& patterns, std::size_t n_applied) {
+  if (n_applied >= patterns.n_patterns()) return patterns;
+  PatternSet window(0, patterns.n_signals());
+  for (std::size_t p = 0; p < n_applied; ++p)
+    window.append(patterns.pattern(p));
+  return window;
+}
+
+}  // namespace
+
+DiagnosisContext::DiagnosisContext(const Netlist& netlist,
+                                   const PatternSet& patterns,
+                                   const Datalog& datalog,
+                                   const CandidateOptions& candidate_options)
+    : netlist_(&netlist),
+      datalog_(&datalog),
+      window_(make_window(patterns, datalog.n_patterns_applied)),
+      observed_(restrict_signature(datalog.observed,
+                                   datalog.n_patterns_applied)),
+      masked_(restrict_signature(datalog.masked, datalog.n_patterns_applied)),
+      pool_(extract_candidates(netlist, window_, datalog, candidate_options)),
+      fsim_(std::in_place, netlist, window_),
+      propagator_(std::in_place, netlist, window_),
+      solo_cache_(pool_.faults.size()) {}
+
+DiagnosisContext::DiagnosisContext(const Netlist& netlist,
+                                   const PatternSet& launch,
+                                   const PatternSet& capture,
+                                   const Datalog& datalog,
+                                   const CandidateOptions& candidate_options)
+    : netlist_(&netlist),
+      datalog_(&datalog),
+      window_(make_window(capture, datalog.n_patterns_applied)),
+      launch_window_(make_window(launch, datalog.n_patterns_applied)),
+      observed_(restrict_signature(datalog.observed,
+                                   datalog.n_patterns_applied)),
+      masked_(restrict_signature(datalog.masked, datalog.n_patterns_applied)),
+      pool_(extract_tdf_candidates(netlist, launch_window_, window_, datalog,
+                                   candidate_options)),
+      pair_fsim_(std::in_place, netlist, launch_window_, window_),
+      propagator_(std::in_place, netlist, launch_window_, window_),
+      solo_cache_(pool_.faults.size()) {}
+
+const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
+  if (!solo_cache_[i]) {
+    ErrorSignature sig = propagator_->signature(pool_.faults[i]);
+    if (!masked_.empty()) sig = signature_difference(sig, masked_);
+    solo_cache_[i] = std::move(sig);
+  }
+  return *solo_cache_[i];
+}
+
+ErrorSignature DiagnosisContext::multiplet_signature(
+    std::span<const Fault> multiplet) {
+  ErrorSignature sig = pair_mode() ? pair_fsim_->signature(multiplet)
+                                   : fsim_->signature(multiplet);
+  if (!masked_.empty()) sig = signature_difference(sig, masked_);
+  return sig;
+}
+
+std::vector<Fault> DiagnosisContext::indistinguishable_from(std::size_t i) {
+  std::vector<Fault> out;
+  const ErrorSignature& ref = solo_signature(i);
+  for (std::size_t j = 0; j < pool_.faults.size(); ++j) {
+    if (j == i) continue;
+    if (solo_signature(j) == ref) out.push_back(pool_.faults[j]);
+  }
+  return out;
+}
+
+}  // namespace mdd

@@ -1,0 +1,129 @@
+// openmdd — shared diagnosis types and the per-case context.
+//
+// `DiagnosisContext` packages everything the diagnosers need for one
+// failing device: the netlist, the applied pattern window, the observed
+// (possibly truncated) error signature, the extracted candidate pool, and
+// a cache of per-candidate solo signatures (computed lazily — every
+// diagnoser needs most of them, no diagnoser wants to recompute them).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diag/candidates.hpp"
+#include "diag/datalog.hpp"
+#include "fsim/fsim.hpp"
+#include "fsim/propagate.hpp"
+
+namespace mdd {
+
+/// Per-bit match weights: reward explained failures, punish mispredictions
+/// harder than unexplained failures (another defect may explain those).
+struct ScoreWeights {
+  double tfsf = 10.0;
+  double tpsf = 5.0;
+  double tfsp = 2.0;
+};
+
+inline double score_of(const MatchCounts& m, const ScoreWeights& w) {
+  return w.tfsf * static_cast<double>(m.tfsf) -
+         w.tpsf * static_cast<double>(m.tpsf) -
+         w.tfsp * static_cast<double>(m.tfsp);
+}
+
+struct ScoredCandidate {
+  Fault fault{};
+  MatchCounts counts{};
+  double score = 0.0;
+  /// Candidates whose solo signature over the applied window is identical
+  /// (logically indistinguishable with this pattern set).
+  std::vector<Fault> alternates;
+};
+
+struct DiagnosisReport {
+  std::string method;
+  /// Ranked suspects. For the multiplet diagnosers each entry is one
+  /// member of the reported defect multiplet; for single-fault diagnosis
+  /// it is the top-k ranking.
+  std::vector<ScoredCandidate> suspects;
+  /// The reported suspect set reproduces the datalog exactly.
+  bool explains_all = false;
+  std::size_t n_candidates_scored = 0;
+  /// SLAT bookkeeping (filled by the SLAT baseline).
+  std::size_t n_slat_patterns = 0;
+  std::size_t n_nonslat_patterns = 0;
+  double cpu_seconds = 0.0;
+
+  std::vector<Fault> suspect_faults() const {
+    std::vector<Fault> out;
+    out.reserve(suspects.size());
+    for (const ScoredCandidate& s : suspects) out.push_back(s.fault);
+    return out;
+  }
+};
+
+class DiagnosisContext {
+ public:
+  /// Static-test context (single-frame patterns).
+  DiagnosisContext(const Netlist& netlist, const PatternSet& patterns,
+                   const Datalog& datalog,
+                   const CandidateOptions& candidate_options = {});
+
+  /// Pair-test context (launch/capture pairs, transition-fault capable).
+  /// Candidate extraction adds slow-to-rise/fall candidates and every
+  /// signature is computed with two-frame simulation — the diagnosers
+  /// themselves are unchanged.
+  DiagnosisContext(const Netlist& netlist, const PatternSet& launch,
+                   const PatternSet& capture, const Datalog& datalog,
+                   const CandidateOptions& candidate_options = {});
+
+  // The simulation engines hold pointers into the window members.
+  DiagnosisContext(const DiagnosisContext&) = delete;
+  DiagnosisContext& operator=(const DiagnosisContext&) = delete;
+
+  const Netlist& netlist() const { return *netlist_; }
+  bool pair_mode() const { return pair_fsim_.has_value(); }
+  /// Patterns restricted to the datalog's applied window (capture frame in
+  /// pair mode).
+  const PatternSet& patterns() const { return window_; }
+  /// Launch-frame window; pair mode only.
+  const PatternSet& launch_patterns() const { return launch_window_; }
+  /// Observed error bits within the applied window.
+  const ErrorSignature& observed() const { return observed_; }
+  const Datalog& datalog() const { return *datalog_; }
+
+  const CandidatePool& pool() const { return pool_; }
+  std::size_t n_candidates() const { return pool_.faults.size(); }
+  const Fault& candidate(std::size_t i) const { return pool_.faults[i]; }
+
+  /// Solo signature of candidate `i` over the applied window (cached).
+  const ErrorSignature& solo_signature(std::size_t i);
+
+  /// Signature of an arbitrary multiplet over the applied window
+  /// (uncached; composite evaluation).
+  ErrorSignature multiplet_signature(std::span<const Fault> multiplet);
+
+  /// Candidates (other than `i`) with a solo signature identical to
+  /// candidate `i`'s — its indistinguishability class.
+  std::vector<Fault> indistinguishable_from(std::size_t i);
+
+ private:
+  const Netlist* netlist_;
+  const Datalog* datalog_;
+  PatternSet window_;         // capture window in pair mode
+  PatternSet launch_window_;  // pair mode only
+  ErrorSignature observed_;
+  ErrorSignature masked_;  ///< X-masked bits stripped from every signature
+  CandidatePool pool_;
+  std::optional<FaultSimulator> fsim_;
+  std::optional<PairFaultSimulator> pair_fsim_;
+  /// Event-driven PPSFP engine for the thousands of per-candidate solo
+  /// signatures (composite multiplet signatures still use the full
+  /// machines above).
+  std::optional<SingleFaultPropagator> propagator_;
+  std::vector<std::optional<ErrorSignature>> solo_cache_;
+};
+
+}  // namespace mdd

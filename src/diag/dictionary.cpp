@@ -1,0 +1,117 @@
+#include "diag/dictionary.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fsim/fsim.hpp"
+
+namespace mdd {
+
+std::string FaultDictionary::key_of(const ErrorSignature& sig) {
+  // Compact byte key: (pattern, mask words) stream. Signatures are
+  // canonical (sorted by pattern), so equal signatures give equal keys.
+  std::string key;
+  key.reserve(sig.n_failing_patterns() * (4 + sig.n_po_words() * 8));
+  for (std::size_t i = 0; i < sig.n_failing_patterns(); ++i) {
+    const std::uint32_t p = sig.failing_patterns()[i];
+    key.append(reinterpret_cast<const char*>(&p), sizeof(p));
+    const auto mask = sig.mask(i);
+    key.append(reinterpret_cast<const char*>(mask.data()),
+               mask.size() * sizeof(Word));
+  }
+  return key;
+}
+
+FaultDictionary::FaultDictionary(const Netlist& netlist,
+                                 const PatternSet& patterns,
+                                 const DictionaryOptions& options)
+    : netlist_(&netlist), options_(options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CollapsedFaults collapsed(netlist);
+  faults_ = collapsed.representatives();
+  if (options.include_bridges) {
+    BridgeUniverseConfig bc;
+    bc.count = options.bridge_pairs;
+    bc.seed = options.bridge_seed;
+    bc.include_wired = false;
+    for (const Fault& f : sample_bridge_faults(netlist, bc))
+      faults_.push_back(f);
+  }
+
+  FaultSimulator fsim(netlist, patterns);
+  signatures_.reserve(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    signatures_.push_back(fsim.signature(faults_[i]));
+    stored_bits_ += signatures_.back().n_error_bits();
+    // Undetected faults (empty signature) are unfindable by definition and
+    // would all collide on the empty key.
+    if (!signatures_.back().empty())
+      by_signature_[key_of(signatures_.back())].push_back(i);
+  }
+  build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+std::vector<Fault> FaultDictionary::exact_matches(
+    const ErrorSignature& observed) const {
+  std::vector<Fault> out;
+  auto it = by_signature_.find(key_of(observed));
+  if (it == by_signature_.end()) return out;
+  for (std::size_t i : it->second) out.push_back(faults_[i]);
+  return out;
+}
+
+DiagnosisReport FaultDictionary::diagnose(const Datalog& datalog) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  DiagnosisReport report;
+  report.method = "dictionary";
+  report.n_candidates_scored = faults_.size();
+
+  const ErrorSignature observed =
+      restrict_signature(datalog.observed, datalog.n_patterns_applied);
+
+  const std::vector<Fault> exact = exact_matches(observed);
+  if (!exact.empty()) {
+    ScoredCandidate sc;
+    sc.fault = exact.front();
+    sc.counts = MatchCounts{observed.n_error_bits(), 0, 0};
+    sc.score = score_of(sc.counts, options_.weights);
+    sc.alternates.assign(exact.begin() + 1, exact.end());
+    report.suspects.push_back(std::move(sc));
+    report.explains_all = !observed.empty();
+  } else {
+    // Fallback: rank all entries (no per-pattern assumption, but also no
+    // composite modelling — each entry is a single fault).
+    struct Entry {
+      std::size_t index;
+      MatchCounts counts;
+      double score;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(faults_.size());
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      const MatchCounts mc = match(observed, signatures_[i]);
+      entries.push_back({i, mc, score_of(mc, options_.weights)});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [&](const Entry& a, const Entry& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return faults_[a.index] < faults_[b.index];
+              });
+    const std::size_t k = std::min(options_.top_k, entries.size());
+    for (std::size_t r = 0; r < k; ++r) {
+      ScoredCandidate sc;
+      sc.fault = faults_[entries[r].index];
+      sc.counts = entries[r].counts;
+      sc.score = entries[r].score;
+      report.suspects.push_back(std::move(sc));
+    }
+  }
+  report.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace mdd

@@ -1,0 +1,100 @@
+#include "diag/metrics.hpp"
+
+namespace mdd {
+
+bool same_site(const Fault& injected, const Fault& reported,
+               const CollapsedFaults& collapsed) {
+  if (injected == reported) return true;
+  if (injected.is_stuck_at() && reported.is_stuck_at()) {
+    // Structural equivalence: indistinguishable by any test.
+    try {
+      return collapsed.class_of(injected) == collapsed.class_of(reported);
+    } catch (const std::out_of_range&) {
+      return false;
+    }
+  }
+  if (injected.is_bridge() && reported.is_bridge()) {
+    // Same physical pair regardless of model flavour.
+    const auto pair_of = [](const Fault& f) {
+      return std::pair{std::min(f.net, f.bridge_net),
+                       std::max(f.net, f.bridge_net)};
+    };
+    if (pair_of(injected) == pair_of(reported)) return true;
+    // Dominant bridges: the victim is the physically observed faulty net
+    // and the location PFA probes; without layout data the aggressor is
+    // often ambiguous (several nets explain the datalog exactly), so a
+    // victim match names the site.
+    if (injected.kind == FaultKind::BridgeDom &&
+        reported.kind == FaultKind::BridgeDom)
+      return injected.net == reported.net;
+    // Mixed dominant/wired flavours: the nets overlap.
+    return injected.net == reported.net ||
+           injected.net == reported.bridge_net ||
+           injected.bridge_net == reported.net ||
+           injected.bridge_net == reported.bridge_net;
+  }
+  return false;
+}
+
+TruthEvaluation evaluate_against_truth(const DiagnosisReport& report,
+                                       std::span<const Fault> injected,
+                                       const CollapsedFaults& collapsed) {
+  TruthEvaluation ev;
+  ev.n_injected = injected.size();
+  ev.n_reported = report.suspects.size();
+
+  auto suspect_names = [&](const ScoredCandidate& sc, const Fault& truth) {
+    if (same_site(truth, sc.fault, collapsed)) return true;
+    for (const Fault& alt : sc.alternates)
+      if (same_site(truth, alt, collapsed)) return true;
+    return false;
+  };
+
+  std::size_t true_suspects = 0;
+  for (const ScoredCandidate& sc : report.suspects) {
+    for (const Fault& truth : injected) {
+      if (suspect_names(sc, truth)) {
+        ++true_suspects;
+        break;
+      }
+    }
+  }
+  for (const Fault& truth : injected) {
+    for (const ScoredCandidate& sc : report.suspects) {
+      if (suspect_names(sc, truth)) {
+        ++ev.n_hit;
+        break;
+      }
+    }
+  }
+  ev.all_hit = ev.n_injected > 0 && ev.n_hit == ev.n_injected;
+  ev.first_hit = !report.suspects.empty() && !injected.empty() &&
+                 [&] {
+                   for (const Fault& truth : injected)
+                     if (suspect_names(report.suspects.front(), truth))
+                       return true;
+                   return false;
+                 }();
+  ev.hit_rate = ev.n_injected == 0
+                    ? 0.0
+                    : static_cast<double>(ev.n_hit) /
+                          static_cast<double>(ev.n_injected);
+  ev.precision = ev.n_reported == 0
+                     ? 0.0
+                     : static_cast<double>(true_suspects) /
+                           static_cast<double>(ev.n_reported);
+  ev.resolution = ev.n_injected == 0
+                      ? 0.0
+                      : static_cast<double>(ev.n_reported) /
+                            static_cast<double>(ev.n_injected);
+  if (!report.suspects.empty()) {
+    std::size_t sites = 0;
+    for (const ScoredCandidate& sc : report.suspects)
+      sites += 1 + sc.alternates.size();
+    ev.avg_sites_per_suspect = static_cast<double>(sites) /
+                               static_cast<double>(report.suspects.size());
+  }
+  return ev;
+}
+
+}  // namespace mdd

@@ -1,0 +1,40 @@
+// openmdd — diagnosis quality metrics against injected ground truth.
+//
+// An injected defect counts as *hit* when some reported suspect (or one of
+// its indistinguishability alternates) names the same site: exact fault
+// equality, stuck-at equivalence-class equality (a diagnoser cannot
+// separate structurally equivalent faults), or — for bridges — the same
+// victim/aggressor pair.
+#pragma once
+
+#include <span>
+
+#include "diag/diagnosis.hpp"
+#include "fault/collapse.hpp"
+
+namespace mdd {
+
+struct TruthEvaluation {
+  std::size_t n_injected = 0;
+  std::size_t n_hit = 0;           ///< injected defects named by the report
+  std::size_t n_reported = 0;      ///< suspects in the report
+  bool all_hit = false;            ///< every injected defect named
+  bool first_hit = false;          ///< top-ranked suspect names a defect
+  double hit_rate = 0.0;           ///< n_hit / n_injected
+  double precision = 0.0;          ///< suspects naming true defects / reported
+  double resolution = 0.0;         ///< n_reported / n_injected (1.0 ideal)
+
+  /// Average per-suspect site count including alternates (PFA effort).
+  double avg_sites_per_suspect = 0.0;
+};
+
+/// True if `reported` names the same defect site as `injected` (exact,
+/// stuck-at-equivalent via `collapsed`, or same bridge pair).
+bool same_site(const Fault& injected, const Fault& reported,
+               const CollapsedFaults& collapsed);
+
+TruthEvaluation evaluate_against_truth(const DiagnosisReport& report,
+                                       std::span<const Fault> injected,
+                                       const CollapsedFaults& collapsed);
+
+}  // namespace mdd

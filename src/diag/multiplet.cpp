@@ -1,0 +1,293 @@
+#include "diag/multiplet.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace mdd {
+
+namespace {
+
+bool exact_match(const MatchCounts& m) {
+  return m.tfsp == 0 && m.tpsf == 0;
+}
+
+}  // namespace
+
+DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
+                                   const MultipletOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DiagnosisReport report;
+  report.method = "multiplet";
+  report.n_candidates_scored = ctx.n_candidates();
+
+  const ErrorSignature& observed = ctx.observed();
+
+  // Per-candidate solo error-bit count, for the shortlist's precision
+  // tie-break.
+  std::vector<std::size_t> solo_bits(ctx.n_candidates());
+  for (std::size_t i = 0; i < ctx.n_candidates(); ++i)
+    solo_bits[i] = ctx.solo_signature(i).n_error_bits();
+
+  struct H {
+    std::size_t index;
+    std::size_t tfsf;
+  };
+  // Rank extensions by residual coverage, then by *precision*: among
+  // candidates covering the same residual bits prefer the one predicting
+  // the fewest bits outside the residual. Big "mimicker" candidates that
+  // blanket-cover everything rank below the focused complement that
+  // actually corresponds to the remaining defect.
+  auto heur_order = [&](const H& a, const H& b) {
+    if (a.tfsf != b.tfsf) return a.tfsf > b.tfsf;
+    const std::size_t excess_a = solo_bits[a.index] - a.tfsf;
+    const std::size_t excess_b = solo_bits[b.index] - b.tfsf;
+    if (excess_a != excess_b) return excess_a < excess_b;
+    return ctx.candidate(a.index) < ctx.candidate(b.index);
+  };
+
+  // Inverted index: failing pattern -> (candidate, PO-mask) entries of the
+  // candidates' solo signatures. Shortlisting against a residual then only
+  // touches candidates that actually fail on residual patterns, instead of
+  // re-matching the whole pool every round.
+  struct Posting {
+    std::uint32_t candidate;
+    const Word* mask;
+  };
+  std::vector<std::vector<Posting>> postings(observed.n_patterns());
+  for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
+    const ErrorSignature& sig = ctx.solo_signature(i);
+    for (std::size_t k = 0; k < sig.n_failing_patterns(); ++k) {
+      postings[sig.failing_patterns()[k]].push_back(
+          {static_cast<std::uint32_t>(i), sig.mask(k).data()});
+    }
+  }
+  std::vector<std::size_t> tfsf_acc(ctx.n_candidates(), 0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(ctx.n_candidates());
+
+  /// Candidates (not in `exclude`) ranked by TFSF against `residual` — no
+  /// misprediction penalty here: a masked defect legitimately predicts
+  /// errors the tester never saw, and only exact composite evaluation can
+  /// judge that.
+  auto shortlist = [&](const ErrorSignature& residual,
+                       const std::vector<char>& exclude,
+                       std::size_t limit) {
+    const std::size_t nw = residual.n_po_words();
+    for (std::size_t k = 0; k < residual.n_failing_patterns(); ++k) {
+      const std::uint32_t p = residual.failing_patterns()[k];
+      const auto rmask = residual.mask(k);
+      for (const Posting& post : postings[p]) {
+        std::size_t overlap = 0;
+        for (std::size_t w = 0; w < nw; ++w)
+          overlap += static_cast<std::size_t>(
+              std::popcount(rmask[w] & post.mask[w]));
+        if (overlap == 0) continue;
+        if (tfsf_acc[post.candidate] == 0) touched.push_back(post.candidate);
+        tfsf_acc[post.candidate] += overlap;
+      }
+    }
+    std::vector<H> heur;
+    heur.reserve(touched.size());
+    for (std::uint32_t i : touched) {
+      if (!exclude[i] && tfsf_acc[i] > 0) heur.push_back({i, tfsf_acc[i]});
+      tfsf_acc[i] = 0;
+    }
+    touched.clear();
+    std::sort(heur.begin(), heur.end(), heur_order);
+    if (heur.size() > limit) heur.resize(limit);
+    return heur;
+  };
+
+  struct State {
+    std::vector<std::size_t> members;
+    ErrorSignature composite;
+    double score;
+  };
+  const ErrorSignature empty_sig(observed.n_patterns(), observed.n_outputs());
+  const double empty_score =
+      score_of(match(observed, empty_sig), options.weights);
+
+  // Greedy rounds from a given state: per round, shortlist against the
+  // residual, evaluate each extension exactly on the composite machine,
+  // commit the best strict improvement.
+  auto extend_greedy = [&](State state) {
+    std::vector<char> in_m(ctx.n_candidates(), 0);
+    for (std::size_t m : state.members) in_m[m] = 1;
+    while (state.members.size() < options.max_multiplicity) {
+      if (!observed.empty() && exact_match(match(observed, state.composite)))
+        break;
+      const ErrorSignature residual =
+          signature_difference(observed, state.composite);
+      const auto heur = shortlist(residual, in_m, options.shortlist);
+      if (heur.empty()) break;
+
+      std::size_t best_index = ctx.n_candidates();
+      double best_score = state.score;
+      ErrorSignature best_sig;
+      std::vector<Fault> faults;
+      faults.reserve(state.members.size() + 1);
+      for (std::size_t m : state.members)
+        faults.push_back(ctx.candidate(m));
+      for (const H& h : heur) {
+        faults.push_back(ctx.candidate(h.index));
+        ErrorSignature sig = ctx.multiplet_signature(faults);
+        faults.pop_back();
+        const double s = score_of(match(observed, sig), options.weights);
+        // Strict improvement required; ties resolved by shortlist order
+        // (highest residual TFSF first), which is deterministic.
+        if (s > best_score) {
+          best_index = h.index;
+          best_score = s;
+          best_sig = std::move(sig);
+        }
+      }
+      if (best_index == ctx.n_candidates() ||
+          best_score <= state.score + options.min_improvement)
+        break;
+      state.members.push_back(best_index);
+      in_m[best_index] = 1;
+      state.composite = std::move(best_sig);
+      state.score = best_score;
+    }
+    return state;
+  };
+
+  // Restart seeding: the dominant greedy failure mode is a wrong first
+  // pick that jointly mimics several defects; running the greedy
+  // continuation from each of the best few round-1 extensions and keeping
+  // the best final multiplet recovers most of those cases.
+  State best{{}, empty_sig, empty_score};
+  {
+    std::vector<char> none(ctx.n_candidates(), 0);
+    const auto heur0 = shortlist(observed, none, options.shortlist);
+    struct Seed {
+      std::size_t index;
+      double score;
+      ErrorSignature sig;
+    };
+    std::vector<Seed> seeds;
+    for (const H& h : heur0) {
+      ErrorSignature sig = ctx.solo_signature(h.index);
+      const double s = score_of(match(observed, sig), options.weights);
+      if (s > empty_score + options.min_improvement)
+        seeds.push_back({h.index, s, std::move(sig)});
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [](const Seed& a, const Seed& b) { return a.score > b.score; });
+    if (seeds.size() > options.restarts) seeds.resize(options.restarts);
+
+    for (Seed& seed : seeds) {
+      State state{{seed.index}, std::move(seed.sig), seed.score};
+      state = extend_greedy(std::move(state));
+      const bool better =
+          state.score > best.score ||
+          (state.score == best.score && !best.members.empty() &&
+           state.members.size() < best.members.size());
+      if (better) best = std::move(state);
+      // A found exact explanation cannot be beaten, only tied.
+      if (!observed.empty() && exact_match(match(observed, best.composite)))
+        break;
+    }
+  }
+
+  std::vector<std::size_t>& members = best.members;
+  ErrorSignature& composite = best.composite;
+  double& best_score = best.score;
+  std::vector<char> in_multiplet(ctx.n_candidates(), 0);
+  for (std::size_t m : members) in_multiplet[m] = 1;
+
+  // Refinement: local search around the greedy solution.
+  //  * drop — remove members whose removal does not reduce the composite
+  //    score (spurious additions or members subsumed by later picks);
+  //  * 1-swap — replace a member with a shortlisted alternative when the
+  //    swap strictly improves the composite score.
+  if (options.refine && !members.empty()) {
+    const std::size_t swap_shortlist =
+        std::max<std::size_t>(8, options.shortlist / 2);
+    bool changed = true;
+    std::size_t guard = 0;
+    while (changed && guard++ < 16) {
+      changed = false;
+
+      // Drop pass.
+      for (std::size_t m = 0; m < members.size() && members.size() > 1; ++m) {
+        std::vector<Fault> without;
+        for (std::size_t j = 0; j < members.size(); ++j)
+          if (j != m) without.push_back(ctx.candidate(members[j]));
+        ErrorSignature sig = ctx.multiplet_signature(without);
+        const double s = score_of(match(observed, sig), options.weights);
+        if (s >= best_score) {
+          in_multiplet[members[m]] = 0;
+          members.erase(members.begin() + static_cast<std::ptrdiff_t>(m));
+          composite = std::move(sig);
+          best_score = s;
+          changed = true;
+          break;
+        }
+      }
+      if (changed) continue;
+
+      // Swap pass.
+      for (std::size_t m = 0; m < members.size() && !changed; ++m) {
+        std::vector<Fault> base;
+        for (std::size_t j = 0; j < members.size(); ++j)
+          if (j != m) base.push_back(ctx.candidate(members[j]));
+        const ErrorSignature base_sig =
+            base.empty() ? ErrorSignature(observed.n_patterns(),
+                                          observed.n_outputs())
+                         : ctx.multiplet_signature(base);
+        const ErrorSignature residual =
+            signature_difference(observed, base_sig);
+        for (const H& h : shortlist(residual, in_multiplet, swap_shortlist)) {
+          base.push_back(ctx.candidate(h.index));
+          ErrorSignature sig = ctx.multiplet_signature(base);
+          base.pop_back();
+          const double s = score_of(match(observed, sig), options.weights);
+          if (s > best_score) {
+            in_multiplet[members[m]] = 0;
+            in_multiplet[h.index] = 1;
+            members[m] = h.index;
+            composite = std::move(sig);
+            best_score = s;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Per-member marginal gain for reporting: score(M) - score(M \ m).
+  std::vector<double> member_gain(members.size(), 0.0);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    if (members.size() == 1) {
+      member_gain[m] = best_score - empty_score;
+      break;
+    }
+    std::vector<Fault> without;
+    for (std::size_t j = 0; j < members.size(); ++j)
+      if (j != m) without.push_back(ctx.candidate(members[j]));
+    const ErrorSignature sig = ctx.multiplet_signature(without);
+    member_gain[m] =
+        best_score - score_of(match(observed, sig), options.weights);
+  }
+
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    ScoredCandidate sc;
+    sc.fault = ctx.candidate(members[m]);
+    sc.counts = match(observed, ctx.solo_signature(members[m]));
+    sc.score = member_gain[m];
+    if (options.report_alternates)
+      sc.alternates = ctx.indistinguishable_from(members[m]);
+    report.suspects.push_back(std::move(sc));
+  }
+  report.explains_all =
+      !observed.empty() && exact_match(match(observed, composite));
+  report.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace mdd

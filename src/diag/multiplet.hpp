@@ -1,0 +1,51 @@
+// openmdd — multiple-defect diagnosis with no assumptions on failing
+// pattern characteristics (the reproduced DAC 2008 method).
+//
+// Greedy incremental multiplet construction where every selection decision
+// is scored on the *composite* faulty machine (all tentatively selected
+// faults injected simultaneously). Because candidate multiplets are always
+// compared to the datalog through true multiple-fault simulation, failing
+// patterns never need to be explainable by any single fault: masking and
+// reinforcement between defects are part of the predicted response, not a
+// violation of an assumption.
+//
+// Per round: a cheap residual heuristic (solo-signature TFSF against the
+// still-unexplained bits) shortlists candidates; each shortlisted extension
+// is evaluated exactly by composite simulation; the best committed. Rounds
+// stop on exact explanation, score stagnation, or the multiplicity cap. An
+// optional refinement pass drops members whose removal does not hurt the
+// composite score (resolution recovery).
+#pragma once
+
+#include "diag/diagnosis.hpp"
+
+namespace mdd {
+
+struct MultipletOptions {
+  std::size_t max_multiplicity = 8;
+  /// Exact composite evaluations per round.
+  std::size_t shortlist = 32;
+  /// Greedy restarts: the continuation runs from each of the best
+  /// `restarts` round-1 extensions and the best final multiplet wins —
+  /// recovering the classic greedy failure where one wrong first pick
+  /// jointly mimics several defects.
+  std::size_t restarts = 3;
+  /// No-assumptions calibration: mispredicted bits (TPSF) are penalized
+  /// mildly — an early member's over-prediction is often masked once the
+  /// remaining defects join the composite — and unexplained bits (TFSP)
+  /// even less, since later members exist to explain them. (The classic
+  /// single-fault weights 10/5/2 would bias round-1 picks toward
+  /// conservative per-output faults and fragment real stem defects.)
+  ScoreWeights weights{10.0, 2.0, 1.0};
+  /// Required score gain to keep adding members (guards against noise
+  /// fitting).
+  double min_improvement = 1e-9;
+  /// Drop-if-no-worse refinement pass.
+  bool refine = true;
+  bool report_alternates = true;
+};
+
+DiagnosisReport diagnose_multiplet(DiagnosisContext& context,
+                                   const MultipletOptions& options = {});
+
+}  // namespace mdd

@@ -1,0 +1,55 @@
+#include "diag/single_fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mdd {
+
+DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
+                                      const SingleFaultOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DiagnosisReport report;
+  report.method = "single-fault";
+
+  struct Entry {
+    std::size_t index;
+    MatchCounts counts;
+    double score;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(ctx.n_candidates());
+  for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
+    const MatchCounts mc = match(ctx.observed(), ctx.solo_signature(i));
+    entries.push_back({i, mc, score_of(mc, options.weights)});
+  }
+  report.n_candidates_scored = entries.size();
+
+  std::sort(entries.begin(), entries.end(), [&](const Entry& a,
+                                                const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return ctx.candidate(a.index) < ctx.candidate(b.index);
+  });
+
+  const std::size_t k = std::min(options.top_k, entries.size());
+  for (std::size_t r = 0; r < k; ++r) {
+    ScoredCandidate sc;
+    sc.fault = ctx.candidate(entries[r].index);
+    sc.counts = entries[r].counts;
+    sc.score = entries[r].score;
+    if (options.report_alternates)
+      sc.alternates = ctx.indistinguishable_from(entries[r].index);
+    report.suspects.push_back(std::move(sc));
+  }
+  if (!entries.empty()) {
+    const Entry& best = entries.front();
+    report.explains_all =
+        best.counts.tfsp == 0 && best.counts.tpsf == 0 &&
+        !ctx.observed().empty();
+  }
+  report.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace mdd

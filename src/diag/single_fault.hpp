@@ -1,0 +1,24 @@
+// openmdd — classic single-fault effect-cause diagnosis (baseline).
+//
+// Scores every candidate's solo signature against the datalog and reports
+// the top-k ranking. Exact and adequate for single defects; with multiple
+// interacting defects no single signature matches well and the ranking
+// degrades — the failure mode the multiplet diagnoser exists to fix.
+#pragma once
+
+#include "diag/diagnosis.hpp"
+
+namespace mdd {
+
+struct SingleFaultOptions {
+  std::size_t top_k = 10;
+  ScoreWeights weights{};
+  /// Attach indistinguishability classes to reported suspects (costs one
+  /// signature comparison sweep per reported suspect).
+  bool report_alternates = true;
+};
+
+DiagnosisReport diagnose_single_fault(
+    DiagnosisContext& context, const SingleFaultOptions& options = {});
+
+}  // namespace mdd

@@ -1,0 +1,103 @@
+#include "diag/slat.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mdd {
+
+DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
+                              const SlatOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DiagnosisReport report;
+  report.method = "slat";
+
+  const ErrorSignature& obs = ctx.observed();
+  const std::size_t n_fail = obs.n_failing_patterns();
+  const std::size_t n_cand = ctx.n_candidates();
+  report.n_candidates_scored = n_cand;
+
+  // explanations[p] = candidates whose solo response on failing pattern p
+  // equals the observed failing-output set exactly.
+  std::vector<std::vector<std::size_t>> explanations(n_fail);
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    const ErrorSignature& sig = ctx.solo_signature(c);
+    for (std::size_t i = 0; i < n_fail; ++i) {
+      const std::uint32_t p = obs.failing_patterns()[i];
+      const auto sim_mask = sig.mask_of_pattern(p);
+      if (sim_mask.empty()) continue;
+      const auto obs_mask = obs.mask(i);
+      if (std::equal(obs_mask.begin(), obs_mask.end(), sim_mask.begin()))
+        explanations[i].push_back(c);
+    }
+  }
+
+  std::vector<bool> is_slat(n_fail);
+  std::size_t n_slat = 0;
+  for (std::size_t i = 0; i < n_fail; ++i) {
+    is_slat[i] = !explanations[i].empty();
+    n_slat += is_slat[i];
+  }
+  report.n_slat_patterns = n_slat;
+  report.n_nonslat_patterns = n_fail - n_slat;
+
+  // Greedy set cover over SLAT patterns. Ties broken by fewer
+  // mispredicted bits on passing patterns (POIROT-style post-ranking),
+  // then by fault order for determinism.
+  std::vector<std::size_t> tpsf(n_cand, 0);
+  for (std::size_t c = 0; c < n_cand; ++c)
+    tpsf[c] = match(obs, ctx.solo_signature(c)).tpsf;
+
+  std::vector<bool> covered(n_fail, false);
+  std::vector<std::size_t> per_candidate_cover(n_cand, 0);
+  std::vector<std::size_t> chosen;
+  std::size_t remaining = n_slat;
+  while (remaining > 0 && chosen.size() < options.max_multiplicity) {
+    std::fill(per_candidate_cover.begin(), per_candidate_cover.end(), 0);
+    for (std::size_t i = 0; i < n_fail; ++i) {
+      if (!is_slat[i] || covered[i]) continue;
+      for (std::size_t c : explanations[i]) ++per_candidate_cover[c];
+    }
+    std::size_t best = n_cand;
+    auto better = [&](std::size_t c, std::size_t incumbent) {
+      if (per_candidate_cover[c] != per_candidate_cover[incumbent])
+        return per_candidate_cover[c] > per_candidate_cover[incumbent];
+      if (tpsf[c] != tpsf[incumbent]) return tpsf[c] < tpsf[incumbent];
+      return ctx.candidate(c) < ctx.candidate(incumbent);
+    };
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (per_candidate_cover[c] == 0) continue;
+      if (best == n_cand || better(c, best)) best = c;
+    }
+    if (best == n_cand) break;
+    chosen.push_back(best);
+    for (std::size_t i = 0; i < n_fail; ++i) {
+      if (!is_slat[i] || covered[i]) continue;
+      if (std::find(explanations[i].begin(), explanations[i].end(), best) !=
+          explanations[i].end()) {
+        covered[i] = true;
+        --remaining;
+      }
+    }
+  }
+
+  for (std::size_t c : chosen) {
+    ScoredCandidate sc;
+    sc.fault = ctx.candidate(c);
+    sc.counts = match(obs, ctx.solo_signature(c));
+    sc.score = score_of(sc.counts, options.weights);
+    if (options.report_alternates)
+      sc.alternates = ctx.indistinguishable_from(c);
+    report.suspects.push_back(std::move(sc));
+  }
+
+  // SLAT's own success notion: every failing pattern SLAT-explained and
+  // covered. (It never checks passing patterns or composite consistency.)
+  report.explains_all = (remaining == 0) && (report.n_nonslat_patterns == 0) &&
+                        n_fail > 0;
+  report.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace mdd

@@ -1,0 +1,26 @@
+// openmdd — SLAT-style multiple-defect diagnosis (baseline).
+//
+// POIROT-lineage method built on the Single-Location-At-a-Time assumption:
+// a failing pattern is usable only if some single candidate fault's
+// simulated response matches the pattern's observed failing outputs
+// *exactly*. Such patterns are "SLAT patterns"; each yields a per-pattern
+// explanation set, and a greedy minimum set-cover over the SLAT patterns
+// produces the reported multiplet. Failing patterns where defects interact
+// (masking/reinforcement) match no single fault and are *discarded* — the
+// assumption the reproduced paper's method removes.
+#pragma once
+
+#include "diag/diagnosis.hpp"
+
+namespace mdd {
+
+struct SlatOptions {
+  std::size_t max_multiplicity = 8;
+  ScoreWeights weights{};  ///< used only for reporting per-suspect counts
+  bool report_alternates = true;
+};
+
+DiagnosisReport diagnose_slat(DiagnosisContext& context,
+                              const SlatOptions& options = {});
+
+}  // namespace mdd

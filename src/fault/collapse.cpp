@@ -1,0 +1,105 @@
+#include "fault/collapse.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mdd {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CollapsedFaults::CollapsedFaults(const Netlist& nl) {
+  universe_ = all_stuck_at_faults(nl);
+  std::unordered_map<Fault, std::size_t, FaultHash> index;
+  index.reserve(universe_.size());
+  for (std::size_t i = 0; i < universe_.size(); ++i)
+    index.emplace(universe_[i], i);
+
+  UnionFind uf(universe_.size());
+
+  // The fault representing "input pin p of gate g stuck at v" in the
+  // uncollapsed universe.
+  auto input_fault = [&](NetId g, std::uint32_t p, bool v) {
+    const NetId src = nl.fanins(g)[p];
+    return nl.fanouts(src).size() > 1 ? Fault::branch_sa(g, p, v)
+                                      : Fault::stem_sa(src, v);
+  };
+
+  for (NetId g = 0; g < nl.n_nets(); ++g) {
+    const GateKind k = nl.kind(g);
+    const auto fi = nl.fanins(g);
+    switch (k) {
+      case GateKind::Buf:
+      case GateKind::Not: {
+        const bool inv = (k == GateKind::Not);
+        for (bool v : {false, true}) {
+          uf.unite(index.at(input_fault(g, 0, v)),
+                   index.at(Fault::stem_sa(g, v != inv)));
+        }
+        break;
+      }
+      case GateKind::And:
+      case GateKind::Nand: {
+        const bool out_v = (k == GateKind::Nand);
+        for (std::uint32_t p = 0; p < fi.size(); ++p)
+          uf.unite(index.at(input_fault(g, p, false)),
+                   index.at(Fault::stem_sa(g, out_v)));
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        const bool out_v = (k != GateKind::Nor);
+        for (std::uint32_t p = 0; p < fi.size(); ++p)
+          uf.unite(index.at(input_fault(g, p, true)),
+                   index.at(Fault::stem_sa(g, out_v)));
+        break;
+      }
+      default:
+        break;  // XOR/XNOR/Input/Const: no local equivalences
+    }
+  }
+
+  // Materialize classes with deterministic ordering.
+  std::unordered_map<std::size_t, std::size_t> root_to_class;
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] = root_to_class.emplace(root, classes_.size());
+    if (inserted) classes_.emplace_back();
+    classes_[it->second].push_back(universe_[i]);
+  }
+  reps_.reserve(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    std::sort(classes_[c].begin(), classes_[c].end());
+    reps_.push_back(classes_[c].front());
+    for (const Fault& f : classes_[c]) class_index_.emplace(f, c);
+  }
+}
+
+std::size_t CollapsedFaults::class_of(const Fault& f) const {
+  auto it = class_index_.find(f);
+  if (it == class_index_.end())
+    throw std::out_of_range("CollapsedFaults: fault not in universe");
+  return it->second;
+}
+
+}  // namespace mdd

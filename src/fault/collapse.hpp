@@ -1,0 +1,53 @@
+// openmdd — structural stuck-at fault collapsing.
+//
+// Classic gate-local equivalence rules applied over the uncollapsed
+// universe from all_stuck_at_faults():
+//   AND/NAND : every input sa0 ≡ output sa0/sa1
+//   OR/NOR   : every input sa1 ≡ output sa1/sa0
+//   BUF/NOT  : input sa-v ≡ output sa-v / sa-!v
+// "Input" means the branch fault if the source net has multiple fanouts,
+// otherwise the source net's stem fault. Classes are closed transitively
+// (union-find), so chains of buffers/inverters collapse fully.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace mdd {
+
+class CollapsedFaults {
+ public:
+  explicit CollapsedFaults(const Netlist& netlist);
+
+  /// Uncollapsed universe (== all_stuck_at_faults order).
+  const std::vector<Fault>& universe() const { return universe_; }
+
+  /// Equivalence classes; each class lists its member faults.
+  const std::vector<std::vector<Fault>>& classes() const { return classes_; }
+
+  /// One representative per class (the class's minimal fault).
+  const std::vector<Fault>& representatives() const { return reps_; }
+
+  /// Class index of `f`. Throws std::out_of_range for faults outside the
+  /// stuck-at universe.
+  std::size_t class_of(const Fault& f) const;
+
+  bool equivalent(const Fault& a, const Fault& b) const {
+    return class_of(a) == class_of(b);
+  }
+
+  double collapse_ratio() const {
+    return static_cast<double>(classes_.size()) /
+           static_cast<double>(universe_.size());
+  }
+
+ private:
+  std::vector<Fault> universe_;
+  std::vector<std::vector<Fault>> classes_;
+  std::vector<Fault> reps_;
+  std::unordered_map<Fault, std::size_t, FaultHash> class_index_;
+};
+
+}  // namespace mdd

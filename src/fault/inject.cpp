@@ -1,0 +1,156 @@
+#include "fault/inject.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mdd {
+
+FaultyMachine::FaultyMachine(const Netlist& netlist)
+    : netlist_(&netlist),
+      values_(netlist.n_nets(), kAllZero),
+      raw_values_(netlist.n_nets(), kAllZero) {
+  if (!netlist.finalized())
+    throw std::logic_error("FaultyMachine: netlist not finalized");
+  std::size_t max_fanin = 0;
+  for (NetId n = 0; n < netlist.n_nets(); ++n)
+    max_fanin = std::max(max_fanin, netlist.fanins(n).size());
+  fanin_buf_.resize(max_fanin);
+  pi_index_.assign(netlist.n_nets(), UINT32_MAX);
+  for (std::uint32_t i = 0; i < netlist.inputs().size(); ++i)
+    pi_index_[netlist.inputs()[i]] = i;
+}
+
+void FaultyMachine::set_faults(std::span<const Fault> faults) {
+  faults_.assign(faults.begin(), faults.end());
+  stem_overrides_.clear();
+  pin_overrides_.clear();
+  bridges_.clear();
+  transitions_.clear();
+  for (const Fault& f : faults_) {
+    validate_fault(f, *netlist_);
+    if (f.is_stuck_at()) {
+      if (f.pin == kStemPin) {
+        stem_overrides_.push_back({f.net, f.stuck_value()});
+      } else {
+        pin_overrides_.push_back({f.net, f.pin, f.stuck_value()});
+      }
+    } else if (f.is_transition()) {
+      transitions_.push_back({f.net, f.kind == FaultKind::SlowToRise});
+    } else {
+      bridges_.push_back({f.kind, f.net, f.bridge_net});
+    }
+  }
+}
+
+void FaultyMachine::run(const PatternSet& stimuli, std::size_t block) {
+  run_frame(stimuli, block, /*apply_transitions=*/false);
+}
+
+void FaultyMachine::run_pair(const PatternSet& launch,
+                             const PatternSet& capture, std::size_t block) {
+  run_frame(launch, block, /*apply_transitions=*/false);
+  if (frame1_.size() != values_.size()) frame1_.resize(values_.size());
+  std::copy(values_.begin(), values_.end(), frame1_.begin());
+  run_frame(capture, block, /*apply_transitions=*/true);
+}
+
+void FaultyMachine::run_frame(const PatternSet& stimuli, std::size_t block,
+                              bool apply_transitions) {
+  assert(stimuli.n_signals() == netlist_->n_inputs());
+
+  // Pass 0 evaluates everything; later passes re-evaluate to propagate
+  // bridge couplings that jump backwards in topological order.
+  const std::size_t max_passes = bridges_.size() + 2;
+  converged_ = false;
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (NetId g : netlist_->topo_order()) {
+      const GateKind k = netlist_->kind(g);
+      Word v;
+      if (k == GateKind::Input) {
+        v = stimuli.word(block, pi_index_[g]);
+      } else {
+        const auto fi = netlist_->fanins(g);
+        for (std::size_t j = 0; j < fi.size(); ++j)
+          fanin_buf_[j] = values_[fi[j]];
+        for (const PinOverride& po : pin_overrides_)
+          if (po.gate == g) fanin_buf_[po.pin] = po.value ? kAllOne : kAllZero;
+        v = eval_gate_word(k, fanin_buf_.data(), fi.size());
+      }
+      raw_values_[g] = v;
+      // Bridges first, stuck-at last (a hard stuck-at wins over coupling).
+      // Dominant bridges copy the aggressor's *net* value; wired bridges
+      // resolve the fight between the two *driver* (raw) values.
+      for (const Bridge& br : bridges_) {
+        if (br.kind == FaultKind::BridgeDom) {
+          if (br.a == g) v = values_[br.b];
+        } else if (br.a == g || br.b == g) {
+          const NetId other = (br.a == g) ? br.b : br.a;
+          v = (br.kind == FaultKind::BridgeWAnd)
+                  ? (raw_values_[g] & raw_values_[other])
+                  : (raw_values_[g] | raw_values_[other]);
+        }
+      }
+      if (apply_transitions) {
+        // Gross-delay transition semantics: bits where the net moves in
+        // the slow direction hold the launch-frame value through capture.
+        for (const Transition& t : transitions_) {
+          if (t.net != g) continue;
+          const Word moved = t.rise ? (~frame1_[g] & v) : (frame1_[g] & ~v);
+          v = (v & ~moved) | (frame1_[g] & moved);
+        }
+      }
+      for (const StemOverride& so : stem_overrides_)
+        if (so.net == g) v = so.value ? kAllOne : kAllZero;
+      if (v != values_[g]) {
+        values_[g] = v;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      converged_ = true;
+      break;
+    }
+    if (bridges_.empty()) {
+      // Without bridges a single pass is exact.
+      converged_ = true;
+      break;
+    }
+  }
+}
+
+PatternSet FaultyMachine::simulate_pair(const PatternSet& launch,
+                                        const PatternSet& capture) {
+  assert(launch.n_patterns() == capture.n_patterns());
+  PatternSet responses(capture.n_patterns(), netlist_->n_outputs());
+  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
+    run_pair(launch, capture, b);
+    const Word mask = capture.valid_mask(b);
+    for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
+      responses.word(b, o) = values_[netlist_->outputs()[o]] & mask;
+  }
+  return responses;
+}
+
+PatternSet FaultyMachine::simulate(const PatternSet& stimuli) {
+  PatternSet responses(stimuli.n_patterns(), netlist_->n_outputs());
+  for (std::size_t b = 0; b < stimuli.n_blocks(); ++b) {
+    run(stimuli, b);
+    const Word mask = stimuli.valid_mask(b);
+    for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
+      responses.word(b, o) = values_[netlist_->outputs()[o]] & mask;
+  }
+  return responses;
+}
+
+PatternSet simulate_with_faults(const Netlist& netlist,
+                                std::span<const Fault> faults,
+                                const PatternSet& stimuli) {
+  FaultyMachine fm(netlist);
+  fm.set_faults(faults);
+  return fm.simulate(stimuli);
+}
+
+}  // namespace mdd

@@ -1,0 +1,110 @@
+// openmdd — composite faulty-machine simulation.
+//
+// `FaultyMachine` evaluates the netlist with an arbitrary *set* of faults
+// injected simultaneously — the primitive that lets the diagnosis core make
+// no assumptions about failing-pattern characteristics: candidate multiplets
+// are always scored on the true multiple-fault response, so masking and
+// reinforcement between defects are modeled exactly.
+//
+// Evaluation is word-parallel (64 patterns/pass). Bridges couple nets that
+// may be far apart in topological order, so the machine iterates full
+// passes to a fixpoint; for non-feedback bridge sets this converges in at
+// most n_bridges+1 passes (a safety cap plus `converged()` flag guard
+// against user-forced feedback bridges).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+class FaultyMachine {
+ public:
+  explicit FaultyMachine(const Netlist& netlist);
+
+  /// Installs the active fault set (validated). Any number and mix of
+  /// faults is allowed, including the empty set (good machine).
+  void set_faults(std::span<const Fault> faults);
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  /// Evaluates one 64-pattern block; all net values become available.
+  /// Transition faults in the fault set are inert in single-frame mode
+  /// (they require a launch/capture pair).
+  void run(const PatternSet& stimuli, std::size_t block);
+
+  /// Two-frame (launch, capture) evaluation of one block for transition
+  /// testing. Frame 1 is evaluated with the static faults; frame 2 applies
+  /// in addition the gross-delay transition semantics: a slow-to-rise
+  /// (slow-to-fall) net whose value rises (falls) between the frames holds
+  /// its frame-1 value through capture. Values after the call are the
+  /// capture-frame values.
+  void run_pair(const PatternSet& launch, const PatternSet& capture,
+                std::size_t block);
+
+  /// Frame-1 value of net `n` after run_pair().
+  Word launch_value(NetId n) const { return frame1_[n]; }
+
+  /// Faulty value word of net `n` after run().
+  Word value(NetId n) const { return values_[n]; }
+
+  /// True if the last run() reached a fixpoint (always true for
+  /// non-feedback fault sets).
+  bool converged() const { return converged_; }
+
+  /// Full-set responses at the POs.
+  PatternSet simulate(const PatternSet& stimuli);
+
+  /// Full-set capture-frame responses for launch/capture pairs.
+  PatternSet simulate_pair(const PatternSet& launch,
+                           const PatternSet& capture);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  void run_frame(const PatternSet& stimuli, std::size_t block,
+                 bool apply_transitions);
+
+  struct PinOverride {
+    NetId gate;
+    std::uint32_t pin;
+    bool value;
+  };
+  struct StemOverride {
+    NetId net;
+    bool value;
+  };
+  struct Bridge {
+    FaultKind kind;
+    NetId a;  ///< victim (dom) / first net (wired)
+    NetId b;  ///< aggressor (dom) / second net (wired)
+  };
+  struct Transition {
+    NetId net;
+    bool rise;  ///< true = slow-to-rise, false = slow-to-fall
+  };
+
+  const Netlist* netlist_;
+  std::vector<Fault> faults_;
+  std::vector<StemOverride> stem_overrides_;
+  std::vector<PinOverride> pin_overrides_;
+  std::vector<Bridge> bridges_;
+  std::vector<Transition> transitions_;
+  std::vector<Word> frame1_;  ///< launch-frame values (run_pair only)
+  std::vector<Word> values_;
+  std::vector<Word> raw_values_;  ///< driver outputs before bridge/stem
+                                  ///< transforms (wired bridges combine
+                                  ///< the fighting drivers' raw values)
+  std::vector<Word> fanin_buf_;
+  std::vector<std::uint32_t> pi_index_;  // NetId -> PI position
+  bool converged_ = true;
+};
+
+/// Convenience: simulate `faults` injected together over `stimuli`.
+PatternSet simulate_with_faults(const Netlist& netlist,
+                                std::span<const Fault> faults,
+                                const PatternSet& stimuli);
+
+}  // namespace mdd

@@ -1,0 +1,296 @@
+#include "fsim/fsim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mdd {
+
+ErrorSignature::ErrorSignature(std::size_t n_patterns, std::size_t n_outputs)
+    : n_patterns_(n_patterns),
+      n_outputs_(n_outputs),
+      n_po_words_((n_outputs + 63) / 64) {}
+
+ErrorSignature ErrorSignature::diff(const PatternSet& good,
+                                    const PatternSet& faulty) {
+  if (good.n_patterns() != faulty.n_patterns() ||
+      good.n_signals() != faulty.n_signals())
+    throw std::invalid_argument("ErrorSignature::diff: shape mismatch");
+  ErrorSignature sig(good.n_patterns(), good.n_signals());
+  std::vector<Word> mask(sig.n_po_words_);
+  for (std::size_t p = 0; p < good.n_patterns(); ++p) {
+    bool any = false;
+    std::fill(mask.begin(), mask.end(), kAllZero);
+    for (std::size_t o = 0; o < good.n_signals(); ++o) {
+      if (good.get(p, o) != faulty.get(p, o)) {
+        mask[o / 64] |= Word{1} << (o % 64);
+        any = true;
+      }
+    }
+    if (any) sig.append(static_cast<std::uint32_t>(p), mask);
+  }
+  return sig;
+}
+
+std::size_t ErrorSignature::n_error_bits() const {
+  std::size_t n = 0;
+  for (Word w : masks_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::span<const Word> ErrorSignature::mask(std::size_t i) const {
+  assert(i < patterns_.size());
+  return {masks_.data() + i * n_po_words_, n_po_words_};
+}
+
+std::span<const Word> ErrorSignature::mask_of_pattern(std::uint32_t p) const {
+  auto it = std::lower_bound(patterns_.begin(), patterns_.end(), p);
+  if (it == patterns_.end() || *it != p) return {};
+  return mask(static_cast<std::size_t>(it - patterns_.begin()));
+}
+
+void ErrorSignature::append(std::uint32_t pattern,
+                            std::span<const Word> po_mask) {
+  assert(po_mask.size() == n_po_words_);
+  assert(patterns_.empty() || patterns_.back() < pattern);
+  patterns_.push_back(pattern);
+  masks_.insert(masks_.end(), po_mask.begin(), po_mask.end());
+}
+
+std::vector<std::uint32_t> ErrorSignature::failing_outputs(
+    std::size_t i) const {
+  std::vector<std::uint32_t> outs;
+  const auto m = mask(i);
+  for (std::size_t w = 0; w < m.size(); ++w) {
+    Word bits = m[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      outs.push_back(static_cast<std::uint32_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+  return outs;
+}
+
+MatchCounts match(const ErrorSignature& observed, const ErrorSignature& sim) {
+  assert(observed.n_po_words() == sim.n_po_words());
+  MatchCounts mc;
+  const auto& op = observed.failing_patterns();
+  const auto& sp = sim.failing_patterns();
+  std::size_t i = 0, j = 0;
+  const std::size_t nw = observed.n_po_words();
+  while (i < op.size() || j < sp.size()) {
+    if (j >= sp.size() || (i < op.size() && op[i] < sp[j])) {
+      for (Word w : observed.mask(i))
+        mc.tfsp += static_cast<std::size_t>(std::popcount(w));
+      ++i;
+    } else if (i >= op.size() || sp[j] < op[i]) {
+      for (Word w : sim.mask(j))
+        mc.tpsf += static_cast<std::size_t>(std::popcount(w));
+      ++j;
+    } else {
+      const auto om = observed.mask(i);
+      const auto sm = sim.mask(j);
+      for (std::size_t w = 0; w < nw; ++w) {
+        mc.tfsf += static_cast<std::size_t>(std::popcount(om[w] & sm[w]));
+        mc.tfsp += static_cast<std::size_t>(std::popcount(om[w] & ~sm[w]));
+        mc.tpsf += static_cast<std::size_t>(std::popcount(~om[w] & sm[w]));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return mc;
+}
+
+ErrorSignature signature_difference(const ErrorSignature& a,
+                                    const ErrorSignature& b) {
+  assert(a.n_po_words() == b.n_po_words());
+  ErrorSignature out(a.n_patterns(), a.n_outputs());
+  std::vector<Word> mask(a.n_po_words());
+  for (std::size_t i = 0; i < a.n_failing_patterns(); ++i) {
+    const std::uint32_t p = a.failing_patterns()[i];
+    const auto am = a.mask(i);
+    const auto bm = b.mask_of_pattern(p);
+    bool any = false;
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      mask[w] = am[w] & ~(bm.empty() ? kAllZero : bm[w]);
+      any = any || mask[w] != kAllZero;
+    }
+    if (any) out.append(p, mask);
+  }
+  return out;
+}
+
+ErrorSignature restrict_signature(const ErrorSignature& sig,
+                                  std::size_t n_patterns) {
+  ErrorSignature out(sig.n_patterns(), sig.n_outputs());
+  for (std::size_t i = 0; i < sig.n_failing_patterns(); ++i) {
+    const std::uint32_t p = sig.failing_patterns()[i];
+    if (p >= n_patterns) break;
+    out.append(p, sig.mask(i));
+  }
+  return out;
+}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist,
+                               const PatternSet& patterns)
+    : netlist_(&netlist),
+      patterns_(&patterns),
+      good_(simulate(netlist, patterns)),
+      machine_(netlist) {}
+
+ErrorSignature FaultSimulator::signature(const Fault& fault) {
+  return signature(std::span<const Fault>(&fault, 1));
+}
+
+ErrorSignature FaultSimulator::signature(std::span<const Fault> multiplet) {
+  machine_.set_faults(multiplet);
+  ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
+  std::vector<Word> mask(sig.n_po_words());
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+    machine_.run(*patterns_, b);
+    const Word valid = patterns_->valid_mask(b);
+    // Which patterns in this block show any PO difference?
+    Word any_diff = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any_diff |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
+    while (any_diff) {
+      const int bit = std::countr_zero(any_diff);
+      any_diff &= any_diff - 1;
+      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
+      std::fill(mask.begin(), mask.end(), kAllZero);
+      for (std::size_t o = 0; o < pos.size(); ++o) {
+        const Word d = machine_.value(pos[o]) ^ good_.word(b, o);
+        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+      }
+      sig.append(static_cast<std::uint32_t>(p), mask);
+    }
+  }
+  return sig;
+}
+
+bool FaultSimulator::detects(const Fault& fault) {
+  machine_.set_faults({&fault, 1});
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+    machine_.run(*patterns_, b);
+    const Word valid = patterns_->valid_mask(b);
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      if ((machine_.value(pos[o]) ^ good_.word(b, o)) & valid) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> FaultSimulator::first_detecting_pattern(
+    const Fault& fault) {
+  machine_.set_faults({&fault, 1});
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+    machine_.run(*patterns_, b);
+    const Word valid = patterns_->valid_mask(b);
+    Word any = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
+    if (any)
+      return static_cast<std::uint32_t>(b * 64 +
+                                        std::countr_zero(any));
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> FaultSimulator::detected(std::span<const Fault> faults) {
+  std::vector<bool> out(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) out[i] = detects(faults[i]);
+  return out;
+}
+
+double FaultSimulator::coverage(std::span<const Fault> faults) {
+  if (faults.empty()) return 1.0;
+  const auto det = detected(faults);
+  std::size_t n = 0;
+  for (bool d : det) n += d;
+  return static_cast<double>(n) / static_cast<double>(faults.size());
+}
+
+PairFaultSimulator::PairFaultSimulator(const Netlist& netlist,
+                                       const PatternSet& launch,
+                                       const PatternSet& capture)
+    : netlist_(&netlist),
+      launch_(&launch),
+      capture_(&capture),
+      machine_(netlist) {
+  if (launch.n_patterns() != capture.n_patterns())
+    throw std::invalid_argument("PairFaultSimulator: pair count mismatch");
+  machine_.set_faults({});
+  good_ = machine_.simulate_pair(launch, capture);
+}
+
+ErrorSignature PairFaultSimulator::signature(const Fault& fault) {
+  return signature(std::span<const Fault>(&fault, 1));
+}
+
+ErrorSignature PairFaultSimulator::signature(std::span<const Fault> multiplet) {
+  machine_.set_faults(multiplet);
+  ErrorSignature sig(capture_->n_patterns(), netlist_->n_outputs());
+  std::vector<Word> mask(sig.n_po_words());
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
+    machine_.run_pair(*launch_, *capture_, b);
+    const Word valid = capture_->valid_mask(b);
+    Word any_diff = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any_diff |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
+    while (any_diff) {
+      const int bit = std::countr_zero(any_diff);
+      any_diff &= any_diff - 1;
+      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
+      std::fill(mask.begin(), mask.end(), kAllZero);
+      for (std::size_t o = 0; o < pos.size(); ++o) {
+        const Word d = machine_.value(pos[o]) ^ good_.word(b, o);
+        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+      }
+      sig.append(static_cast<std::uint32_t>(p), mask);
+    }
+  }
+  return sig;
+}
+
+bool PairFaultSimulator::detects(const Fault& fault) {
+  machine_.set_faults({&fault, 1});
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
+    machine_.run_pair(*launch_, *capture_, b);
+    const Word valid = capture_->valid_mask(b);
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      if ((machine_.value(pos[o]) ^ good_.word(b, o)) & valid) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> PairFaultSimulator::first_detecting_pair(
+    const Fault& fault) {
+  machine_.set_faults({&fault, 1});
+  const auto& pos = netlist_->outputs();
+  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
+    machine_.run_pair(*launch_, *capture_, b);
+    const Word valid = capture_->valid_mask(b);
+    Word any = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
+    if (any)
+      return static_cast<std::uint32_t>(b * 64 + std::countr_zero(any));
+  }
+  return std::nullopt;
+}
+
+double PairFaultSimulator::coverage(std::span<const Fault> faults) {
+  if (faults.empty()) return 1.0;
+  std::size_t n = 0;
+  for (const Fault& f : faults) n += detects(f);
+  return static_cast<double>(n) / static_cast<double>(faults.size());
+}
+
+}  // namespace mdd

@@ -1,0 +1,229 @@
+#include "fsim/propagate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "sim/sim2.hpp"
+
+namespace mdd {
+
+SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
+                                             const PatternSet& patterns)
+    : netlist_(&netlist),
+      patterns_(&patterns),
+      scratch_(netlist.n_nets(), kAllZero),
+      touched_(netlist.n_nets(), false),
+      level_queue_(netlist.depth() + 1),
+      queued_(netlist.n_nets(), false),
+      po_mask_buf_((netlist.n_outputs() + 63) / 64, kAllZero),
+      fallback_(netlist) {
+  std::size_t max_fanin = 0;
+  for (NetId n = 0; n < netlist.n_nets(); ++n)
+    max_fanin = std::max(max_fanin, netlist.fanins(n).size());
+  fanin_buf_.resize(max_fanin);
+
+  BlockSim sim(netlist);
+  good_values_.resize(patterns.n_blocks());
+  good_ = PatternSet(patterns.n_patterns(), netlist.n_outputs());
+  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
+    sim.run(patterns, b);
+    good_values_[b].assign(sim.values().begin(), sim.values().end());
+    const Word mask = patterns.valid_mask(b);
+    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
+      good_.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
+  }
+}
+
+SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
+                                             const PatternSet& launch,
+                                             const PatternSet& capture)
+    : SingleFaultPropagator(netlist, capture) {
+  launch_ = &launch;
+  BlockSim sim(netlist);
+  launch_values_.resize(launch.n_blocks());
+  for (std::size_t b = 0; b < launch.n_blocks(); ++b) {
+    sim.run(launch, b);
+    launch_values_[b].assign(sim.values().begin(), sim.values().end());
+  }
+}
+
+void SingleFaultPropagator::seed_site(NetId net, Word value, Word good) {
+  if (value == good && !touched_[net]) return;  // fault not excited here
+  if (touched_[net]) {
+    scratch_[net] = value;
+    return;
+  }
+  scratch_[net] = value;
+  touched_[net] = true;
+  touched_list_.push_back(net);
+  for (NetId s : netlist_->fanouts(net)) {
+    if (!queued_[s]) {
+      queued_[s] = true;
+      level_queue_[netlist_->level(s)].push_back(s);
+    }
+  }
+}
+
+void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b) {
+  const auto& good = good_values_[b];
+  switch (fault.kind) {
+    case FaultKind::StuckAt0:
+    case FaultKind::StuckAt1: {
+      const Word forced = fault.stuck_value() ? kAllOne : kAllZero;
+      if (fault.pin == kStemPin) {
+        seed_site(fault.net, forced, good[fault.net]);
+      } else {
+        // Branch fault: recompute the gate with the forced pin.
+        const auto fi = netlist_->fanins(fault.net);
+        for (std::size_t j = 0; j < fi.size(); ++j)
+          fanin_buf_[j] = good[fi[j]];
+        fanin_buf_[fault.pin] = forced;
+        seed_site(fault.net,
+                  eval_gate_word(netlist_->kind(fault.net),
+                                 fanin_buf_.data(), fi.size()),
+                  good[fault.net]);
+      }
+      return;
+    }
+    case FaultKind::BridgeDom: {
+      // Optimistic non-feedback assumption: the aggressor is unaffected,
+      // so the victim simply takes the aggressor's good value. propagate()
+      // watches the aggressor and triggers the fixpoint fallback if the
+      // wave ever reaches it.
+      seed_site(fault.net, good[fault.bridge_net], good[fault.net]);
+      return;
+    }
+    case FaultKind::BridgeWAnd:
+    case FaultKind::BridgeWOr: {
+      const Word resolved = fault.kind == FaultKind::BridgeWAnd
+                                ? (good[fault.net] & good[fault.bridge_net])
+                                : (good[fault.net] | good[fault.bridge_net]);
+      seed_site(fault.net, resolved, good[fault.net]);
+      seed_site(fault.bridge_net, resolved, good[fault.bridge_net]);
+      return;
+    }
+    case FaultKind::SlowToRise:
+    case FaultKind::SlowToFall: {
+      if (launch_ == nullptr) return;  // inert in single-frame mode
+      const Word l = launch_values_[b][fault.net];
+      const Word c = good[fault.net];
+      const Word moved =
+          fault.kind == FaultKind::SlowToRise ? (~l & c) : (l & ~c);
+      seed_site(fault.net, (c & ~moved) | (l & moved), c);
+      return;
+    }
+  }
+}
+
+bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
+                                      NetId watch) {
+  const auto& good = good_values_[b];
+  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+
+  for (std::uint32_t lv = 0; lv < level_queue_.size(); ++lv) {
+    for (std::size_t idx = 0; idx < level_queue_[lv].size(); ++idx) {
+      const NetId g = level_queue_[lv][idx];
+      queued_[g] = false;
+      const auto fi = netlist_->fanins(g);
+      for (std::size_t j = 0; j < fi.size(); ++j)
+        fanin_buf_[j] = read(fi[j]);
+      const Word v =
+          eval_gate_word(netlist_->kind(g), fanin_buf_.data(), fi.size());
+      if (v != read(g)) {
+        scratch_[g] = v;
+        if (!touched_[g]) {
+          touched_[g] = true;
+          touched_list_.push_back(g);
+        }
+        for (NetId s : netlist_->fanouts(g)) {
+          if (!queued_[s]) {
+            queued_[s] = true;
+            level_queue_[netlist_->level(s)].push_back(s);
+          }
+        }
+      }
+    }
+    level_queue_[lv].clear();
+  }
+
+  // Collect PO differences for this block (touched POs gathered once; the
+  // per-failing-bit loop then only walks that short list).
+  const Word valid = patterns_->valid_mask(b);
+  Word any = kAllZero;
+  struct PoDiff {
+    std::uint32_t po;
+    Word diff;
+  };
+  std::vector<PoDiff> po_diffs;
+  for (NetId t : touched_list_) {
+    if (auto idx = netlist_->output_index(t)) {
+      const Word diff = (scratch_[t] ^ good[t]) & valid;
+      if (diff) {
+        po_diffs.push_back({*idx, diff});
+        any |= diff;
+      }
+    }
+  }
+  while (any) {
+    const int bit = std::countr_zero(any);
+    any &= any - 1;
+    std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
+    for (const PoDiff& pd : po_diffs) {
+      if ((pd.diff >> bit) & 1u)
+        po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+    }
+    sig.append(
+        static_cast<std::uint32_t>(b * 64 + static_cast<std::size_t>(bit)),
+        po_mask_buf_);
+  }
+
+  bool watch_touched = false;
+  for (NetId t : touched_list_) {
+    // Seeding marks the watched net itself; only a *recomputed* watch net
+    // indicates feedback, which seed values never are (the watch net is
+    // never a seed site for dominant bridges, and wired bridges watch
+    // nothing).
+    watch_touched = watch_touched || (t == watch);
+    touched_[t] = false;
+  }
+  touched_list_.clear();
+  return watch_touched;
+}
+
+ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
+  validate_fault(fault, *netlist_);
+  ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
+
+  // Dominant bridges are propagated optimistically assuming the aggressor
+  // is not downstream of the victim; watching the aggressor detects the
+  // rare feedback pair, which then reruns on the exact fixpoint machine.
+  // (Wired bridges seed the resolved value on both nets; if either net is
+  // downstream of the other the wave reaches it as a recomputation, so
+  // watch the higher-level net.)
+  NetId watch = kNoNet;
+  if (fault.kind == FaultKind::BridgeDom) {
+    watch = fault.bridge_net;
+  } else if (fault.kind == FaultKind::BridgeWAnd ||
+             fault.kind == FaultKind::BridgeWOr) {
+    if (is_feedback_pair(*netlist_, fault.net, fault.bridge_net))
+      watch = fault.net;  // force the fallback below via first block
+  }
+
+  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+    seed_fault(fault, b);
+    const bool feedback =
+        propagate(b, sig, watch) ||
+        (watch == fault.net && fault.kind != FaultKind::BridgeDom);
+    if (feedback) {
+      fallback_.set_faults({&fault, 1});
+      const PatternSet faulty =
+          launch_ ? fallback_.simulate_pair(*launch_, *patterns_)
+                  : fallback_.simulate(*patterns_);
+      return ErrorSignature::diff(good_, faulty);
+    }
+  }
+  return sig;
+}
+
+}  // namespace mdd

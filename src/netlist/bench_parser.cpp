@@ -1,0 +1,211 @@
+#include "netlist/bench_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mdd {
+
+namespace {
+
+struct BenchStmt {
+  std::string out;
+  std::string func;  // upper-cased
+  std::vector<std::string> args;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("bench:" + std::to_string(line) + ": " + msg);
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+BenchParseResult parse_bench(std::istream& in, std::string top_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<BenchStmt> stmts;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t lp = line.find('(');
+      const std::size_t rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+      const std::string head = upper(trim(line.substr(0, lp)));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) fail(line_no, "empty signal name");
+      if (head == "INPUT") {
+        input_names.push_back(arg);
+      } else if (head == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        fail(line_no, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    BenchStmt st;
+    st.line = line_no;
+    st.out = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t lp = rhs.find('(');
+    const std::size_t rp = rhs.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+      fail(line_no, "expected FUNC(args)");
+    st.func = upper(trim(rhs.substr(0, lp)));
+    std::string args = rhs.substr(lp + 1, rp - lp - 1);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok = trim(tok);
+      if (tok.empty()) fail(line_no, "empty argument");
+      st.args.push_back(tok);
+    }
+    if (st.out.empty()) fail(line_no, "empty lhs");
+    stmts.push_back(std::move(st));
+  }
+
+  BenchParseResult result{Netlist(std::move(top_name)), 0};
+  Netlist& nl = result.netlist;
+
+  // Pass 1: primary inputs and DFF outputs become Input nets.
+  for (const std::string& name : input_names) nl.add_input(name);
+  std::vector<std::pair<std::string, std::string>> dff_pairs;  // q -> d
+  for (const BenchStmt& st : stmts) {
+    if (st.func == "DFF" || st.func == "DFFSR" || st.func == "FF") {
+      if (st.args.size() != 1) fail(st.line, "DFF needs exactly one input");
+      nl.add_input(st.out);  // pseudo-PI (scan cell output)
+      dff_pairs.emplace_back(st.out, st.args[0]);
+      ++result.n_dff;
+    }
+  }
+  result.n_dff = dff_pairs.size();
+
+  // Pass 2: statements may reference signals defined later; resolve with a
+  // worklist (Kahn over names).
+  std::vector<BenchStmt> pending;
+  for (BenchStmt& st : stmts) {
+    if (st.func == "DFF" || st.func == "DFFSR" || st.func == "FF") continue;
+    pending.push_back(std::move(st));
+  }
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    std::vector<BenchStmt> next;
+    for (BenchStmt& st : pending) {
+      bool ready = true;
+      std::vector<NetId> fanins;
+      fanins.reserve(st.args.size());
+      for (const std::string& a : st.args) {
+        const NetId f = nl.find_net(a);
+        if (f == kNoNet) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(f);
+      }
+      if (!ready) {
+        next.push_back(std::move(st));
+        continue;
+      }
+      auto kind = gate_kind_from_string(st.func);
+      if (!kind || *kind == GateKind::Input)
+        fail(st.line, "unknown function '" + st.func + "'");
+      nl.add_gate(*kind, std::move(fanins), st.out);
+      progress = true;
+    }
+    pending = std::move(next);
+  }
+  if (!pending.empty())
+    fail(pending.front().line,
+         "unresolvable signal (undefined input or combinational loop) in "
+         "definition of '" +
+             pending.front().out + "'");
+
+  for (const std::string& name : output_names) {
+    const NetId n = nl.find_net(name);
+    if (n == kNoNet)
+      throw std::runtime_error("bench: OUTPUT(" + name + ") never defined");
+    nl.mark_output(n);
+  }
+  // Scan conversion: DFF data inputs become pseudo-POs.
+  for (const auto& [q, d] : dff_pairs) {
+    const NetId n = nl.find_net(d);
+    if (n == kNoNet)
+      throw std::runtime_error("bench: DFF input '" + d + "' never defined");
+    // (finalize() has not run yet, so query the raw output list.)
+    if (std::find(nl.outputs().begin(), nl.outputs().end(), n) ==
+        nl.outputs().end()) {
+      nl.mark_output(n);
+    }
+  }
+
+  nl.finalize();
+  return result;
+}
+
+BenchParseResult parse_bench_string(std::string_view text,
+                                    std::string top_name) {
+  std::istringstream ss{std::string(text)};
+  return parse_bench(ss, std::move(top_name));
+}
+
+BenchParseResult parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench: cannot open " + path);
+  return parse_bench(in, path);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by openmdd\n";
+  for (NetId i : nl.inputs()) out << "INPUT(" << nl.net_name(i) << ")\n";
+  for (NetId o : nl.outputs()) out << "OUTPUT(" << nl.net_name(o) << ")\n";
+  for (NetId g : nl.topo_order()) {
+    const GateKind k = nl.kind(g);
+    if (k == GateKind::Input) continue;
+    out << nl.net_name(g) << " = " << to_string(k) << "(";
+    bool first = true;
+    for (NetId f : nl.fanins(g)) {
+      if (!first) out << ", ";
+      first = false;
+      out << nl.net_name(f);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream ss;
+  write_bench(ss, nl);
+  return ss.str();
+}
+
+}  // namespace mdd

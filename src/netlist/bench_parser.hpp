@@ -1,0 +1,36 @@
+// openmdd — ISCAS `.bench` format reader/writer.
+//
+// Supports the combinational ISCAS-85 subset plus DFFs (ISCAS-89 style).
+// Under the full-scan assumption, each DFF is converted at parse time:
+// its output becomes a pseudo primary input and its data input is marked
+// as a pseudo primary output. The number of converted state elements is
+// reported in ParseInfo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+
+struct BenchParseResult {
+  Netlist netlist;
+  std::size_t n_dff = 0;  ///< state elements converted to pseudo PI/PO pairs
+};
+
+/// Parses `.bench` text. Throws std::runtime_error with a line-numbered
+/// message on malformed input or combinational loops.
+BenchParseResult parse_bench(std::istream& in, std::string top_name = "top");
+BenchParseResult parse_bench_string(std::string_view text,
+                                    std::string top_name = "top");
+BenchParseResult parse_bench_file(const std::string& path);
+
+/// Writes the (combinational) netlist in `.bench` syntax. Gates with more
+/// than one fanout or complex kinds are emitted with their primitive names;
+/// cell-instance grouping is not preserved (the format has no syntax for it).
+void write_bench(std::ostream& out, const Netlist& netlist);
+std::string write_bench_string(const Netlist& netlist);
+
+}  // namespace mdd

@@ -1,0 +1,344 @@
+#include "netlist/cell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <stdexcept>
+
+namespace mdd {
+
+std::string_view to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input: return "INPUT";
+    case GateKind::Const0: return "CONST0";
+    case GateKind::Const1: return "CONST1";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Not: return "NOT";
+    case GateKind::And: return "AND";
+    case GateKind::Nand: return "NAND";
+    case GateKind::Or: return "OR";
+    case GateKind::Nor: return "NOR";
+    case GateKind::Xor: return "XOR";
+    case GateKind::Xnor: return "XNOR";
+  }
+  return "?";
+}
+
+std::optional<GateKind> gate_kind_from_string(std::string_view name) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (up == "INPUT") return GateKind::Input;
+  if (up == "CONST0" || up == "TIE0") return GateKind::Const0;
+  if (up == "CONST1" || up == "TIE1") return GateKind::Const1;
+  if (up == "BUF" || up == "BUFF") return GateKind::Buf;
+  if (up == "NOT" || up == "INV") return GateKind::Not;
+  if (up == "AND") return GateKind::And;
+  if (up == "NAND") return GateKind::Nand;
+  if (up == "OR") return GateKind::Or;
+  if (up == "NOR") return GateKind::Nor;
+  if (up == "XOR") return GateKind::Xor;
+  if (up == "XNOR") return GateKind::Xnor;
+  return std::nullopt;
+}
+
+bool has_controlling_value(GateKind kind) {
+  switch (kind) {
+    case GateKind::And:
+    case GateKind::Nand:
+    case GateKind::Or:
+    case GateKind::Nor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool controlling_value(GateKind kind) {
+  assert(has_controlling_value(kind));
+  return kind == GateKind::Or || kind == GateKind::Nor;
+}
+
+bool is_inverting(GateKind kind) {
+  switch (kind) {
+    case GateKind::Not:
+    case GateKind::Nand:
+    case GateKind::Nor:
+    case GateKind::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool eval_gate(GateKind kind, const std::vector<bool>& ins) {
+  switch (kind) {
+    case GateKind::Input:
+      throw std::logic_error("eval_gate: INPUT has no function");
+    case GateKind::Const0: return false;
+    case GateKind::Const1: return true;
+    case GateKind::Buf: return ins.at(0);
+    case GateKind::Not: return !ins.at(0);
+    case GateKind::And: {
+      for (bool v : ins)
+        if (!v) return false;
+      return true;
+    }
+    case GateKind::Nand: {
+      for (bool v : ins)
+        if (!v) return true;
+      return false;
+    }
+    case GateKind::Or: {
+      for (bool v : ins)
+        if (v) return true;
+      return false;
+    }
+    case GateKind::Nor: {
+      for (bool v : ins)
+        if (v) return false;
+      return true;
+    }
+    case GateKind::Xor: {
+      bool acc = false;
+      for (bool v : ins) acc = acc != v;
+      return acc;
+    }
+    case GateKind::Xnor: {
+      bool acc = false;
+      for (bool v : ins) acc = acc != v;
+      return !acc;
+    }
+  }
+  throw std::logic_error("eval_gate: bad kind");
+}
+
+Word eval_gate_word(GateKind kind, const Word* ins, std::size_t n) {
+  switch (kind) {
+    case GateKind::Input:
+      return kAllZero;  // inputs are loaded, never evaluated
+    case GateKind::Const0: return kAllZero;
+    case GateKind::Const1: return kAllOne;
+    case GateKind::Buf: return ins[0];
+    case GateKind::Not: return ~ins[0];
+    case GateKind::And: {
+      Word acc = kAllOne;
+      for (std::size_t i = 0; i < n; ++i) acc &= ins[i];
+      return acc;
+    }
+    case GateKind::Nand: {
+      Word acc = kAllOne;
+      for (std::size_t i = 0; i < n; ++i) acc &= ins[i];
+      return ~acc;
+    }
+    case GateKind::Or: {
+      Word acc = kAllZero;
+      for (std::size_t i = 0; i < n; ++i) acc |= ins[i];
+      return acc;
+    }
+    case GateKind::Nor: {
+      Word acc = kAllZero;
+      for (std::size_t i = 0; i < n; ++i) acc |= ins[i];
+      return ~acc;
+    }
+    case GateKind::Xor: {
+      Word acc = kAllZero;
+      for (std::size_t i = 0; i < n; ++i) acc ^= ins[i];
+      return acc;
+    }
+    case GateKind::Xnor: {
+      Word acc = kAllZero;
+      for (std::size_t i = 0; i < n; ++i) acc ^= ins[i];
+      return ~acc;
+    }
+  }
+  return kAllZero;
+}
+
+DualWord eval_gate_dual(GateKind kind, const DualWord* ins, std::size_t n) {
+  switch (kind) {
+    case GateKind::Input:
+      return DualWord::all_x();
+    case GateKind::Const0: return DualWord::all0();
+    case GateKind::Const1: return DualWord::all1();
+    case GateKind::Buf: return ins[0];
+    case GateKind::Not: return dw_not(ins[0]);
+    case GateKind::And:
+    case GateKind::Nand: {
+      DualWord acc = DualWord::all1();
+      for (std::size_t i = 0; i < n; ++i) acc = dw_and(acc, ins[i]);
+      return kind == GateKind::Nand ? dw_not(acc) : acc;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      DualWord acc = DualWord::all0();
+      for (std::size_t i = 0; i < n; ++i) acc = dw_or(acc, ins[i]);
+      return kind == GateKind::Nor ? dw_not(acc) : acc;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      DualWord acc = DualWord::all0();
+      for (std::size_t i = 0; i < n; ++i) acc = dw_xor(acc, ins[i]);
+      return kind == GateKind::Xnor ? dw_not(acc) : acc;
+    }
+  }
+  return DualWord::all_x();
+}
+
+CellModel::CellModel(std::string name, std::uint32_t n_inputs,
+                     std::vector<CellOp> ops)
+    : name_(std::move(name)), n_inputs_(n_inputs), ops_(std::move(ops)) {
+  if (n_inputs_ > 8) throw std::invalid_argument("CellModel: >8 inputs");
+  if (ops_.empty()) throw std::invalid_argument("CellModel: empty ops");
+  for (std::size_t k = 0; k < ops_.size(); ++k) {
+    for (std::uint32_t opnd : ops_[k].operands) {
+      if (opnd >= n_inputs_ + k)
+        throw std::invalid_argument("CellModel: forward operand reference");
+    }
+  }
+  // Derive the truth table by exhaustive evaluation of the decomposition.
+  const std::uint32_t n_minterms = 1u << n_inputs_;
+  for (std::uint32_t m = 0; m < n_minterms; ++m) {
+    std::vector<bool> vals;
+    vals.reserve(n_inputs_ + ops_.size());
+    for (std::uint32_t i = 0; i < n_inputs_; ++i)
+      vals.push_back(((m >> i) & 1u) != 0);
+    for (const CellOp& op : ops_) {
+      std::vector<bool> ins;
+      ins.reserve(op.operands.size());
+      for (std::uint32_t o : op.operands) ins.push_back(vals[o]);
+      vals.push_back(eval_gate(op.kind, ins));
+    }
+    if (vals.back()) truth_[m / 64] |= (std::uint64_t{1} << (m % 64));
+  }
+}
+
+CellModel CellModel::from_truth_table(std::string name, std::uint32_t n_inputs,
+                                      std::uint64_t w0, std::uint64_t w1,
+                                      std::uint64_t w2, std::uint64_t w3) {
+  if (n_inputs > 8)
+    throw std::invalid_argument("CellModel::from_truth_table: >8 inputs");
+  const std::array<std::uint64_t, 4> truth{w0, w1, w2, w3};
+  const std::uint32_t n_minterms = 1u << n_inputs;
+
+  // Synthesize a naive sum-of-minterms network: per minterm an AND of
+  // literals, then one OR. Constant functions become tie cells.
+  std::vector<CellOp> ops;
+  std::vector<std::uint32_t> minterm_outs;
+  std::vector<std::uint32_t> inverted_input(n_inputs, UINT32_MAX);
+
+  auto inverted = [&](std::uint32_t pin) {
+    if (inverted_input[pin] == UINT32_MAX) {
+      ops.push_back({GateKind::Not, {pin}});
+      inverted_input[pin] = n_inputs + static_cast<std::uint32_t>(ops.size()) - 1;
+    }
+    return inverted_input[pin];
+  };
+
+  for (std::uint32_t m = 0; m < n_minterms; ++m) {
+    if (!((truth[m / 64] >> (m % 64)) & 1u)) continue;
+    std::vector<std::uint32_t> literals;
+    for (std::uint32_t i = 0; i < n_inputs; ++i)
+      literals.push_back(((m >> i) & 1u) ? i : inverted(i));
+    ops.push_back({GateKind::And, std::move(literals)});
+    minterm_outs.push_back(n_inputs + static_cast<std::uint32_t>(ops.size()) -
+                           1);
+  }
+  if (minterm_outs.empty()) {
+    ops.push_back({GateKind::Const0, {}});
+  } else if (minterm_outs.size() == 1) {
+    ops.push_back({GateKind::Buf, {minterm_outs.front()}});
+  } else {
+    ops.push_back({GateKind::Or, std::move(minterm_outs)});
+  }
+  CellModel model(std::move(name), n_inputs, std::move(ops));
+  if (model.truth_ != truth)
+    throw std::logic_error("CellModel::from_truth_table: synthesis mismatch");
+  return model;
+}
+
+bool CellModel::eval_minterm(std::uint32_t m) const {
+  assert(m < (1u << n_inputs_));
+  return ((truth_[m / 64] >> (m % 64)) & 1u) != 0;
+}
+
+bool CellModel::eval(const std::vector<bool>& ins) const {
+  if (ins.size() != n_inputs_)
+    throw std::invalid_argument("CellModel::eval: arity mismatch");
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n_inputs_; ++i)
+    if (ins[i]) m |= (1u << i);
+  return eval_minterm(m);
+}
+
+namespace {
+
+CellModel make_simple(std::string name, GateKind kind, std::uint32_t n) {
+  std::vector<std::uint32_t> operands(n);
+  for (std::uint32_t i = 0; i < n; ++i) operands[i] = i;
+  return CellModel(std::move(name), n, {{kind, std::move(operands)}});
+}
+
+}  // namespace
+
+CellLibrary::CellLibrary() {
+  add(make_simple("BUF", GateKind::Buf, 1));
+  add(make_simple("INV", GateKind::Not, 1));
+  for (std::uint32_t n = 2; n <= 4; ++n) {
+    const std::string suffix = std::to_string(n);
+    add(make_simple("AND" + suffix, GateKind::And, n));
+    add(make_simple("NAND" + suffix, GateKind::Nand, n));
+    add(make_simple("OR" + suffix, GateKind::Or, n));
+    add(make_simple("NOR" + suffix, GateKind::Nor, n));
+  }
+  add(make_simple("XOR2", GateKind::Xor, 2));
+  add(make_simple("XNOR2", GateKind::Xnor, 2));
+
+  // MUX2(d0, d1, s) = s ? d1 : d0.
+  add(CellModel("MUX2", 3,
+                {{GateKind::Not, {2}},
+                 {GateKind::And, {0, 3}},
+                 {GateKind::And, {1, 2}},
+                 {GateKind::Or, {4, 5}}}));
+  // AOI21(a0, a1, b) = !((a0 & a1) | b)
+  add(CellModel("AOI21", 3,
+                {{GateKind::And, {0, 1}}, {GateKind::Nor, {3, 2}}}));
+  // AOI22(a0, a1, b0, b1) = !((a0 & a1) | (b0 & b1))
+  add(CellModel("AOI22", 4,
+                {{GateKind::And, {0, 1}},
+                 {GateKind::And, {2, 3}},
+                 {GateKind::Nor, {4, 5}}}));
+  // OAI21(a0, a1, b) = !((a0 | a1) & b)
+  add(CellModel("OAI21", 3,
+                {{GateKind::Or, {0, 1}}, {GateKind::Nand, {3, 2}}}));
+  // OAI22(a0, a1, b0, b1) = !((a0 | a1) & (b0 | b1))
+  add(CellModel("OAI22", 4,
+                {{GateKind::Or, {0, 1}},
+                 {GateKind::Or, {2, 3}},
+                 {GateKind::Nand, {4, 5}}}));
+  // AO21 / OA21: non-inverting variants.
+  add(CellModel("AO21", 3,
+                {{GateKind::And, {0, 1}}, {GateKind::Or, {3, 2}}}));
+  add(CellModel("OA21", 3,
+                {{GateKind::Or, {0, 1}}, {GateKind::And, {3, 2}}}));
+  // MAJ3: carry function.
+  add(CellModel("MAJ3", 3,
+                {{GateKind::And, {0, 1}},
+                 {GateKind::And, {0, 2}},
+                 {GateKind::And, {1, 2}},
+                 {GateKind::Or, {3, 4, 5}}}));
+}
+
+const CellModel& CellLibrary::add(CellModel model) {
+  const std::string name = model.name();
+  auto [it, inserted] = cells_.insert_or_assign(name, std::move(model));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+const CellModel* CellLibrary::find(std::string_view name) const {
+  auto it = cells_.find(std::string(name));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mdd

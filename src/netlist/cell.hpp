@@ -1,0 +1,134 @@
+// openmdd — standard-cell library with truth-table models.
+//
+// The netlist core stores only *primitive* gates (see GateKind): this keeps
+// every simulator a tight word-parallel loop. Complex library cells
+// (AOI/OAI/MUX/...) are described here as a `CellModel`: a truth table plus
+// a decomposition into primitives. Parsers expand cell instances into their
+// decomposition while recording the instance so that diagnosis can report
+// suspects at cell granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/logic.hpp"
+
+namespace mdd {
+
+/// Primitive gate kinds stored in a Netlist. `Input` marks primary-input
+/// nets (no fanin); `Const0`/`Const1` are tie cells.
+enum class GateKind : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+};
+
+std::string_view to_string(GateKind kind);
+
+/// Parses a primitive gate name (case-insensitive); empty if unknown.
+std::optional<GateKind> gate_kind_from_string(std::string_view name);
+
+/// True if the gate kind has a controlling input value (AND/NAND -> 0,
+/// OR/NOR -> 1). XOR-family and single-input gates have none.
+bool has_controlling_value(GateKind kind);
+
+/// Controlling input value for AND/NAND (false) and OR/NOR (true).
+/// Precondition: has_controlling_value(kind).
+bool controlling_value(GateKind kind);
+
+/// True if the output inverts relative to the gate's base function
+/// (NAND/NOR/XNOR/NOT).
+bool is_inverting(GateKind kind);
+
+/// Evaluates a primitive over scalar booleans.
+bool eval_gate(GateKind kind, const std::vector<bool>& ins);
+
+/// Evaluates a primitive over 64-pattern words.
+Word eval_gate_word(GateKind kind, const Word* ins, std::size_t n);
+
+/// Evaluates a primitive over 3-valued dual-rail words.
+DualWord eval_gate_dual(GateKind kind, const DualWord* ins, std::size_t n);
+
+/// One step of a cell decomposition. Operand indices < n_inputs refer to
+/// the cell's input pins; operand index (n_inputs + k) refers to the output
+/// of decomposition step k. The final step drives the cell output.
+struct CellOp {
+  GateKind kind;
+  std::vector<std::uint32_t> operands;
+};
+
+/// A library cell: single-output combinational function of up to 8 inputs.
+///
+/// Invariant: `truth` always equals the function computed by `ops` (checked
+/// at registration); bit m of the table is the output for input minterm m
+/// (input 0 = least-significant bit of m).
+class CellModel {
+ public:
+  /// Builds a model from a decomposition; derives the truth table.
+  CellModel(std::string name, std::uint32_t n_inputs, std::vector<CellOp> ops);
+
+  /// Builds a model from a truth table; synthesizes a sum-of-minterms
+  /// decomposition. `truth` must have 2^n_inputs meaningful bits.
+  static CellModel from_truth_table(std::string name, std::uint32_t n_inputs,
+                                    std::uint64_t truth_low,
+                                    std::uint64_t truth_high = 0,
+                                    std::uint64_t truth_w2 = 0,
+                                    std::uint64_t truth_w3 = 0);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t n_inputs() const { return n_inputs_; }
+  const std::vector<CellOp>& ops() const { return ops_; }
+
+  /// Output value for the input minterm `m` (bit i of m = input pin i).
+  bool eval_minterm(std::uint32_t m) const;
+
+  /// Scalar evaluation.
+  bool eval(const std::vector<bool>& ins) const;
+
+  /// Raw truth table, 256 bits (unused high bits are zero).
+  const std::array<std::uint64_t, 4>& truth() const { return truth_; }
+
+ private:
+  CellModel() = default;
+
+  std::string name_;
+  std::uint32_t n_inputs_ = 0;
+  std::vector<CellOp> ops_;
+  std::array<std::uint64_t, 4> truth_{};
+};
+
+/// Registry of cell models. Construction installs a default library of
+/// common CMOS standard cells (INV/BUF, AND/NAND/OR/NOR 2-4, XOR2/XNOR2,
+/// MUX2, AOI21/22, OAI21/22, AO21, OA21, MAJ3).
+class CellLibrary {
+ public:
+  CellLibrary();
+
+  /// Registers (or replaces) a cell. Returns the stored model.
+  const CellModel& add(CellModel model);
+
+  /// Looks a cell up by name (case-sensitive); nullptr if absent.
+  const CellModel* find(std::string_view name) const;
+
+  /// Names of all registered cells, in registration order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, CellModel> cells_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mdd

@@ -1,0 +1,63 @@
+#include "netlist/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mdd {
+
+void write_dot(std::ostream& out, const Netlist& nl,
+               const DotOptions& options) {
+  std::vector<bool> highlighted(nl.n_nets(), false);
+  for (NetId n : options.highlight)
+    if (n < nl.n_nets()) highlighted[n] = true;
+
+  out << "digraph \"" << nl.name() << "\" {\n";
+  if (options.ranked) out << "  rankdir=LR;\n";
+  out << "  node [fontname=\"monospace\"];\n";
+
+  for (NetId n = 0; n < nl.n_nets(); ++n) {
+    out << "  n" << n << " [label=\"" << nl.net_name(n);
+    if (nl.kind(n) != GateKind::Input)
+      out << "\\n" << to_string(nl.kind(n));
+    out << "\"";
+    if (nl.is_input(n)) out << ", shape=triangle";
+    else if (nl.output_index(n).has_value()) out << ", shape=doublecircle";
+    else out << ", shape=box";
+    if (highlighted[n]) out << ", style=filled, fillcolor=orange";
+    out << "];\n";
+  }
+  for (NetId g = 0; g < nl.n_nets(); ++g) {
+    for (NetId f : nl.fanins(g)) {
+      out << "  n" << f << " -> n" << g;
+      if (options.edge_labels)
+        out << " [label=\"" << nl.net_name(f) << "\"]";
+      out << ";\n";
+    }
+  }
+  // Level-based ranking keeps the drawing topological.
+  if (options.ranked) {
+    for (std::uint32_t lv = 0; lv <= nl.depth(); ++lv) {
+      bool any = false;
+      std::ostringstream rank;
+      rank << "  { rank=same;";
+      for (NetId n = 0; n < nl.n_nets(); ++n) {
+        if (nl.level(n) == lv) {
+          rank << " n" << n << ";";
+          any = true;
+        }
+      }
+      rank << " }\n";
+      if (any) out << rank.str();
+    }
+  }
+  out << "}\n";
+}
+
+std::string write_dot_string(const Netlist& nl, const DotOptions& options) {
+  std::ostringstream ss;
+  write_dot(ss, nl, options);
+  return ss.str();
+}
+
+}  // namespace mdd

@@ -1,0 +1,29 @@
+// openmdd — Graphviz DOT export for netlist visualization and debugging
+// diagnosis results (suspect nets can be highlighted).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+
+struct DotOptions {
+  /// Nets drawn highlighted (e.g. diagnosis suspects).
+  std::vector<NetId> highlight;
+  /// Rank nets left-to-right by level (matches schematic reading order).
+  bool ranked = true;
+  /// Include net names on edges (noisy for large circuits).
+  bool edge_labels = false;
+};
+
+/// Writes `netlist` as a DOT digraph: one node per gate/PI, one edge per
+/// connection, POs drawn as double circles.
+void write_dot(std::ostream& out, const Netlist& netlist,
+               const DotOptions& options = {});
+std::string write_dot_string(const Netlist& netlist,
+                             const DotOptions& options = {});
+
+}  // namespace mdd

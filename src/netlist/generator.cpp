@@ -1,0 +1,231 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace mdd {
+
+Netlist make_c17() {
+  Netlist nl("c17");
+  const NetId i1 = nl.add_input("1");
+  const NetId i2 = nl.add_input("2");
+  const NetId i3 = nl.add_input("3");
+  const NetId i6 = nl.add_input("6");
+  const NetId i7 = nl.add_input("7");
+  const NetId g10 = nl.add_gate(GateKind::Nand, {i1, i3}, "10");
+  const NetId g11 = nl.add_gate(GateKind::Nand, {i3, i6}, "11");
+  const NetId g16 = nl.add_gate(GateKind::Nand, {i2, g11}, "16");
+  const NetId g19 = nl.add_gate(GateKind::Nand, {g11, i7}, "19");
+  const NetId g22 = nl.add_gate(GateKind::Nand, {g10, g16}, "22");
+  const NetId g23 = nl.add_gate(GateKind::Nand, {g16, g19}, "23");
+  nl.mark_output(g22);
+  nl.mark_output(g23);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_ripple_adder(unsigned n_bits) {
+  if (n_bits == 0) throw std::invalid_argument("adder: n_bits == 0");
+  static const CellLibrary lib;
+  const CellModel& xor2 = *lib.find("XOR2");
+  const CellModel& maj3 = *lib.find("MAJ3");
+
+  Netlist nl("add" + std::to_string(n_bits));
+  std::vector<NetId> a(n_bits), b(n_bits);
+  for (unsigned i = 0; i < n_bits; ++i)
+    a[i] = nl.add_input("a_" + std::to_string(i));
+  for (unsigned i = 0; i < n_bits; ++i)
+    b[i] = nl.add_input("b_" + std::to_string(i));
+  NetId carry = nl.add_input("cin");
+  for (unsigned i = 0; i < n_bits; ++i) {
+    const std::string bit = std::to_string(i);
+    const NetId axb =
+        nl.add_cell(xor2, {a[i], b[i]}, "u_axb_" + bit, "axb_" + bit);
+    const NetId sum =
+        nl.add_cell(xor2, {axb, carry}, "u_sum_" + bit, "s_" + bit);
+    const NetId cout =
+        nl.add_cell(maj3, {a[i], b[i], carry}, "u_cy_" + bit, "cy_" + bit);
+    nl.mark_output(sum);
+    carry = cout;
+  }
+  nl.mark_output(carry);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_parity_tree(unsigned n_inputs) {
+  if (n_inputs < 2) throw std::invalid_argument("parity: n_inputs < 2");
+  Netlist nl("par" + std::to_string(n_inputs));
+  std::vector<NetId> layer;
+  for (unsigned i = 0; i < n_inputs; ++i)
+    layer.push_back(nl.add_input("i_" + std::to_string(i)));
+  unsigned counter = 0;
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.add_gate(GateKind::Xor, {layer[i], layer[i + 1]},
+                                 "x_" + std::to_string(counter++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  nl.mark_output(layer.front());
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_mux_tree(unsigned n_select) {
+  if (n_select == 0 || n_select > 8)
+    throw std::invalid_argument("mux: n_select out of range");
+  static const CellLibrary lib;
+  const CellModel& mux2 = *lib.find("MUX2");
+
+  Netlist nl("mux" + std::to_string(1u << n_select));
+  std::vector<NetId> sel(n_select);
+  for (unsigned i = 0; i < n_select; ++i)
+    sel[i] = nl.add_input("s_" + std::to_string(i));
+  std::vector<NetId> layer(1u << n_select);
+  for (unsigned i = 0; i < layer.size(); ++i)
+    layer[i] = nl.add_input("d_" + std::to_string(i));
+  unsigned counter = 0;
+  for (unsigned s = 0; s < n_select; ++s) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      next.push_back(nl.add_cell(mux2, {layer[i], layer[i + 1], sel[s]},
+                                 "u_m" + std::to_string(counter++)));
+    }
+    layer = std::move(next);
+  }
+  nl.mark_output(layer.front());
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_random_circuit(const RandomCircuitConfig& config) {
+  if (config.n_inputs < 2 || config.n_gates == 0 || config.n_outputs == 0)
+    throw std::invalid_argument("random circuit: degenerate config");
+  if (config.max_fanin < 2)
+    throw std::invalid_argument("random circuit: max_fanin < 2");
+
+  std::mt19937_64 rng(config.seed);
+  auto uniform = [&](std::size_t lo, std::size_t hi) {  // inclusive
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+  };
+  auto chance = [&](double f) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < f;
+  };
+
+  Netlist nl(config.name);
+  std::vector<NetId> nets;
+  for (unsigned i = 0; i < config.n_inputs; ++i)
+    nets.push_back(nl.add_input("pi_" + std::to_string(i)));
+
+  std::vector<std::uint32_t> use_count(config.n_inputs, 0);
+  static constexpr GateKind kBinaryKinds[] = {GateKind::And, GateKind::Nand,
+                                              GateKind::Or, GateKind::Nor};
+
+  for (unsigned g = 0; g < config.n_gates; ++g) {
+    // Fanins drawn from a sliding locality window; an unused PI is forced in
+    // occasionally so every input ends up observable.
+    const std::size_t window_lo =
+        nets.size() > config.locality ? nets.size() - config.locality : 0;
+    GateKind kind;
+    std::size_t n_fanin;
+    if (chance(config.inverter_fraction)) {
+      kind = GateKind::Not;
+      n_fanin = 1;
+    } else if (chance(config.xor_fraction)) {
+      kind = chance(0.5) ? GateKind::Xor : GateKind::Xnor;
+      n_fanin = 2;
+    } else {
+      kind = kBinaryKinds[uniform(0, 3)];
+      n_fanin = uniform(2, config.max_fanin);
+    }
+    std::vector<NetId> fanins;
+    while (fanins.size() < n_fanin) {
+      NetId cand = nets[uniform(window_lo, nets.size() - 1)];
+      // Give unused PIs priority every few gates.
+      if (fanins.empty() && g % 7 == 0) {
+        for (unsigned i = 0; i < config.n_inputs; ++i) {
+          if (use_count[i] == 0) {
+            cand = nets[i];
+            break;
+          }
+        }
+      }
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+      if (fanins.size() < n_fanin && nets.size() < n_fanin) break;
+    }
+    if (fanins.size() < (kind == GateKind::Not ? 1u : 2u)) continue;
+    for (NetId f : fanins)
+      if (f < config.n_inputs) ++use_count[f];
+    nets.push_back(nl.add_gate(kind, std::move(fanins),
+                               "g_" + std::to_string(g)));
+  }
+
+  // Outputs: prefer nets with no fanout so no logic dangles.
+  std::vector<std::uint32_t> fanout(nl.n_nets(), 0);
+  for (NetId n = 0; n < nl.n_nets(); ++n)
+    for (NetId f : nl.fanins(n)) ++fanout[f];
+  std::vector<NetId> sinks;
+  for (NetId n = config.n_inputs; n < nl.n_nets(); ++n)
+    if (fanout[n] == 0) sinks.push_back(n);
+  std::vector<NetId> chosen;
+  for (NetId s : sinks) chosen.push_back(s);
+  const std::size_t n_gate_nets = nets.size() - config.n_inputs;
+  while (chosen.size() < config.n_outputs && chosen.size() < n_gate_nets) {
+    const NetId cand = nets[uniform(config.n_inputs, nets.size() - 1)];
+    if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end())
+      chosen.push_back(cand);
+  }
+  for (NetId o : chosen) nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_named_circuit(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "add8") return make_ripple_adder(8);
+  if (name == "add32") return make_ripple_adder(32);
+  if (name == "par64") return make_parity_tree(64);
+  if (name == "mux16") return make_mux_tree(4);
+  RandomCircuitConfig cfg;
+  cfg.name = name;
+  // The benchmark substitutes carry a raised XOR fraction: random DAGs of
+  // AND/OR-family gates alone are pathologically redundant (30%+ provably
+  // untestable faults), while mixing in XOR restores the ~90%+ stuck-at
+  // testability that real synthesized designs show.
+  cfg.xor_fraction = 0.35;
+  if (name == "g200") {
+    cfg.n_inputs = 24;
+    cfg.n_gates = 200;
+    cfg.n_outputs = 12;
+    cfg.locality = 96;
+    cfg.seed = 0xC200;
+  } else if (name == "g1k") {
+    cfg.n_inputs = 48;
+    cfg.n_gates = 1000;
+    cfg.n_outputs = 32;
+    cfg.locality = 256;
+    cfg.seed = 0xC1000;
+  } else if (name == "g5k") {
+    cfg.n_inputs = 96;
+    cfg.n_gates = 5000;
+    cfg.n_outputs = 64;
+    cfg.locality = 768;
+    cfg.seed = 0xC5000;
+  } else if (name == "g20k") {
+    cfg.n_inputs = 160;
+    cfg.n_gates = 20000;
+    cfg.n_outputs = 128;
+    cfg.locality = 2048;
+    cfg.seed = 0xC20000;
+  } else {
+    throw std::invalid_argument("unknown circuit '" + name + "'");
+  }
+  return make_random_circuit(cfg);
+}
+
+}  // namespace mdd

@@ -1,0 +1,56 @@
+// openmdd — benchmark circuit construction.
+//
+// Known circuits (c17, ripple-carry adders, parity trees, mux trees) plus a
+// deterministic random-DAG generator. The generator is the documented
+// substitution for ISCAS-85 / industrial netlists: it produces
+// combinational circuits with controllable size, fan-in mix, depth
+// (locality window) and reconvergent fan-out — the structural properties
+// that drive diagnosis difficulty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+
+/// The ISCAS-85 c17 benchmark (6 NAND2 gates, 5 PIs, 2 POs).
+Netlist make_c17();
+
+/// n-bit ripple-carry adder built from XOR2/MAJ3 library cells
+/// (exercises cell expansion). Inputs a_0..a_{n-1}, b_0.., cin;
+/// outputs s_0..s_{n-1}, cout.
+Netlist make_ripple_adder(unsigned n_bits);
+
+/// Balanced XOR parity tree over n inputs, single output.
+Netlist make_parity_tree(unsigned n_inputs);
+
+/// 2^n_select : 1 multiplexer tree built from MUX2 cells.
+Netlist make_mux_tree(unsigned n_select);
+
+/// Configuration for the random-DAG generator. All sampling is driven by
+/// `seed`; identical configs produce identical netlists on every platform.
+struct RandomCircuitConfig {
+  std::string name = "rand";
+  unsigned n_inputs = 32;
+  unsigned n_gates = 200;      ///< logic gates to create (excl. inputs)
+  unsigned n_outputs = 16;
+  unsigned max_fanin = 4;      ///< fanin sampled uniformly in [2, max_fanin]
+  unsigned locality = 64;      ///< fanins drawn from the last `locality` nets
+                               ///< (small => deep circuits, more masking)
+  double inverter_fraction = 0.10;
+  double xor_fraction = 0.10;  ///< XOR/XNOR gates (non-controlled paths)
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random combinational DAG. Every PI drives at least one gate;
+/// POs prefer otherwise-unused nets so no logic dangles.
+Netlist make_random_circuit(const RandomCircuitConfig& config);
+
+/// Named standard workloads used across the benchmark harness:
+/// "c17", "add8", "add32", "par64", "mux16", "g200", "g1k", "g5k", "g20k".
+/// Throws std::invalid_argument for unknown names.
+Netlist make_named_circuit(const std::string& name);
+
+}  // namespace mdd

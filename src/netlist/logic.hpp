@@ -1,0 +1,128 @@
+// openmdd — logic value algebra.
+//
+// Two value systems are used throughout the library:
+//   * 2-valued logic packed 64 patterns per machine word (`Word`), used by
+//     the bit-parallel good-machine and faulty-machine simulators.
+//   * 3-valued logic (0 / 1 / X) as scalar `Val3` and as dual-rail packed
+//     words (`DualWord`), used by ATPG and by simulations that must be
+//     conservative about unknowns.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace mdd {
+
+/// 64 two-valued signal samples, one bit per test pattern.
+using Word = std::uint64_t;
+
+inline constexpr Word kAllZero = 0x0000000000000000ULL;
+inline constexpr Word kAllOne = 0xFFFFFFFFFFFFFFFFULL;
+
+/// Three-valued scalar logic value. `X` is "unknown / unassigned".
+enum class Val3 : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// Negation in 3-valued logic (X stays X).
+constexpr Val3 v3_not(Val3 a) {
+  switch (a) {
+    case Val3::Zero: return Val3::One;
+    case Val3::One: return Val3::Zero;
+    default: return Val3::X;
+  }
+}
+
+/// Kleene AND: 0 dominates, X otherwise unless both 1.
+constexpr Val3 v3_and(Val3 a, Val3 b) {
+  if (a == Val3::Zero || b == Val3::Zero) return Val3::Zero;
+  if (a == Val3::One && b == Val3::One) return Val3::One;
+  return Val3::X;
+}
+
+/// Kleene OR: 1 dominates, X otherwise unless both 0.
+constexpr Val3 v3_or(Val3 a, Val3 b) {
+  if (a == Val3::One || b == Val3::One) return Val3::One;
+  if (a == Val3::Zero && b == Val3::Zero) return Val3::Zero;
+  return Val3::X;
+}
+
+/// XOR; any X operand yields X.
+constexpr Val3 v3_xor(Val3 a, Val3 b) {
+  if (a == Val3::X || b == Val3::X) return Val3::X;
+  return (a == b) ? Val3::Zero : Val3::One;
+}
+
+constexpr bool v3_is_binary(Val3 a) { return a != Val3::X; }
+
+/// Converts a binary Val3 to bool. Precondition: `a` is not X.
+constexpr bool v3_to_bool(Val3 a) { return a == Val3::One; }
+
+constexpr Val3 v3_from_bool(bool b) { return b ? Val3::One : Val3::Zero; }
+
+constexpr char v3_to_char(Val3 a) {
+  switch (a) {
+    case Val3::Zero: return '0';
+    case Val3::One: return '1';
+    default: return 'X';
+  }
+}
+
+inline std::ostream& operator<<(std::ostream& os, Val3 v) {
+  return os << v3_to_char(v);
+}
+
+/// Dual-rail encoding of 64 three-valued samples.
+///
+/// For bit position i:
+///   is0 bit set, is1 clear  -> value 0
+///   is1 bit set, is0 clear  -> value 1
+///   both clear              -> value X
+///   both set                -> invalid (never produced by the simulators)
+struct DualWord {
+  Word is0 = kAllZero;
+  Word is1 = kAllZero;
+
+  static constexpr DualWord all_x() { return {kAllZero, kAllZero}; }
+  static constexpr DualWord all0() { return {kAllOne, kAllZero}; }
+  static constexpr DualWord all1() { return {kAllZero, kAllOne}; }
+
+  /// Bits where the value is binary (0 or 1).
+  constexpr Word known() const { return is0 | is1; }
+
+  constexpr bool operator==(const DualWord&) const = default;
+};
+
+constexpr DualWord dw_not(DualWord a) { return {a.is1, a.is0}; }
+
+constexpr DualWord dw_and(DualWord a, DualWord b) {
+  return {a.is0 | b.is0, a.is1 & b.is1};
+}
+
+constexpr DualWord dw_or(DualWord a, DualWord b) {
+  return {a.is0 & b.is0, a.is1 | b.is1};
+}
+
+constexpr DualWord dw_xor(DualWord a, DualWord b) {
+  const Word known = a.known() & b.known();
+  const Word ones = (a.is1 ^ b.is1) & known;
+  return {known & ~ones, ones};
+}
+
+/// Extracts the 3-valued sample at bit position `bit`.
+constexpr Val3 dw_get(DualWord w, unsigned bit) {
+  const Word m = Word{1} << bit;
+  if (w.is0 & m) return Val3::Zero;
+  if (w.is1 & m) return Val3::One;
+  return Val3::X;
+}
+
+/// Sets the 3-valued sample at bit position `bit`.
+constexpr void dw_set(DualWord& w, unsigned bit, Val3 v) {
+  const Word m = Word{1} << bit;
+  w.is0 &= ~m;
+  w.is1 &= ~m;
+  if (v == Val3::Zero) w.is0 |= m;
+  if (v == Val3::One) w.is1 |= m;
+}
+
+}  // namespace mdd

@@ -1,0 +1,442 @@
+#include "netlist/verilog_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mdd {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("verilog:" + std::to_string(line) + ": " + msg);
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+         c == '\'';  // keeps 1'b0 as one token
+}
+
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> toks;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        const std::size_t end = line.find("*/", i);
+        if (end == std::string::npos) {
+          i = line.size();
+        } else {
+          i = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t j = i;
+        while (j < line.size() && ident_char(line[j])) ++j;
+        toks.push_back({line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      toks.push_back({std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  if (in_block_comment) fail(line_no, "unterminated block comment");
+  return toks;
+}
+
+struct Connection {
+  std::string pin;  // empty for positional
+  std::string net;  // identifier or 1'b0 / 1'b1 literal
+};
+
+struct Instance {
+  std::string type;
+  std::string name;
+  std::vector<Connection> conns;
+  std::size_t line = 0;
+};
+
+struct AssignStmt {
+  std::string lhs;
+  std::string rhs;
+  std::size_t line = 0;
+};
+
+/// Pin-name to cell-pin-index mapping for named connections.
+int named_input_index(const std::string& pin) {
+  if (pin.size() == 1 && pin[0] >= 'A' && pin[0] <= 'H') return pin[0] - 'A';
+  return -1;
+}
+
+bool is_named_output(const std::string& pin) {
+  return pin == "Y" || pin == "Z" || pin == "OUT" || pin == "Q";
+}
+
+}  // namespace
+
+VerilogParseResult parse_verilog(std::istream& in, const CellLibrary& lib) {
+  const std::vector<Token> toks = tokenize(in);
+  std::size_t p = 0;
+
+  auto peek = [&]() -> const Token& {
+    if (p >= toks.size()) fail(toks.empty() ? 0 : toks.back().line,
+                               "unexpected end of file");
+    return toks[p];
+  };
+  auto next = [&]() -> const Token& {
+    const Token& t = peek();
+    ++p;
+    return t;
+  };
+  auto expect = [&](std::string_view text) {
+    const Token& t = next();
+    if (t.text != text)
+      fail(t.line, "expected '" + std::string(text) + "', got '" + t.text + "'");
+  };
+
+  expect("module");
+  const std::string module_name = next().text;
+  // Skip the port header; directions come from declarations.
+  if (peek().text == "(") {
+    while (next().text != ")") {
+    }
+  }
+  expect(";");
+
+  std::vector<std::string> input_names, output_names;
+  std::unordered_set<std::string> wire_names;
+  std::vector<Instance> instances;
+  std::vector<AssignStmt> assigns;
+
+  auto parse_decl_names = [&](std::vector<std::string>& out_list) {
+    // Optional bus range: [msb:lsb]
+    long msb = -1, lsb = -1;
+    if (peek().text == "[") {
+      next();
+      msb = std::stol(next().text);
+      expect(":");
+      lsb = std::stol(next().text);
+      expect("]");
+    }
+    while (true) {
+      const Token& t = next();
+      if (msb >= 0) {
+        const long lo = std::min(msb, lsb), hi = std::max(msb, lsb);
+        for (long b = hi; b >= lo; --b)
+          out_list.push_back(t.text + "_" + std::to_string(b));
+      } else {
+        out_list.push_back(t.text);
+      }
+      const Token& sep = next();
+      if (sep.text == ";") break;
+      if (sep.text != ",") fail(sep.line, "expected ',' or ';' in declaration");
+    }
+  };
+
+  while (true) {
+    const Token& t = next();
+    if (t.text == "endmodule") break;
+    if (t.text == "input") {
+      parse_decl_names(input_names);
+    } else if (t.text == "output") {
+      parse_decl_names(output_names);
+    } else if (t.text == "wire") {
+      std::vector<std::string> names;
+      parse_decl_names(names);
+      for (std::string& n : names) wire_names.insert(std::move(n));
+    } else if (t.text == "assign") {
+      AssignStmt a;
+      a.line = t.line;
+      a.lhs = next().text;
+      expect("=");
+      a.rhs = next().text;
+      expect(";");
+      assigns.push_back(std::move(a));
+    } else {
+      // Instance: TYPE [name] ( conns ) ;
+      Instance inst;
+      inst.type = t.text;
+      inst.line = t.line;
+      if (peek().text != "(") inst.name = next().text;
+      expect("(");
+      if (peek().text != ")") {
+        while (true) {
+          Connection c;
+          if (peek().text == ".") {
+            next();
+            c.pin = next().text;
+            expect("(");
+            c.net = next().text;
+            expect(")");
+          } else {
+            c.net = next().text;
+          }
+          inst.conns.push_back(std::move(c));
+          const Token& sep = next();
+          if (sep.text == ")") break;
+          if (sep.text != ",") fail(sep.line, "expected ',' or ')'");
+        }
+      } else {
+        next();
+      }
+      expect(";");
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  VerilogParseResult result{Netlist(module_name), 0};
+  Netlist& nl = result.netlist;
+  for (const std::string& n : input_names) nl.add_input(n);
+
+  NetId tie0 = kNoNet, tie1 = kNoNet;
+  auto resolve = [&](const std::string& name) -> NetId {
+    if (name == "1'b0" || name == "1'h0") {
+      if (tie0 == kNoNet) tie0 = nl.add_gate(GateKind::Const0, {}, "_tie0");
+      return tie0;
+    }
+    if (name == "1'b1" || name == "1'h1") {
+      if (tie1 == kNoNet) tie1 = nl.add_gate(GateKind::Const1, {}, "_tie1");
+      return tie1;
+    }
+    return nl.find_net(name);
+  };
+
+  // Normalize each instance/assign into (output name, ready-check, build).
+  struct PendingGate {
+    std::string out;
+    std::string type;  // primitive name, cell name, or "assign"
+    std::vector<std::string> in_names;
+    std::string inst_name;
+    std::size_t line;
+  };
+  std::vector<PendingGate> pending;
+
+  for (const AssignStmt& a : assigns)
+    pending.push_back({a.lhs, "assign", {a.rhs}, "", a.line});
+
+  for (Instance& inst : instances) {
+    PendingGate pg;
+    pg.type = inst.type;
+    pg.inst_name = inst.name;
+    pg.line = inst.line;
+    const bool named = !inst.conns.empty() && !inst.conns.front().pin.empty();
+    auto prim = gate_kind_from_string(inst.type);
+    const CellModel* cell = prim ? nullptr : lib.find(inst.type);
+    if (!prim && !cell)
+      fail(inst.line, "unknown primitive or cell '" + inst.type + "'");
+    if (named) {
+      std::map<int, std::string> ins;
+      for (const Connection& c : inst.conns) {
+        if (is_named_output(c.pin)) {
+          pg.out = c.net;
+        } else {
+          const int idx = named_input_index(c.pin);
+          if (idx < 0) fail(inst.line, "unknown pin '" + c.pin + "'");
+          ins[idx] = c.net;
+        }
+      }
+      if (pg.out.empty()) fail(inst.line, "no output pin connection");
+      int expect_idx = 0;
+      for (const auto& [idx, netname] : ins) {
+        if (idx != expect_idx++) fail(inst.line, "non-contiguous input pins");
+        pg.in_names.push_back(netname);
+      }
+    } else {
+      if (inst.conns.empty()) fail(inst.line, "instance with no connections");
+      pg.out = inst.conns.front().net;
+      for (std::size_t i = 1; i < inst.conns.size(); ++i)
+        pg.in_names.push_back(inst.conns[i].net);
+    }
+    if (cell && pg.in_names.size() != cell->n_inputs())
+      fail(inst.line, "cell '" + inst.type + "' expects " +
+                          std::to_string(cell->n_inputs()) + " inputs");
+    pending.push_back(std::move(pg));
+  }
+
+  // Worklist resolution (definitions may appear in any order).
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    std::vector<PendingGate> remaining;
+    for (PendingGate& pg : pending) {
+      std::vector<NetId> fanins;
+      bool ready = true;
+      for (const std::string& n : pg.in_names) {
+        const NetId f = resolve(n);
+        if (f == kNoNet) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(f);
+      }
+      if (!ready) {
+        remaining.push_back(std::move(pg));
+        continue;
+      }
+      if (pg.type == "assign") {
+        nl.add_gate(GateKind::Buf, std::move(fanins), pg.out);
+      } else if (auto prim = gate_kind_from_string(pg.type)) {
+        nl.add_gate(*prim, std::move(fanins), pg.out);
+      } else {
+        const CellModel* cell = lib.find(pg.type);
+        nl.add_cell(*cell, fanins, pg.inst_name, pg.out);
+        ++result.n_cells;
+      }
+      progress = true;
+    }
+    pending = std::move(remaining);
+  }
+  if (!pending.empty())
+    fail(pending.front().line,
+         "unresolvable net (undeclared driver or combinational loop) feeding '" +
+             pending.front().out + "'");
+
+  for (const std::string& n : output_names) {
+    const NetId net = nl.find_net(n);
+    if (net == kNoNet)
+      throw std::runtime_error("verilog: output '" + n + "' never driven");
+    nl.mark_output(net);
+  }
+  nl.finalize();
+  return result;
+}
+
+VerilogParseResult parse_verilog_string(std::string_view text,
+                                        const CellLibrary& lib) {
+  std::istringstream ss{std::string(text)};
+  return parse_verilog(ss, lib);
+}
+
+VerilogParseResult parse_verilog_file(const std::string& path,
+                                      const CellLibrary& lib) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("verilog: cannot open " + path);
+  return parse_verilog(in, lib);
+}
+
+namespace {
+
+/// Verilog identifiers cannot contain '.' etc.; sanitize and uniquify.
+class NameMangler {
+ public:
+  explicit NameMangler(const Netlist& nl) : names_(nl.n_nets()) {
+    for (NetId n = 0; n < nl.n_nets(); ++n) {
+      std::string s = nl.net_name(n);
+      for (char& c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+      if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+        s = "n_" + s;
+      while (used_.contains(s)) s += "_";
+      used_.insert(s);
+      names_[n] = std::move(s);
+    }
+  }
+  const std::string& operator[](NetId n) const { return names_[n]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_set<std::string> used_;
+};
+
+std::string_view primitive_name(GateKind k) {
+  switch (k) {
+    case GateKind::Buf: return "buf";
+    case GateKind::Not: return "not";
+    case GateKind::And: return "and";
+    case GateKind::Nand: return "nand";
+    case GateKind::Or: return "or";
+    case GateKind::Nor: return "nor";
+    case GateKind::Xor: return "xor";
+    case GateKind::Xnor: return "xnor";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& out, const Netlist& nl) {
+  const NameMangler name(nl);
+  std::string module = nl.name();
+  for (char& c : module)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  if (module.empty() || std::isdigit(static_cast<unsigned char>(module[0])))
+    module = "m_" + module;
+  out << "module " << module << " (";
+  bool first = true;
+  for (NetId i : nl.inputs()) {
+    if (!first) out << ", ";
+    first = false;
+    out << name[i];
+  }
+  std::unordered_set<NetId> port_nets(nl.inputs().begin(), nl.inputs().end());
+  for (NetId o : nl.outputs()) {
+    if (!first) out << ", ";
+    first = false;
+    out << name[o] << (port_nets.contains(o) ? "_po" : "");
+  }
+  out << ");\n";
+  for (NetId i : nl.inputs()) out << "  input " << name[i] << ";\n";
+  for (NetId o : nl.outputs())
+    out << "  output " << name[o] << (port_nets.contains(o) ? "_po" : "")
+        << ";\n";
+  for (NetId g : nl.topo_order()) {
+    if (nl.kind(g) == GateKind::Input) continue;
+    if (!nl.output_index(g).has_value()) out << "  wire " << name[g] << ";\n";
+  }
+  for (NetId g : nl.topo_order()) {
+    const GateKind k = nl.kind(g);
+    if (k == GateKind::Input) continue;
+    if (k == GateKind::Const0) {
+      out << "  assign " << name[g] << " = 1'b0;\n";
+      continue;
+    }
+    if (k == GateKind::Const1) {
+      out << "  assign " << name[g] << " = 1'b1;\n";
+      continue;
+    }
+    out << "  " << primitive_name(k) << " g" << g << " (" << name[g];
+    for (NetId f : nl.fanins(g)) out << ", " << name[f];
+    out << ");\n";
+  }
+  // POs that are also PIs need a feed-through alias.
+  for (NetId o : nl.outputs())
+    if (port_nets.contains(o))
+      out << "  assign " << name[o] << "_po = " << name[o] << ";\n";
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& nl) {
+  std::ostringstream ss;
+  write_verilog(ss, nl);
+  return ss.str();
+}
+
+}  // namespace mdd

@@ -1,0 +1,46 @@
+// openmdd — structural Verilog subset reader/writer.
+//
+// Supported subset (sufficient for gate-level netlists written by synthesis
+// flows and by this library):
+//
+//   module NAME (port, port, ...);
+//     input  a, b;       // or: input [3:0] bus;  (bus expands to bus_3..bus_0)
+//     output z;
+//     wire   w1, w2;
+//     nand g1 (out, in1, in2);        // primitive, output first, name optional
+//     AOI21 u7 (.Y(z), .A(w1), .B(w2), .C(a));  // library cell, named ports
+//     NAND2 u8 (z2, w1, w2);                    // library cell, positional
+//   endmodule
+//
+// Named ports: output pin is Y, Z, OUT or Q; input pins A..H map to cell
+// pin indices 0..7. Positional cell ports are output-first followed by the
+// cell's inputs in pin order. `1'b0`/`1'b1` literals are allowed as input
+// connections and become tie cells.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+
+struct VerilogParseResult {
+  Netlist netlist;
+  std::size_t n_cells = 0;  ///< complex library cell instances expanded
+};
+
+/// Parses the structural subset. `lib` resolves non-primitive instance
+/// types. Throws std::runtime_error with a line-numbered message on errors.
+VerilogParseResult parse_verilog(std::istream& in, const CellLibrary& lib);
+VerilogParseResult parse_verilog_string(std::string_view text,
+                                        const CellLibrary& lib);
+VerilogParseResult parse_verilog_file(const std::string& path,
+                                      const CellLibrary& lib);
+
+/// Writes the netlist as structural Verilog using gate primitives.
+void write_verilog(std::ostream& out, const Netlist& netlist);
+std::string write_verilog_string(const Netlist& netlist);
+
+}  // namespace mdd

@@ -1,0 +1,66 @@
+#include "sim/sim2.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mdd {
+
+BlockSim::BlockSim(const Netlist& netlist)
+    : netlist_(&netlist), values_(netlist.n_nets(), kAllZero) {
+  if (!netlist.finalized())
+    throw std::logic_error("BlockSim: netlist not finalized");
+  std::size_t max_fanin = 0;
+  for (NetId n = 0; n < netlist.n_nets(); ++n)
+    max_fanin = std::max(max_fanin, netlist.fanins(n).size());
+  fanin_buf_.resize(max_fanin);
+}
+
+void BlockSim::run(const PatternSet& stimuli, std::size_t block) {
+  const auto& inputs = netlist_->inputs();
+  assert(stimuli.n_signals() == inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = stimuli.word(block, i);
+  for (NetId g : netlist_->topo_order()) {
+    const GateKind k = netlist_->kind(g);
+    if (k == GateKind::Input) continue;
+    const auto fi = netlist_->fanins(g);
+    for (std::size_t j = 0; j < fi.size(); ++j)
+      fanin_buf_[j] = values_[fi[j]];
+    values_[g] = eval_gate_word(k, fanin_buf_.data(), fi.size());
+  }
+}
+
+void BlockSim::run(std::span<const Word> pi_words) {
+  const auto& inputs = netlist_->inputs();
+  assert(pi_words.size() == inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = pi_words[i];
+  for (NetId g : netlist_->topo_order()) {
+    const GateKind k = netlist_->kind(g);
+    if (k == GateKind::Input) continue;
+    const auto fi = netlist_->fanins(g);
+    for (std::size_t j = 0; j < fi.size(); ++j)
+      fanin_buf_[j] = values_[fi[j]];
+    values_[g] = eval_gate_word(k, fanin_buf_.data(), fi.size());
+  }
+}
+
+void BlockSim::outputs(std::span<Word> out) const {
+  const auto& pos = netlist_->outputs();
+  assert(out.size() == pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) out[i] = values_[pos[i]];
+}
+
+PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli) {
+  PatternSet responses(stimuli.n_patterns(), netlist.n_outputs());
+  BlockSim sim(netlist);
+  for (std::size_t b = 0; b < stimuli.n_blocks(); ++b) {
+    sim.run(stimuli, b);
+    const Word mask = stimuli.valid_mask(b);
+    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
+      responses.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
+  }
+  return responses;
+}
+
+}  // namespace mdd

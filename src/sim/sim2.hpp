@@ -1,0 +1,48 @@
+// openmdd — bit-parallel two-valued good-machine simulation.
+//
+// `BlockSim` evaluates one 64-pattern block over the whole netlist in
+// topological order, leaving every net's word accessible — the faulty
+// machine (fault/inject.hpp) and critical path tracing both build on this
+// buffer. `simulate` is the batch convenience wrapper producing PO
+// responses for a full pattern set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+/// Reusable per-netlist simulation buffer for one block of 64 patterns.
+class BlockSim {
+ public:
+  explicit BlockSim(const Netlist& netlist);
+
+  /// Evaluates all nets for pattern block `block` of `stimuli`
+  /// (stimuli.n_signals() must equal netlist.n_inputs()).
+  void run(const PatternSet& stimuli, std::size_t block);
+
+  /// Evaluates with explicit PI words (one per PI, in inputs() order).
+  void run(std::span<const Word> pi_words);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// Value word of net `n` after run().
+  Word value(NetId n) const { return values_[n]; }
+  std::span<const Word> values() const { return values_; }
+
+  /// Copies PO words (outputs() order) into `out`.
+  void outputs(std::span<Word> out) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Word> values_;
+  std::vector<Word> fanin_buf_;
+};
+
+/// Full-set good-machine simulation: returns the (patterns x POs) response.
+PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli);
+
+}  // namespace mdd

@@ -1,0 +1,147 @@
+#include "sim/sim3.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mdd {
+
+Scalar3Sim::Scalar3Sim(const Netlist& netlist)
+    : netlist_(&netlist),
+      pi_vals_(netlist.n_inputs(), Val3::X),
+      values_(netlist.n_nets(), Val3::X) {
+  if (!netlist.finalized())
+    throw std::logic_error("Scalar3Sim: netlist not finalized");
+}
+
+void Scalar3Sim::reset() {
+  pi_vals_.assign(pi_vals_.size(), Val3::X);
+  override_net_ = kNoNet;
+  pin_override_gate_ = kNoNet;
+}
+
+void Scalar3Sim::set_input(std::size_t pi_index, Val3 v) {
+  pi_vals_.at(pi_index) = v;
+}
+
+void Scalar3Sim::set_override(NetId n, Val3 v) {
+  override_net_ = n;
+  override_val_ = v;
+}
+
+void Scalar3Sim::set_pin_override(NetId gate, std::uint32_t pin, Val3 v) {
+  pin_override_gate_ = gate;
+  pin_override_pin_ = pin;
+  pin_override_val_ = v;
+}
+
+void Scalar3Sim::run() {
+  const auto& inputs = netlist_->inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = pi_vals_[i];
+  if (override_net_ != kNoNet && netlist_->is_input(override_net_))
+    values_[override_net_] = override_val_;
+
+  for (NetId g : netlist_->topo_order()) {
+    const GateKind k = netlist_->kind(g);
+    if (k == GateKind::Input) continue;
+    const auto fi = netlist_->fanins(g);
+    auto in = [&](std::size_t idx) {
+      if (g == pin_override_gate_ && idx == pin_override_pin_)
+        return pin_override_val_;
+      return values_[fi[idx]];
+    };
+    Val3 v;
+    switch (k) {
+      case GateKind::Const0: v = Val3::Zero; break;
+      case GateKind::Const1: v = Val3::One; break;
+      case GateKind::Buf: v = in(0); break;
+      case GateKind::Not: v = v3_not(in(0)); break;
+      case GateKind::And:
+      case GateKind::Nand: {
+        v = Val3::One;
+        for (std::size_t j = 0; j < fi.size(); ++j) v = v3_and(v, in(j));
+        if (k == GateKind::Nand) v = v3_not(v);
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        v = Val3::Zero;
+        for (std::size_t j = 0; j < fi.size(); ++j) v = v3_or(v, in(j));
+        if (k == GateKind::Nor) v = v3_not(v);
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        v = Val3::Zero;
+        for (std::size_t j = 0; j < fi.size(); ++j) v = v3_xor(v, in(j));
+        if (k == GateKind::Xnor) v = v3_not(v);
+        break;
+      }
+      default:
+        v = Val3::X;
+    }
+    values_[g] = (g == override_net_) ? override_val_ : v;
+  }
+}
+
+Pattern3Set Pattern3Set::from_binary(const PatternSet& ps) {
+  Pattern3Set out;
+  out.is1 = ps;
+  out.is0 = PatternSet(ps.n_patterns(), ps.n_signals());
+  for (std::size_t b = 0; b < ps.n_blocks(); ++b) {
+    const Word mask = ps.valid_mask(b);
+    for (std::size_t s = 0; s < ps.n_signals(); ++s)
+      out.is0.word(b, s) = ~ps.word(b, s) & mask;
+  }
+  return out;
+}
+
+Val3 Pattern3Set::get(std::size_t pattern, std::size_t signal) const {
+  if (is0.get(pattern, signal)) return Val3::Zero;
+  if (is1.get(pattern, signal)) return Val3::One;
+  return Val3::X;
+}
+
+void Pattern3Set::set(std::size_t pattern, std::size_t signal, Val3 v) {
+  is0.set(pattern, signal, v == Val3::Zero);
+  is1.set(pattern, signal, v == Val3::One);
+}
+
+Pattern3Set simulate3(const Netlist& netlist, const Pattern3Set& stimuli) {
+  assert(stimuli.n_signals() == netlist.n_inputs());
+  const std::size_t n_blocks = stimuli.is0.n_blocks();
+  Pattern3Set out;
+  out.is0 = PatternSet(stimuli.n_patterns(), netlist.n_outputs());
+  out.is1 = PatternSet(stimuli.n_patterns(), netlist.n_outputs());
+
+  std::vector<DualWord> values(netlist.n_nets());
+  std::vector<DualWord> fanin_buf;
+  std::size_t max_fanin = 0;
+  for (NetId n = 0; n < netlist.n_nets(); ++n)
+    max_fanin = std::max(max_fanin, netlist.fanins(n).size());
+  fanin_buf.resize(max_fanin);
+
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const auto& inputs = netlist.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      values[inputs[i]] = DualWord{stimuli.is0.word(b, i),
+                                   stimuli.is1.word(b, i)};
+    for (NetId g : netlist.topo_order()) {
+      const GateKind k = netlist.kind(g);
+      if (k == GateKind::Input) continue;
+      const auto fi = netlist.fanins(g);
+      for (std::size_t j = 0; j < fi.size(); ++j)
+        fanin_buf[j] = values[fi[j]];
+      values[g] = eval_gate_dual(k, fanin_buf.data(), fi.size());
+    }
+    const Word mask = stimuli.is0.valid_mask(b);
+    for (std::size_t o = 0; o < netlist.n_outputs(); ++o) {
+      const DualWord w = values[netlist.outputs()[o]];
+      out.is0.word(b, o) = w.is0 & mask;
+      out.is1.word(b, o) = w.is1 & mask;
+    }
+  }
+  return out;
+}
+
+}  // namespace mdd

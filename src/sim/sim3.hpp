@@ -1,0 +1,71 @@
+// openmdd — three-valued (0/1/X) simulation.
+//
+// Two entry points:
+//  * `Scalar3Sim` — one pattern at a time with Val3 values; the workhorse
+//    of PODEM (supports partial input assignments, X elsewhere).
+//  * `simulate3` — dual-rail word-parallel batch simulation for pattern
+//    sets that contain unknowns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+/// Scalar three-valued full-pass simulator with an optional single
+/// stuck-value override on any net (used by ATPG's faulty machine).
+class Scalar3Sim {
+ public:
+  explicit Scalar3Sim(const Netlist& netlist);
+
+  /// Clears all PI assignments to X.
+  void reset();
+
+  /// Assigns a PI (by PI index, i.e. position in netlist.inputs()).
+  void set_input(std::size_t pi_index, Val3 v);
+  Val3 input(std::size_t pi_index) const { return pi_vals_[pi_index]; }
+
+  /// Forces net `n` to `v` regardless of its driver ("stuck" override);
+  /// pass kNoNet to clear.
+  void set_override(NetId n, Val3 v);
+
+  /// Forces fanin pin `pin` of gate `gate` to read `v` (branch fault);
+  /// pass kNoNet to clear.
+  void set_pin_override(NetId gate, std::uint32_t pin, Val3 v);
+
+  /// Full-pass evaluation from the current PI assignment.
+  void run();
+
+  Val3 value(NetId n) const { return values_[n]; }
+  const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Val3> pi_vals_;
+  std::vector<Val3> values_;
+  NetId override_net_ = kNoNet;
+  Val3 override_val_ = Val3::X;
+  NetId pin_override_gate_ = kNoNet;
+  std::uint32_t pin_override_pin_ = 0;
+  Val3 pin_override_val_ = Val3::X;
+};
+
+/// A pattern set over {0,1,X}: value planes for packed 3-valued stimuli.
+struct Pattern3Set {
+  PatternSet is0;  ///< bit set => signal is 0
+  PatternSet is1;  ///< bit set => signal is 1 (neither => X)
+
+  static Pattern3Set from_binary(const PatternSet& ps);
+  std::size_t n_patterns() const { return is0.n_patterns(); }
+  std::size_t n_signals() const { return is0.n_signals(); }
+  Val3 get(std::size_t pattern, std::size_t signal) const;
+  void set(std::size_t pattern, std::size_t signal, Val3 v);
+};
+
+/// Word-parallel dual-rail batch simulation; X-in propagates conservatively.
+Pattern3Set simulate3(const Netlist& netlist, const Pattern3Set& stimuli);
+
+}  // namespace mdd

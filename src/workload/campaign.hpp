@@ -1,0 +1,133 @@
+// openmdd — defect-injection campaign driver.
+//
+// Reproduces the evaluation methodology of the multiple-defect diagnosis
+// literature: sample a defect multiplet, simulate the composite defective
+// machine against the production test set to produce a tester datalog, run
+// each diagnoser, score against ground truth, aggregate. All sampling is
+// seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "diag/metrics.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+
+namespace mdd {
+
+/// How strongly the sampled defects are made to interact.
+enum class InteractionLevel {
+  None,           ///< anywhere in the circuit
+  SharedOutputs,  ///< members 2..k reach at least one PO member 1 reaches
+  SameCone,       ///< members 2..k lie in member 1's fan-in or fan-out cone
+                  ///< (same sensitization paths => heavy masking)
+};
+
+struct DefectSampleConfig {
+  std::size_t multiplicity = 2;
+  /// Fraction of multiplet members that are dominant bridges (rest are
+  /// stem/branch stuck-at faults).
+  double bridge_fraction = 0.25;
+  /// Fraction of stuck-at members placed on branches (when available).
+  double branch_fraction = 0.25;
+  /// Pair-testing campaigns only: fraction of members that are transition
+  /// (slow-to-rise/fall) faults; the rest are stuck-at.
+  double transition_fraction = 0.5;
+  InteractionLevel interaction = InteractionLevel::None;
+  /// Resample any member that the pattern set cannot detect in isolation
+  /// (an undetectable defect is invisible to every diagnoser).
+  bool require_member_detected = true;
+};
+
+/// Samples one defect multiplet. Returns nullopt if no valid multiplet was
+/// found within the try budget (tiny circuits with strict constraints).
+std::optional<std::vector<Fault>> sample_defect(const Netlist& netlist,
+                                                FaultSimulator& fsim,
+                                                const DefectSampleConfig& config,
+                                                std::mt19937_64& rng,
+                                                std::size_t max_tries = 400);
+
+/// Pair-testing variant: members are transition faults (with probability
+/// transition_fraction) or stem stuck-at faults; detectability is checked
+/// under two-pattern simulation.
+std::optional<std::vector<Fault>> sample_tdf_defect(
+    const Netlist& netlist, PairFaultSimulator& fsim,
+    const DefectSampleConfig& config, std::mt19937_64& rng,
+    std::size_t max_tries = 400);
+
+/// Per-method aggregate over a campaign.
+struct MethodAggregate {
+  std::string method;
+  std::size_t n_cases = 0;
+  double sum_hit_rate = 0;
+  double sum_precision = 0;
+  double sum_resolution = 0;
+  std::size_t n_all_hit = 0;
+  std::size_t n_first_hit = 0;
+  std::size_t n_exact = 0;  ///< reports that reproduce the datalog exactly
+  double sum_cpu = 0;
+
+  void add(const TruthEvaluation& ev, const DiagnosisReport& report);
+  double avg_hit_rate() const { return n_cases ? sum_hit_rate / n_cases : 0; }
+  double avg_precision() const {
+    return n_cases ? sum_precision / n_cases : 0;
+  }
+  double avg_resolution() const {
+    return n_cases ? sum_resolution / n_cases : 0;
+  }
+  double all_hit_rate() const {
+    return n_cases ? static_cast<double>(n_all_hit) / n_cases : 0;
+  }
+  double first_hit_rate() const {
+    return n_cases ? static_cast<double>(n_first_hit) / n_cases : 0;
+  }
+  double exact_rate() const {
+    return n_cases ? static_cast<double>(n_exact) / n_cases : 0;
+  }
+  double avg_cpu_ms() const {
+    return n_cases ? 1000.0 * sum_cpu / n_cases : 0;
+  }
+};
+
+struct CampaignConfig {
+  std::size_t n_cases = 50;
+  DefectSampleConfig defect{};
+  DatalogOptions datalog{};
+  CandidateOptions candidates{};
+  bool run_single = true;
+  bool run_slat = true;
+  bool run_multiplet = true;
+  SingleFaultOptions single{};
+  SlatOptions slat{};
+  MultipletOptions multiplet{};
+  std::uint64_t seed = 1;
+};
+
+struct CampaignResult {
+  MethodAggregate single;
+  MethodAggregate slat;
+  MethodAggregate multiplet;
+  std::size_t n_cases = 0;
+  double avg_failing_patterns = 0;
+  double avg_failing_bits = 0;
+  /// Fraction of failing patterns exactly explainable by one candidate
+  /// (the SLAT property), averaged over cases.
+  double avg_slat_fraction = 0;
+};
+
+CampaignResult run_campaign(const Netlist& netlist, const PatternSet& patterns,
+                            const CampaignConfig& config);
+
+/// Transition-testing campaign: defects sampled per transition_fraction,
+/// datalogs produced by two-pattern simulation, diagnosis in pair mode.
+CampaignResult run_tdf_campaign(const Netlist& netlist,
+                                const PatternSet& launch,
+                                const PatternSet& capture,
+                                const CampaignConfig& config);
+
+}  // namespace mdd

@@ -1,0 +1,35 @@
+#include "workload/circuits.hpp"
+
+namespace mdd {
+
+std::vector<std::string> standard_circuit_names() {
+  return {"c17", "add8", "add32", "par64", "mux16", "g200", "g1k", "g5k"};
+}
+
+BenchCircuit load_bench_circuit(const std::string& name) {
+  Netlist netlist = make_named_circuit(name);
+  TpgOptions tpg;
+  tpg.seed = 0xA77 + netlist.n_nets();
+  const std::size_t gates = netlist.n_gates();
+  if (gates <= 64) {
+    tpg.random_batch = 64;
+    tpg.max_random_rounds = 4;
+  } else if (gates <= 2000) {
+    tpg.random_batch = 256;
+    tpg.max_random_rounds = 8;
+  } else {
+    // Large substitutes: random-only with fault dropping (event-driven
+    // PPSFP makes the drop loops cheap). Deterministic PODEM top-up still
+    // costs minutes at this size for a few coverage points the diagnosis
+    // experiments do not need (defects are sampled detectable).
+    tpg.random_batch = 512;
+    tpg.max_random_rounds = 10;
+    tpg.run_podem = false;
+  }
+  TpgResult result = generate_tests(netlist, tpg);
+  PatternSet patterns = std::move(result.patterns);
+  return BenchCircuit{std::move(netlist), std::move(patterns),
+                      std::move(result)};
+}
+
+}  // namespace mdd

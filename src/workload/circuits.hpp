@@ -1,0 +1,28 @@
+// openmdd — standard benchmark circuits with production-style test sets.
+//
+// One-stop registry used by the benchmark harness and the examples: each
+// named circuit comes with a deterministic ATPG-generated pattern set
+// (options scaled to circuit size so the large substitutes stay tractable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atpg/tpg.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+
+struct BenchCircuit {
+  Netlist netlist;
+  PatternSet patterns;
+  TpgResult tpg;
+};
+
+/// Circuits used across tables/figures, smallest first.
+std::vector<std::string> standard_circuit_names();
+
+/// Builds the circuit and its test set (deterministic per name).
+BenchCircuit load_bench_circuit(const std::string& name);
+
+}  // namespace mdd

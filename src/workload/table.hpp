@@ -1,0 +1,33 @@
+// openmdd — plain-text table formatting for the benchmark harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mdd {
+
+/// Column-aligned text table with a header row, printed in the style of
+/// the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// CSV dump (for plotting the figure benches).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.873").
+std::string fmt(double value, int precision = 3);
+/// Percentage formatting ("87.3%").
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace mdd

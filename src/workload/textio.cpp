@@ -1,0 +1,221 @@
+#include "workload/textio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mdd {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("textio: " + what);
+}
+
+std::string next_content_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim.
+    std::size_t b = 0, e = line.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1])))
+      --e;
+    if (e > b) return line.substr(b, e - b);
+  }
+  return {};
+}
+
+}  // namespace
+
+void write_patterns(std::ostream& out, const PatternSet& patterns) {
+  out << "# openmdd pattern set\n";
+  out << "patterns " << patterns.n_signals() << "\n";
+  for (std::size_t p = 0; p < patterns.n_patterns(); ++p)
+    out << patterns.to_string(p) << "\n";
+}
+
+PatternSet read_patterns(std::istream& in) {
+  std::string header = next_content_line(in);
+  std::istringstream hs(header);
+  std::string kw;
+  std::size_t n_signals = 0;
+  hs >> kw >> n_signals;
+  if (kw != "patterns" || n_signals == 0)
+    fail("expected 'patterns <width>' header");
+  PatternSet ps(0, n_signals);
+  for (std::string line = next_content_line(in); !line.empty();
+       line = next_content_line(in)) {
+    if (line.size() != n_signals)
+      fail("pattern width mismatch: '" + line + "'");
+    std::vector<bool> bits(n_signals);
+    for (std::size_t i = 0; i < n_signals; ++i) {
+      if (line[i] != '0' && line[i] != '1')
+        fail("pattern must be binary: '" + line + "'");
+      bits[i] = line[i] == '1';
+    }
+    ps.append(bits);
+  }
+  if (ps.n_patterns() == 0) fail("pattern file has no patterns");
+  return ps;
+}
+
+void write_patterns_file(const std::string& path, const PatternSet& patterns) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write " + path);
+  write_patterns(out, patterns);
+}
+
+PatternSet read_patterns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_patterns(in);
+}
+
+void write_datalog(std::ostream& out, const Datalog& datalog,
+                   const Netlist& netlist) {
+  out << "datalog\n";
+  out << "applied " << datalog.n_patterns_applied << "\n";
+  if (datalog.pattern_truncated) out << "pattern_truncated\n";
+  if (datalog.pin_truncated) out << "pin_truncated\n";
+  const ErrorSignature& obs = datalog.observed;
+  for (std::size_t i = 0; i < obs.n_failing_patterns(); ++i) {
+    out << "fail " << obs.failing_patterns()[i] << " :";
+    for (std::uint32_t po : obs.failing_outputs(i))
+      out << " " << netlist.net_name(netlist.outputs()[po]);
+    out << "\n";
+  }
+}
+
+Datalog read_datalog(std::istream& in, const Netlist& netlist) {
+  if (next_content_line(in) != "datalog") fail("expected 'datalog' header");
+  Datalog log;
+  std::size_t n_applied = 0;
+  struct Entry {
+    std::uint32_t pattern;
+    std::vector<Word> mask;
+  };
+  std::vector<Entry> entries;
+  const std::size_t n_po_words = (netlist.n_outputs() + 63) / 64;
+
+  for (std::string line = next_content_line(in); !line.empty();
+       line = next_content_line(in)) {
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "applied") {
+      ls >> n_applied;
+    } else if (kw == "pattern_truncated") {
+      log.pattern_truncated = true;
+    } else if (kw == "pin_truncated") {
+      log.pin_truncated = true;
+    } else if (kw == "fail") {
+      Entry e;
+      e.mask.assign(n_po_words, kAllZero);
+      std::string colon;
+      ls >> e.pattern >> colon;
+      if (colon != ":") fail("expected ':' in fail line: " + line);
+      std::string name;
+      bool any = false;
+      while (ls >> name) {
+        const NetId net = netlist.find_net(name);
+        if (net == kNoNet) fail("unknown output '" + name + "'");
+        const auto idx = netlist.output_index(net);
+        if (!idx) fail("net '" + name + "' is not an output");
+        e.mask[*idx / 64] |= Word{1} << (*idx % 64);
+        any = true;
+      }
+      if (!any) fail("fail line lists no outputs: " + line);
+      entries.push_back(std::move(e));
+    } else {
+      fail("unknown datalog line: " + line);
+    }
+  }
+  if (n_applied == 0) fail("datalog missing 'applied <n>'");
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.pattern < b.pattern; });
+  log.observed = ErrorSignature(n_applied, netlist.n_outputs());
+  for (const Entry& e : entries) {
+    if (e.pattern >= n_applied) fail("failing pattern beyond applied window");
+    log.observed.append(e.pattern, e.mask);
+  }
+  log.n_patterns_applied = n_applied;
+  return log;
+}
+
+void write_datalog_file(const std::string& path, const Datalog& datalog,
+                        const Netlist& netlist) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write " + path);
+  write_datalog(out, datalog, netlist);
+}
+
+Datalog read_datalog_file(const std::string& path, const Netlist& netlist) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_datalog(in, netlist);
+}
+
+Fault parse_fault_spec(std::string_view spec, const Netlist& netlist) {
+  std::istringstream ss{std::string(spec)};
+  std::string kind;
+  ss >> kind;
+  std::transform(kind.begin(), kind.end(), kind.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+
+  auto net_of = [&](const std::string& name) {
+    const NetId n = netlist.find_net(name);
+    if (n == kNoNet) fail("unknown net '" + name + "' in fault spec");
+    return n;
+  };
+
+  if (kind == "sa0" || kind == "sa1") {
+    std::string site;
+    ss >> site;
+    if (site.empty()) fail("stuck-at spec needs a net");
+    const bool value = kind == "sa1";
+    const std::size_t dot = site.rfind('.');
+    if (dot != std::string::npos &&
+        site.find_first_not_of("0123456789", dot + 1) == std::string::npos &&
+        dot + 1 < site.size() && netlist.find_net(site) == kNoNet) {
+      const NetId gate = net_of(site.substr(0, dot));
+      const std::uint32_t pin =
+          static_cast<std::uint32_t>(std::stoul(site.substr(dot + 1)));
+      const Fault f = Fault::branch_sa(gate, pin, value);
+      validate_fault(f, netlist);
+      return f;
+    }
+    return Fault::stem_sa(net_of(site), value);
+  }
+  if (kind == "dom") {
+    std::string agg, victim;
+    ss >> agg >> victim;
+    if (victim.empty()) fail("dom spec: 'dom AGGRESSOR VICTIM'");
+    const Fault f = Fault::bridge_dom(net_of(victim), net_of(agg));
+    validate_fault(f, netlist);
+    return f;
+  }
+  if (kind == "wand" || kind == "wor") {
+    std::string a, b;
+    ss >> a >> b;
+    if (b.empty()) fail(kind + " spec: '" + kind + " NET NET'");
+    const Fault f = kind == "wand" ? Fault::bridge_wand(net_of(a), net_of(b))
+                                   : Fault::bridge_wor(net_of(a), net_of(b));
+    validate_fault(f, netlist);
+    return f;
+  }
+  if (kind == "str" || kind == "stf") {
+    std::string site;
+    ss >> site;
+    if (site.empty()) fail("transition spec needs a net");
+    return kind == "str" ? Fault::slow_to_rise(net_of(site))
+                         : Fault::slow_to_fall(net_of(site));
+  }
+  fail("unknown fault kind '" + kind + "'");
+}
+
+}  // namespace mdd

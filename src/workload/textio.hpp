@@ -1,0 +1,53 @@
+// openmdd — text file formats for the command-line flow.
+//
+// Pattern file (one pattern per line, PI order = netlist inputs order):
+//
+//     # comment
+//     patterns 5
+//     01101
+//     11000
+//
+// Datalog file (named outputs; `applied` bounds the tester window):
+//
+//     datalog
+//     applied 128
+//     fail 3 : z1 z2
+//     fail 17 : z2
+//
+// Fault specs (CLI `--fault` syntax, also used in datalog tooling):
+//
+//     sa0 NET            stem stuck-at-0
+//     sa1 NET.3          stuck-at-1 on fanin pin 3 of gate NET
+//     dom AGG VICTIM     dominant bridge (aggressor first)
+//     wand A B / wor A B wired bridges
+//     str NET / stf NET  slow-to-rise / slow-to-fall
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "diag/datalog.hpp"
+#include "fault/fault.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd {
+
+void write_patterns(std::ostream& out, const PatternSet& patterns);
+PatternSet read_patterns(std::istream& in);
+void write_patterns_file(const std::string& path, const PatternSet& patterns);
+PatternSet read_patterns_file(const std::string& path);
+
+/// Datalog I/O; output names resolve through the netlist's PO list.
+void write_datalog(std::ostream& out, const Datalog& datalog,
+                   const Netlist& netlist);
+Datalog read_datalog(std::istream& in, const Netlist& netlist);
+void write_datalog_file(const std::string& path, const Datalog& datalog,
+                        const Netlist& netlist);
+Datalog read_datalog_file(const std::string& path, const Netlist& netlist);
+
+/// Parses a fault spec (see header comment). Throws std::runtime_error
+/// with a helpful message on bad syntax or unknown nets.
+Fault parse_fault_spec(std::string_view spec, const Netlist& netlist);
+
+}  // namespace mdd

@@ -1,0 +1,121 @@
+// Unit tests: ISCAS .bench reader/writer.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "sim/sim2.hpp"
+
+namespace mdd {
+namespace {
+
+constexpr const char* kC17 = R"(
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchParser, ParsesC17) {
+  const BenchParseResult r = parse_bench_string(kC17, "c17");
+  EXPECT_EQ(r.n_dff, 0u);
+  EXPECT_EQ(r.netlist.n_inputs(), 5u);
+  EXPECT_EQ(r.netlist.n_outputs(), 2u);
+  EXPECT_EQ(r.netlist.n_gates(), 6u);
+}
+
+TEST(BenchParser, ParsedC17MatchesBuiltin) {
+  const Netlist parsed = parse_bench_string(kC17, "c17").netlist;
+  const Netlist builtin = make_c17();
+  const PatternSet stimuli = PatternSet::exhaustive(5);
+  EXPECT_EQ(simulate(parsed, stimuli), simulate(builtin, stimuli));
+}
+
+TEST(BenchParser, OutOfOrderDefinitions) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = AND(a, w)
+w = NOT(a)
+)";
+  const Netlist nl = parse_bench_string(text).netlist;
+  EXPECT_EQ(nl.n_gates(), 3u);
+  // z = !(a & !a) == 1 always.
+  const PatternSet stimuli = PatternSet::exhaustive(1);
+  const PatternSet resp = simulate(nl, stimuli);
+  EXPECT_TRUE(resp.get(0, 0));
+  EXPECT_TRUE(resp.get(1, 0));
+}
+
+TEST(BenchParser, DffScanConversion) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+q = DFF(d)
+d = AND(a, q)
+z = NOT(q)
+)";
+  const BenchParseResult r = parse_bench_string(text);
+  EXPECT_EQ(r.n_dff, 1u);
+  // q becomes a pseudo-PI, d a pseudo-PO.
+  EXPECT_EQ(r.netlist.n_inputs(), 2u);
+  EXPECT_EQ(r.netlist.n_outputs(), 2u);
+  EXPECT_NE(r.netlist.find_net("q"), kNoNet);
+  EXPECT_TRUE(r.netlist.is_input(r.netlist.find_net("q")));
+}
+
+TEST(BenchParser, DffInputAlreadyOutputNotDoubleMarked) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(d)
+q = DFF(d)
+d = NOT(a)
+z = AND(q, a)
+OUTPUT(z)
+)";
+  const BenchParseResult r = parse_bench_string(text);
+  EXPECT_EQ(r.netlist.n_outputs(), 2u);  // d listed once
+}
+
+TEST(BenchParser, Errors) {
+  EXPECT_THROW(parse_bench_string("z = FROB(a)\nINPUT(a)\nOUTPUT(z)"),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)"),  // z undefined
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\nz = AND(a, q)"),
+               std::runtime_error);  // q undefined
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nGARBAGE"), std::runtime_error);
+  // Combinational loop.
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)"),
+      std::runtime_error);
+}
+
+TEST(BenchParser, RoundTripPreservesBehaviour) {
+  for (const char* name : {"c17", "add8", "par64"}) {
+    const Netlist original = make_named_circuit(name);
+    const std::string text = write_bench_string(original);
+    const Netlist reparsed = parse_bench_string(text, name).netlist;
+    ASSERT_EQ(reparsed.n_inputs(), original.n_inputs()) << name;
+    ASSERT_EQ(reparsed.n_outputs(), original.n_outputs()) << name;
+    const PatternSet stimuli =
+        PatternSet::random(256, original.n_inputs(), 99);
+    ASSERT_EQ(simulate(reparsed, stimuli), simulate(original, stimuli))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace mdd

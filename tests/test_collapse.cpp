@@ -1,0 +1,105 @@
+// Unit tests: structural stuck-at fault collapsing.
+#include <gtest/gtest.h>
+
+#include "fault/collapse.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(Collapse, BufferChainCollapsesFully) {
+  Netlist nl("chain");
+  const NetId a = nl.add_input("a");
+  const NetId b1 = nl.add_gate(GateKind::Buf, {a}, "b1");
+  const NetId b2 = nl.add_gate(GateKind::Not, {b1}, "b2");
+  const NetId b3 = nl.add_gate(GateKind::Buf, {b2}, "b3");
+  nl.mark_output(b3);
+  nl.finalize();
+  const CollapsedFaults cf(nl);
+  // 4 nets x 2 faults, all single-fanout: collapse to 2 classes (one per
+  // polarity of the whole chain).
+  EXPECT_EQ(cf.universe().size(), 8u);
+  EXPECT_EQ(cf.classes().size(), 2u);
+  EXPECT_TRUE(cf.equivalent(Fault::stem_sa(a, false),
+                            Fault::stem_sa(b1, false)));
+  EXPECT_TRUE(cf.equivalent(Fault::stem_sa(a, false),
+                            Fault::stem_sa(b2, true)));  // through NOT
+  EXPECT_FALSE(cf.equivalent(Fault::stem_sa(a, false),
+                             Fault::stem_sa(a, true)));
+}
+
+TEST(Collapse, AndGateRule) {
+  Netlist nl("and");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId z = nl.add_gate(GateKind::And, {a, b}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+  const CollapsedFaults cf(nl);
+  // a sa0 ~ b sa0 ~ z sa0; a sa1, b sa1, z sa1 distinct: 4 classes of 6.
+  EXPECT_EQ(cf.classes().size(), 4u);
+  EXPECT_TRUE(cf.equivalent(Fault::stem_sa(a, false),
+                            Fault::stem_sa(z, false)));
+  EXPECT_TRUE(cf.equivalent(Fault::stem_sa(b, false),
+                            Fault::stem_sa(z, false)));
+  EXPECT_FALSE(cf.equivalent(Fault::stem_sa(a, true),
+                             Fault::stem_sa(z, true)));
+}
+
+TEST(Collapse, NandBranchRule) {
+  const Netlist nl = make_c17();
+  const CollapsedFaults cf(nl);
+  // NAND input sa0 ~ output sa1. Net 10 = NAND(1, 3); input 1 has single
+  // fanout so its stem stands for the branch.
+  EXPECT_TRUE(cf.equivalent(Fault::stem_sa(nl.find_net("1"), false),
+                            Fault::stem_sa(nl.find_net("10"), true)));
+  // Branch fault on multi-fanout stem 3 at gate 10.
+  const auto fi = nl.fanins(nl.find_net("10"));
+  ASSERT_EQ(fi.size(), 2u);
+  const std::uint32_t pin3 = fi[0] == nl.find_net("3") ? 0 : 1;
+  EXPECT_TRUE(cf.equivalent(Fault::branch_sa(nl.find_net("10"), pin3, false),
+                            Fault::stem_sa(nl.find_net("10"), true)));
+  // But the stem fault of 3 is NOT equivalent (it also feeds 11).
+  EXPECT_FALSE(cf.equivalent(Fault::stem_sa(nl.find_net("3"), false),
+                             Fault::stem_sa(nl.find_net("10"), true)));
+}
+
+TEST(Collapse, RatioAndLookup) {
+  const Netlist nl = make_named_circuit("g200");
+  const CollapsedFaults cf(nl);
+  EXPECT_LT(cf.collapse_ratio(), 1.0);
+  EXPECT_GT(cf.collapse_ratio(), 0.2);
+  EXPECT_EQ(cf.representatives().size(), cf.classes().size());
+  for (const Fault& rep : cf.representatives())
+    EXPECT_NO_THROW(cf.class_of(rep));
+  EXPECT_THROW(cf.class_of(Fault::bridge_dom(0, 1)), std::out_of_range);
+}
+
+/// Property: faults that collapse into one class are functionally
+/// equivalent — identical error signatures under exhaustive patterns.
+TEST(Collapse, ClassesAreFunctionallyEquivalent) {
+  for (std::uint64_t seed : {41ull, 42ull}) {
+    RandomCircuitConfig cfg;
+    cfg.n_inputs = 8;
+    cfg.n_gates = 40;
+    cfg.n_outputs = 4;
+    cfg.seed = seed;
+    const Netlist nl = make_random_circuit(cfg);
+    const PatternSet stimuli = PatternSet::exhaustive(nl.n_inputs());
+    FaultSimulator fsim(nl, stimuli);
+    const CollapsedFaults cf(nl);
+    for (const auto& cls : cf.classes()) {
+      if (cls.size() < 2) continue;
+      const ErrorSignature ref = fsim.signature(cls.front());
+      for (std::size_t i = 1; i < cls.size(); ++i) {
+        ASSERT_EQ(fsim.signature(cls[i]), ref)
+            << "seed " << seed << ": " << to_string(cls.front(), nl)
+            << " vs " << to_string(cls[i], nl);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdd

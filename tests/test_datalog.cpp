@@ -1,0 +1,87 @@
+// Unit tests: tester datalog and ATE truncation models.
+#include <gtest/gtest.h>
+
+#include "diag/datalog.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+ErrorSignature sig_with(std::initializer_list<std::pair<std::uint32_t, Word>>
+                            entries,
+                        std::size_t n_patterns = 100,
+                        std::size_t n_outputs = 8) {
+  ErrorSignature sig(n_patterns, n_outputs);
+  for (const auto& [p, mask] : entries) sig.append(p, {&mask, 1});
+  return sig;
+}
+
+TEST(Datalog, NoTruncationPassThrough) {
+  const ErrorSignature full = sig_with({{2, 0b101}, {9, 0b1}});
+  const Datalog log = make_datalog(full, 100);
+  EXPECT_EQ(log.observed, full);
+  EXPECT_EQ(log.n_patterns_applied, 100u);
+  EXPECT_FALSE(log.pattern_truncated);
+  EXPECT_FALSE(log.pin_truncated);
+  EXPECT_TRUE(log.has_failures());
+}
+
+TEST(Datalog, PatternCapStopsTester) {
+  const ErrorSignature full =
+      sig_with({{2, 0b1}, {5, 0b1}, {9, 0b1}, {40, 0b1}});
+  DatalogOptions opt;
+  opt.max_failing_patterns = 2;
+  const Datalog log = make_datalog(full, 100, opt);
+  EXPECT_TRUE(log.pattern_truncated);
+  EXPECT_EQ(log.observed.n_failing_patterns(), 2u);
+  // Tester stopped right after the second failing pattern (index 5).
+  EXPECT_EQ(log.n_patterns_applied, 6u);
+}
+
+TEST(Datalog, PinCapKeepsLowestPins) {
+  const ErrorSignature full = sig_with({{3, 0b11011}});
+  DatalogOptions opt;
+  opt.max_failing_pins = 2;
+  const Datalog log = make_datalog(full, 100, opt);
+  EXPECT_TRUE(log.pin_truncated);
+  EXPECT_FALSE(log.pattern_truncated);
+  EXPECT_EQ(log.observed.failing_outputs(0),
+            (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Datalog, PinCapAcrossWords) {
+  ErrorSignature full(10, 130);
+  std::vector<Word> mask(3, kAllZero);
+  mask[0] = 0b1;           // output 0
+  mask[1] = 0b10;          // output 65
+  mask[2] = 0b1;           // output 128
+  full.append(1, mask);
+  DatalogOptions opt;
+  opt.max_failing_pins = 2;
+  const Datalog log = make_datalog(full, 10, opt);
+  EXPECT_EQ(log.observed.failing_outputs(0),
+            (std::vector<std::uint32_t>{0, 65}));
+}
+
+TEST(Datalog, EmptySignature) {
+  const ErrorSignature full(100, 8);
+  const Datalog log = make_datalog(full, 100);
+  EXPECT_FALSE(log.has_failures());
+  EXPECT_EQ(log.n_patterns_applied, 100u);
+}
+
+TEST(Datalog, FromDefectEndToEnd) {
+  const Netlist nl = make_c17();
+  const PatternSet patterns = PatternSet::exhaustive(5);
+  const PatternSet good = simulate(nl, patterns);
+  const Fault f = Fault::stem_sa(nl.find_net("11"), true);
+  const Datalog log =
+      datalog_from_defect(nl, {&f, 1}, patterns, good);
+  EXPECT_TRUE(log.has_failures());
+  // Every logged failure must be a real response difference.
+  const PatternSet faulty = simulate_with_faults(nl, {&f, 1}, patterns);
+  EXPECT_EQ(log.observed, ErrorSignature::diff(good, faulty));
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,68 @@
+// Unit tests: Graphviz DOT export.
+#include <gtest/gtest.h>
+
+#include "netlist/dot.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(Dot, StructureAndShapes) {
+  const Netlist nl = make_c17();
+  const std::string dot = write_dot_string(nl);
+  EXPECT_NE(dot.find("digraph \"c17\""), std::string::npos);
+  // One node statement per net.
+  std::size_t nodes = 0;
+  for (NetId n = 0; n < nl.n_nets(); ++n)
+    if (dot.find("n" + std::to_string(n) + " [label=") != std::string::npos)
+      ++nodes;
+  EXPECT_EQ(nodes, nl.n_nets());
+  // PIs are triangles, POs double circles, gates boxes.
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  // One edge per fanin connection.
+  std::size_t edges = 0, expected = 0;
+  for (NetId n = 0; n < nl.n_nets(); ++n) expected += nl.fanins(n).size();
+  std::size_t pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(Dot, HighlightsSuspects) {
+  const Netlist nl = make_c17();
+  DotOptions opt;
+  opt.highlight = {nl.find_net("16")};
+  const std::string dot = write_dot_string(nl, opt);
+  const std::size_t node_pos =
+      dot.find("n" + std::to_string(nl.find_net("16")) + " [label=");
+  ASSERT_NE(node_pos, std::string::npos);
+  const std::size_t line_end = dot.find('\n', node_pos);
+  EXPECT_NE(dot.substr(node_pos, line_end - node_pos).find("fillcolor"),
+            std::string::npos);
+}
+
+TEST(Dot, EdgeLabelsOptional) {
+  const Netlist nl = make_c17();
+  DotOptions opt;
+  opt.edge_labels = true;
+  EXPECT_NE(write_dot_string(nl, opt).find("label=\"16\""),
+            std::string::npos);
+  EXPECT_EQ(write_dot_string(nl).find("-> n [label"), std::string::npos);
+}
+
+TEST(Dot, RankingOptional) {
+  const Netlist nl = make_c17();
+  DotOptions ranked;
+  EXPECT_NE(write_dot_string(nl, ranked).find("rank=same"),
+            std::string::npos);
+  DotOptions flat;
+  flat.ranked = false;
+  EXPECT_EQ(write_dot_string(nl, flat).find("rank=same"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdd

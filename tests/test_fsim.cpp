@@ -1,0 +1,147 @@
+// Unit tests: error signatures, matching, and the fault simulator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fault/collapse.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/generator.hpp"
+#include "sim/event_sim.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(ErrorSignature, DiffAndAccessors) {
+  PatternSet good(3, 2), faulty(3, 2);
+  faulty.set(0, 1, true);          // pattern 0: output 1 differs
+  faulty.set(2, 0, true);          // pattern 2: output 0 differs
+  faulty.set(2, 1, true);          // pattern 2: output 1 differs
+  const ErrorSignature sig = ErrorSignature::diff(good, faulty);
+  EXPECT_EQ(sig.n_failing_patterns(), 2u);
+  EXPECT_EQ(sig.n_error_bits(), 3u);
+  EXPECT_EQ(sig.failing_patterns(), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(sig.failing_outputs(0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(sig.failing_outputs(1), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(sig.mask_of_pattern(0).empty());
+  EXPECT_TRUE(sig.mask_of_pattern(1).empty());
+  EXPECT_THROW(ErrorSignature::diff(good, PatternSet(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(ErrorSignature, WideOutputMasks) {
+  PatternSet good(1, 130), faulty(1, 130);
+  faulty.set(0, 0, true);
+  faulty.set(0, 64, true);
+  faulty.set(0, 129, true);
+  const ErrorSignature sig = ErrorSignature::diff(good, faulty);
+  EXPECT_EQ(sig.n_po_words(), 3u);
+  EXPECT_EQ(sig.failing_outputs(0),
+            (std::vector<std::uint32_t>{0, 64, 129}));
+}
+
+TEST(Match, Counts) {
+  ErrorSignature obs(10, 4), sim(10, 4);
+  const Word m1 = 0b0011, m2 = 0b0110, m3 = 0b1000;
+  obs.append(1, {&m1, 1});
+  obs.append(5, {&m3, 1});
+  sim.append(1, {&m2, 1});
+  sim.append(7, {&m1, 1});
+  const MatchCounts mc = match(obs, sim);
+  // Pattern 1: obs 0011 vs sim 0110 -> tfsf 1 (bit1), tfsp 1 (bit0),
+  // tpsf 1 (bit2). Pattern 5: tfsp 1. Pattern 7: tpsf 2.
+  EXPECT_EQ(mc.tfsf, 1u);
+  EXPECT_EQ(mc.tfsp, 2u);
+  EXPECT_EQ(mc.tpsf, 3u);
+}
+
+TEST(Match, IdenticalSignatures) {
+  ErrorSignature a(10, 4);
+  const Word m = 0b1010;
+  a.append(3, {&m, 1});
+  const MatchCounts mc = match(a, a);
+  EXPECT_EQ(mc.tfsf, 2u);
+  EXPECT_EQ(mc.tfsp, 0u);
+  EXPECT_EQ(mc.tpsf, 0u);
+}
+
+TEST(SignatureOps, DifferenceAndRestrict) {
+  ErrorSignature a(10, 4), b(10, 4);
+  const Word m3 = 0b0011, m1 = 0b0001, m8 = 0b1000;
+  a.append(1, {&m3, 1});
+  a.append(6, {&m8, 1});
+  b.append(1, {&m1, 1});
+  const ErrorSignature d = signature_difference(a, b);
+  EXPECT_EQ(d.n_failing_patterns(), 2u);
+  EXPECT_EQ(d.failing_outputs(0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(d.failing_outputs(1), (std::vector<std::uint32_t>{3}));
+  const ErrorSignature empty_diff = signature_difference(a, a);
+  EXPECT_TRUE(empty_diff.empty());
+
+  const ErrorSignature r = restrict_signature(a, 5);
+  EXPECT_EQ(r.n_failing_patterns(), 1u);
+  EXPECT_EQ(r.failing_patterns().front(), 1u);
+}
+
+TEST(FaultSimulator, SignatureMatchesBruteForce) {
+  const Netlist nl = make_c17();
+  const PatternSet stimuli = PatternSet::exhaustive(5);
+  FaultSimulator fsim(nl, stimuli);
+  const PatternSet good = simulate(nl, stimuli);
+  std::mt19937_64 rng(5);
+  for (const Fault& f : all_stuck_at_faults(nl)) {
+    const ErrorSignature sig = fsim.signature(f);
+    const PatternSet faulty = simulate_with_faults(nl, {&f, 1}, stimuli);
+    ASSERT_EQ(sig, ErrorSignature::diff(good, faulty)) << to_string(f, nl);
+    ASSERT_EQ(fsim.detects(f), !sig.empty());
+    if (!sig.empty()) {
+      ASSERT_EQ(fsim.first_detecting_pattern(f),
+                std::optional<std::uint32_t>(sig.failing_patterns().front()));
+    } else {
+      ASSERT_FALSE(fsim.first_detecting_pattern(f).has_value());
+    }
+  }
+}
+
+TEST(FaultSimulator, ExhaustiveCoverageOnC17) {
+  const Netlist nl = make_c17();
+  const PatternSet stimuli = PatternSet::exhaustive(5);
+  FaultSimulator fsim(nl, stimuli);
+  const CollapsedFaults cf(nl);
+  // c17 has no redundant stuck-at faults: exhaustive coverage is 100%.
+  EXPECT_DOUBLE_EQ(fsim.coverage(cf.representatives()), 1.0);
+}
+
+TEST(FaultSimulator, CoverageMonotoneInPatterns) {
+  const Netlist nl = make_named_circuit("g200");
+  const CollapsedFaults cf(nl);
+  const PatternSet few = PatternSet::random(8, nl.n_inputs(), 6);
+  const PatternSet many = PatternSet::random(256, nl.n_inputs(), 6);
+  FaultSimulator fs_few(nl, few), fs_many(nl, many);
+  EXPECT_LE(fs_few.coverage(cf.representatives()),
+            fs_many.coverage(cf.representatives()) + 1e-12);
+}
+
+TEST(FaultSimulator, MultipletSignatureIsComposite) {
+  // Masking pair from test_fault: composite != union of solos.
+  Netlist nl("mask");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId z = nl.add_gate(GateKind::And, {a, b}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+  const PatternSet stimuli = PatternSet::exhaustive(2);
+  FaultSimulator fsim(nl, stimuli);
+  const Fault f1 = Fault::stem_sa(a, false);
+  const Fault f2 = Fault::stem_sa(z, true);
+  const std::vector<Fault> both{f1, f2};
+  const ErrorSignature comp = fsim.signature(std::span<const Fault>(both));
+  // z SA1 dominates: z always 1, errors where good z == 0 (patterns 0,1,2).
+  EXPECT_EQ(comp.n_error_bits(), 3u);
+  // The solo union would include pattern 3 (a SA0 flips z) — masked here.
+  const ErrorSignature s1 = fsim.signature(f1);
+  EXPECT_EQ(s1.failing_patterns(), (std::vector<std::uint32_t>{3}));
+  EXPECT_TRUE(comp.mask_of_pattern(3).empty());
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,143 @@
+// Unit tests: benchmark circuit generators.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "sim/sim2.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(Generator, C17Shape) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(nl.n_inputs(), 5u);
+  EXPECT_EQ(nl.n_gates(), 6u);
+  EXPECT_EQ(nl.n_outputs(), 2u);
+}
+
+/// The adder must add: exhaustive for 2 bits, sampled for 8.
+TEST(Generator, RippleAdderAdds) {
+  for (unsigned bits : {2u, 8u}) {
+    const Netlist nl = make_ripple_adder(bits);
+    ASSERT_EQ(nl.n_inputs(), 2 * bits + 1);
+    ASSERT_EQ(nl.n_outputs(), bits + 1);
+    const std::size_t n_cases = bits == 2 ? 32 : 256;
+    PatternSet stimuli(0, nl.n_inputs());
+    std::vector<std::uint64_t> as, bs, cins;
+    std::mt19937_64 rng(3);
+    for (std::size_t i = 0; i < n_cases; ++i) {
+      const std::uint64_t a =
+          bits == 2 ? (i & 3) : (rng() & ((1u << bits) - 1));
+      const std::uint64_t b =
+          bits == 2 ? ((i >> 2) & 3) : (rng() & ((1u << bits) - 1));
+      const std::uint64_t cin = bits == 2 ? ((i >> 4) & 1) : (rng() & 1);
+      std::vector<bool> pat(nl.n_inputs());
+      for (unsigned j = 0; j < bits; ++j) pat[j] = (a >> j) & 1;
+      for (unsigned j = 0; j < bits; ++j) pat[bits + j] = (b >> j) & 1;
+      pat[2 * bits] = cin;
+      stimuli.append(pat);
+      as.push_back(a);
+      bs.push_back(b);
+      cins.push_back(cin);
+    }
+    const PatternSet resp = simulate(nl, stimuli);
+    for (std::size_t i = 0; i < n_cases; ++i) {
+      const std::uint64_t expected = as[i] + bs[i] + cins[i];
+      std::uint64_t got = 0;
+      for (unsigned j = 0; j <= bits; ++j)
+        if (resp.get(i, j)) got |= (1u << j);
+      ASSERT_EQ(got, expected) << "a=" << as[i] << " b=" << bs[i];
+    }
+  }
+}
+
+TEST(Generator, ParityTreeComputesParity) {
+  const Netlist nl = make_parity_tree(64);
+  EXPECT_EQ(nl.n_outputs(), 1u);
+  const PatternSet stimuli = PatternSet::random(128, 64, 17);
+  const PatternSet resp = simulate(nl, stimuli);
+  for (std::size_t p = 0; p < 128; ++p) {
+    int pop = 0;
+    for (std::size_t i = 0; i < 64; ++i) pop += stimuli.get(p, i);
+    ASSERT_EQ(resp.get(p, 0), (pop % 2) == 1) << p;
+  }
+}
+
+TEST(Generator, MuxTreeSelects) {
+  const Netlist nl = make_mux_tree(4);  // 16:1
+  EXPECT_EQ(nl.n_inputs(), 4u + 16u);
+  EXPECT_EQ(nl.cell_instances().size(), 15u);
+  const PatternSet stimuli = PatternSet::random(256, nl.n_inputs(), 23);
+  const PatternSet resp = simulate(nl, stimuli);
+  for (std::size_t p = 0; p < 256; ++p) {
+    unsigned sel = 0;
+    for (unsigned s = 0; s < 4; ++s)
+      if (stimuli.get(p, s)) sel |= (1u << s);
+    ASSERT_EQ(resp.get(p, 0), stimuli.get(p, 4 + sel)) << p;
+  }
+}
+
+TEST(Generator, RandomCircuitDeterministic) {
+  RandomCircuitConfig cfg;
+  cfg.n_gates = 150;
+  cfg.seed = 99;
+  const Netlist a = make_random_circuit(cfg);
+  const Netlist b = make_random_circuit(cfg);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+  cfg.seed = 100;
+  const Netlist c = make_random_circuit(cfg);
+  EXPECT_NE(write_bench_string(a), write_bench_string(c));
+}
+
+TEST(Generator, RandomCircuitValid) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    RandomCircuitConfig cfg;
+    cfg.n_inputs = 16;
+    cfg.n_gates = 120;
+    cfg.n_outputs = 8;
+    cfg.seed = seed;
+    const Netlist nl = make_random_circuit(cfg);
+    EXPECT_TRUE(nl.finalized());
+    EXPECT_GE(nl.n_outputs(), cfg.n_outputs);
+    // No dangling logic: every non-PO net has fanout.
+    for (NetId n = 0; n < nl.n_nets(); ++n) {
+      if (nl.output_index(n).has_value()) continue;
+      if (nl.is_input(n)) continue;  // unused PIs tolerated
+      EXPECT_FALSE(nl.fanouts(n).empty())
+          << "dangling " << nl.net_name(n) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Generator, NamedCircuits) {
+  for (const char* name :
+       {"c17", "add8", "add32", "par64", "mux16", "g200", "g1k"}) {
+    const Netlist nl = make_named_circuit(name);
+    EXPECT_TRUE(nl.finalized()) << name;
+    EXPECT_EQ(nl.name(), name);
+  }
+  EXPECT_THROW(make_named_circuit("bogus"), std::invalid_argument);
+  EXPECT_GT(make_named_circuit("g1k").n_gates(), 900u);
+}
+
+TEST(Generator, SizesRoughlyAsNamed) {
+  EXPECT_NEAR(static_cast<double>(make_named_circuit("g200").n_gates()), 200,
+              60);
+  EXPECT_NEAR(static_cast<double>(make_named_circuit("g1k").n_gates()), 1000,
+              200);
+}
+
+TEST(Generator, DegenerateConfigsRejected) {
+  EXPECT_THROW(make_ripple_adder(0), std::invalid_argument);
+  EXPECT_THROW(make_parity_tree(1), std::invalid_argument);
+  EXPECT_THROW(make_mux_tree(0), std::invalid_argument);
+  RandomCircuitConfig cfg;
+  cfg.n_inputs = 1;
+  EXPECT_THROW(make_random_circuit(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,116 @@
+// Unit tests: 3-valued scalar algebra and dual-rail word encoding.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/logic.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(Val3, NotTruthTable) {
+  EXPECT_EQ(v3_not(Val3::Zero), Val3::One);
+  EXPECT_EQ(v3_not(Val3::One), Val3::Zero);
+  EXPECT_EQ(v3_not(Val3::X), Val3::X);
+}
+
+TEST(Val3, AndKleene) {
+  EXPECT_EQ(v3_and(Val3::Zero, Val3::X), Val3::Zero);
+  EXPECT_EQ(v3_and(Val3::X, Val3::Zero), Val3::Zero);
+  EXPECT_EQ(v3_and(Val3::One, Val3::One), Val3::One);
+  EXPECT_EQ(v3_and(Val3::One, Val3::X), Val3::X);
+  EXPECT_EQ(v3_and(Val3::X, Val3::X), Val3::X);
+  EXPECT_EQ(v3_and(Val3::Zero, Val3::Zero), Val3::Zero);
+}
+
+TEST(Val3, OrKleene) {
+  EXPECT_EQ(v3_or(Val3::One, Val3::X), Val3::One);
+  EXPECT_EQ(v3_or(Val3::X, Val3::One), Val3::One);
+  EXPECT_EQ(v3_or(Val3::Zero, Val3::Zero), Val3::Zero);
+  EXPECT_EQ(v3_or(Val3::Zero, Val3::X), Val3::X);
+  EXPECT_EQ(v3_or(Val3::X, Val3::X), Val3::X);
+}
+
+TEST(Val3, XorPropagatesX) {
+  EXPECT_EQ(v3_xor(Val3::X, Val3::Zero), Val3::X);
+  EXPECT_EQ(v3_xor(Val3::One, Val3::X), Val3::X);
+  EXPECT_EQ(v3_xor(Val3::One, Val3::Zero), Val3::One);
+  EXPECT_EQ(v3_xor(Val3::One, Val3::One), Val3::Zero);
+  EXPECT_EQ(v3_xor(Val3::Zero, Val3::Zero), Val3::Zero);
+}
+
+TEST(Val3, Conversions) {
+  EXPECT_TRUE(v3_is_binary(Val3::Zero));
+  EXPECT_TRUE(v3_is_binary(Val3::One));
+  EXPECT_FALSE(v3_is_binary(Val3::X));
+  EXPECT_EQ(v3_from_bool(true), Val3::One);
+  EXPECT_EQ(v3_from_bool(false), Val3::Zero);
+  EXPECT_TRUE(v3_to_bool(Val3::One));
+  EXPECT_FALSE(v3_to_bool(Val3::Zero));
+  EXPECT_EQ(v3_to_char(Val3::X), 'X');
+}
+
+TEST(DualWord, Constants) {
+  EXPECT_EQ(DualWord::all0().is0, kAllOne);
+  EXPECT_EQ(DualWord::all0().is1, kAllZero);
+  EXPECT_EQ(DualWord::all1().is1, kAllOne);
+  EXPECT_EQ(DualWord::all_x().known(), kAllZero);
+}
+
+TEST(DualWord, GetSetRoundTrip) {
+  DualWord w = DualWord::all_x();
+  dw_set(w, 3, Val3::One);
+  dw_set(w, 7, Val3::Zero);
+  dw_set(w, 11, Val3::X);
+  EXPECT_EQ(dw_get(w, 3), Val3::One);
+  EXPECT_EQ(dw_get(w, 7), Val3::Zero);
+  EXPECT_EQ(dw_get(w, 11), Val3::X);
+  EXPECT_EQ(dw_get(w, 0), Val3::X);
+  dw_set(w, 3, Val3::Zero);  // overwrite
+  EXPECT_EQ(dw_get(w, 3), Val3::Zero);
+}
+
+/// Property: every dual-rail word operation agrees with the scalar 3-valued
+/// operation applied position-wise.
+TEST(DualWord, OpsMatchScalarProperty) {
+  std::mt19937_64 rng(123);
+  const Val3 all[3] = {Val3::Zero, Val3::One, Val3::X};
+  for (int iter = 0; iter < 50; ++iter) {
+    DualWord a = DualWord::all_x(), b = DualWord::all_x();
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      dw_set(a, bit, all[rng() % 3]);
+      dw_set(b, bit, all[rng() % 3]);
+    }
+    const DualWord land = dw_and(a, b);
+    const DualWord lor = dw_or(a, b);
+    const DualWord lxor = dw_xor(a, b);
+    const DualWord lnot = dw_not(a);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      const Val3 va = dw_get(a, bit), vb = dw_get(b, bit);
+      ASSERT_EQ(dw_get(land, bit), v3_and(va, vb)) << "bit " << bit;
+      ASSERT_EQ(dw_get(lor, bit), v3_or(va, vb)) << "bit " << bit;
+      ASSERT_EQ(dw_get(lxor, bit), v3_xor(va, vb)) << "bit " << bit;
+      ASSERT_EQ(dw_get(lnot, bit), v3_not(va)) << "bit " << bit;
+    }
+  }
+}
+
+/// Invariant: simulator-produced dual words never have both rails set.
+TEST(DualWord, OpsPreserveRailExclusivity) {
+  std::mt19937_64 rng(77);
+  const Val3 all[3] = {Val3::Zero, Val3::One, Val3::X};
+  for (int iter = 0; iter < 50; ++iter) {
+    DualWord a = DualWord::all_x(), b = DualWord::all_x();
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      dw_set(a, bit, all[rng() % 3]);
+      dw_set(b, bit, all[rng() % 3]);
+    }
+    for (const DualWord w :
+         {dw_and(a, b), dw_or(a, b), dw_xor(a, b), dw_not(a)}) {
+      ASSERT_EQ(w.is0 & w.is1, kAllZero);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,181 @@
+// Unit tests: netlist construction, finalization, topology queries.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mdd {
+namespace {
+
+Netlist two_gate() {
+  Netlist nl("t");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateKind::And, {a, b}, "g");
+  const NetId h = nl.add_gate(GateKind::Not, {g}, "h");
+  nl.mark_output(h);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, BasicCounts) {
+  const Netlist nl = two_gate();
+  EXPECT_EQ(nl.n_nets(), 4u);
+  EXPECT_EQ(nl.n_inputs(), 2u);
+  EXPECT_EQ(nl.n_gates(), 2u);
+  EXPECT_EQ(nl.n_outputs(), 1u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(Netlist, Levels) {
+  const Netlist nl = two_gate();
+  EXPECT_EQ(nl.level(nl.find_net("a")), 0u);
+  EXPECT_EQ(nl.level(nl.find_net("g")), 1u);
+  EXPECT_EQ(nl.level(nl.find_net("h")), 2u);
+  EXPECT_EQ(nl.depth(), 2u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  const Netlist nl = make_named_circuit("g200");
+  std::vector<std::size_t> position(nl.n_nets());
+  for (std::size_t i = 0; i < nl.topo_order().size(); ++i)
+    position[nl.topo_order()[i]] = i;
+  EXPECT_EQ(nl.topo_order().size(), nl.n_nets());
+  for (NetId g = 0; g < nl.n_nets(); ++g)
+    for (NetId f : nl.fanins(g))
+      EXPECT_LT(position[f], position[g]);
+}
+
+TEST(Netlist, FanoutsAreInverseOfFanins) {
+  const Netlist nl = make_named_circuit("g200");
+  for (NetId g = 0; g < nl.n_nets(); ++g) {
+    for (NetId f : nl.fanins(g)) {
+      const auto fo = nl.fanouts(f);
+      EXPECT_NE(std::find(fo.begin(), fo.end(), g), fo.end());
+    }
+  }
+}
+
+TEST(Netlist, NamesResolve) {
+  const Netlist nl = two_gate();
+  EXPECT_EQ(nl.net_name(nl.find_net("g")), "g");
+  EXPECT_EQ(nl.find_net("nope"), kNoNet);
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::runtime_error);
+}
+
+TEST(Netlist, ArityChecks) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateKind::Not, {a, a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateKind::Xor, {a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateKind::Const0, {a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateKind::Input, {}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateKind::And, {}), std::runtime_error);
+}
+
+TEST(Netlist, OutputBookkeeping) {
+  const Netlist nl = two_gate();
+  const NetId h = nl.find_net("h");
+  ASSERT_TRUE(nl.output_index(h).has_value());
+  EXPECT_EQ(*nl.output_index(h), 0u);
+  EXPECT_FALSE(nl.output_index(nl.find_net("g")).has_value());
+}
+
+TEST(Netlist, DoubleMarkOutputRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate(GateKind::Buf, {a});
+  nl.mark_output(g);
+  EXPECT_THROW(nl.mark_output(g), std::runtime_error);
+}
+
+TEST(Netlist, FinalizeWithoutOutputsRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, FaninCone) {
+  const Netlist nl = make_c17();
+  const NetId g22 = nl.find_net("22");
+  const auto cone = nl.fanin_cone(g22);
+  // 22 = NAND(10, 16); 10 = NAND(1,3); 16 = NAND(2,11); 11 = NAND(3,6).
+  std::vector<std::string> expected = {"1", "3", "2", "6", "10", "11", "16",
+                                       "22"};
+  EXPECT_EQ(cone.size(), expected.size());
+  for (const auto& name : expected) {
+    EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find_net(name)),
+              cone.end())
+        << name;
+  }
+  // Topologically ordered.
+  for (std::size_t i = 1; i < cone.size(); ++i)
+    EXPECT_LE(nl.level(cone[i - 1]), nl.level(cone[i]));
+}
+
+TEST(Netlist, FanoutConeAndReachableOutputs) {
+  const Netlist nl = make_c17();
+  const NetId g11 = nl.find_net("11");
+  const auto cone = nl.fanout_cone(g11);
+  for (const auto& name : {"11", "16", "19", "22", "23"})
+    EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find_net(name)),
+              cone.end())
+        << name;
+  const auto pos = nl.reachable_outputs(g11);
+  EXPECT_EQ(pos.size(), 2u);  // both POs
+  const auto pos10 = nl.reachable_outputs(nl.find_net("10"));
+  ASSERT_EQ(pos10.size(), 1u);
+  EXPECT_EQ(nl.outputs()[pos10[0]], nl.find_net("22"));
+}
+
+TEST(Netlist, CellExpansionRecordsInstance) {
+  const CellLibrary lib;
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId z = nl.add_cell(*lib.find("AOI21"), {a, b, c}, "u1", "z");
+  nl.mark_output(z);
+  nl.finalize();
+
+  ASSERT_EQ(nl.cell_instances().size(), 1u);
+  const CellInstance& inst = nl.cell_instances()[0];
+  EXPECT_EQ(inst.cell_name, "AOI21");
+  EXPECT_EQ(inst.instance_name, "u1");
+  EXPECT_EQ(inst.output, z);
+  EXPECT_EQ(inst.pins.size(), 3u);
+  EXPECT_EQ(inst.internal.size(), 1u);  // the inner AND
+
+  ASSERT_TRUE(nl.owning_cell(z).has_value());
+  EXPECT_EQ(*nl.owning_cell(z), 0u);
+  EXPECT_TRUE(nl.owning_cell(inst.internal[0]).has_value());
+  EXPECT_FALSE(nl.owning_cell(a).has_value());
+}
+
+TEST(Netlist, CellPinCountChecked) {
+  const CellLibrary lib;
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_cell(*lib.find("AOI21"), {a}, "u1"),
+               std::runtime_error);
+}
+
+TEST(Netlist, Stats) {
+  const Netlist nl = make_c17();
+  const auto s = nl.stats();
+  EXPECT_EQ(s.n_gates, 6u);
+  EXPECT_EQ(s.n_inputs, 5u);
+  EXPECT_EQ(s.n_outputs, 2u);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.max_fanin, 2u);
+  // Stems with fanout > 1: net 3, 11, 16.
+  EXPECT_EQ(s.n_fanout_stems, 3u);
+}
+
+}  // namespace
+}  // namespace mdd

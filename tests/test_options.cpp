@@ -1,0 +1,142 @@
+// Unit tests: option knobs across the public API — each test checks the
+// knob's *observable contract*, not just that it parses.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/tpg.hpp"
+#include "diag/dictionary.hpp"
+#include "diag/metrics.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+#include "netlist/generator.hpp"
+#include "workload/campaign.hpp"
+#include "workload/circuits.hpp"
+
+namespace mdd {
+namespace {
+
+struct Device {
+  Netlist netlist = make_named_circuit("g200");
+  PatternSet patterns = PatternSet::random(256, netlist.n_inputs(), 0x0707);
+  PatternSet good = simulate(netlist, patterns);
+  std::vector<Fault> defect{
+      Fault::stem_sa(netlist.find_net("g_40"), true),
+      Fault::stem_sa(netlist.find_net("g_150"), false)};
+  Datalog log =
+      datalog_from_defect(netlist, defect, patterns, good);
+};
+
+Device& device() {
+  static Device d;
+  return d;
+}
+
+TEST(Options, SingleFaultNoAlternates) {
+  Device& d = device();
+  DiagnosisContext ctx(d.netlist, d.patterns, d.log);
+  SingleFaultOptions opt;
+  opt.report_alternates = false;
+  opt.top_k = 5;
+  const DiagnosisReport r = diagnose_single_fault(ctx, opt);
+  EXPECT_LE(r.suspects.size(), 5u);
+  for (const ScoredCandidate& sc : r.suspects)
+    EXPECT_TRUE(sc.alternates.empty());
+}
+
+TEST(Options, SlatMultiplicityCap) {
+  Device& d = device();
+  DiagnosisContext ctx(d.netlist, d.patterns, d.log);
+  SlatOptions opt;
+  opt.max_multiplicity = 1;
+  const DiagnosisReport r = diagnose_slat(ctx, opt);
+  EXPECT_LE(r.suspects.size(), 1u);
+}
+
+TEST(Options, MultipletSingleMemberCap) {
+  Device& d = device();
+  DiagnosisContext ctx(d.netlist, d.patterns, d.log);
+  MultipletOptions opt;
+  opt.max_multiplicity = 1;
+  const DiagnosisReport r = diagnose_multiplet(ctx, opt);
+  EXPECT_LE(r.suspects.size(), 1u);
+}
+
+TEST(Options, MultipletZeroRestartsStillSeedsOnce) {
+  // restarts=1 must behave like plain greedy and still diagnose.
+  Device& d = device();
+  DiagnosisContext ctx(d.netlist, d.patterns, d.log);
+  MultipletOptions opt;
+  opt.restarts = 1;
+  const DiagnosisReport r = diagnose_multiplet(ctx, opt);
+  EXPECT_FALSE(r.suspects.empty());
+}
+
+TEST(Options, CandidateTraceBudgetStillFindsSupport) {
+  Device& d = device();
+  CandidateOptions opt;
+  opt.max_traced_patterns = 4;  // tiny budget, spread across the log
+  const CandidatePool pool =
+      extract_candidates(d.netlist, d.patterns, d.log, opt);
+  EXPECT_FALSE(pool.faults.empty());
+  // Support can never exceed traced (pattern, output) pairs.
+  std::size_t max_pairs = 0;
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(d.log.observed.n_failing_patterns(), 4); ++i)
+    max_pairs += d.netlist.n_outputs();
+  EXPECT_LE(pool.support.front(), max_pairs);
+}
+
+TEST(Options, DictionaryWithoutBridges) {
+  Device& d = device();
+  DictionaryOptions opt;
+  opt.include_bridges = false;
+  const FaultDictionary dict(d.netlist, d.patterns, opt);
+  const CollapsedFaults cf(d.netlist);
+  EXPECT_EQ(dict.n_entries(), cf.representatives().size());
+}
+
+TEST(Options, TpgMaxPatternsCap) {
+  const Netlist nl = make_named_circuit("g200");
+  TpgOptions opt;
+  opt.max_patterns = 10;
+  opt.compact = false;
+  const TpgResult r = generate_tests(nl, opt);
+  EXPECT_LE(r.patterns.n_patterns(), 10u);
+}
+
+TEST(Options, TpgNoCompactKeepsMorePatterns) {
+  const Netlist nl = make_named_circuit("add8");
+  TpgOptions a;
+  a.compact = false;
+  a.seed = 4;
+  TpgOptions b = a;
+  b.compact = true;
+  const TpgResult ra = generate_tests(nl, a);
+  const TpgResult rb = generate_tests(nl, b);
+  EXPECT_GE(ra.patterns.n_patterns(), rb.patterns.n_patterns());
+  EXPECT_EQ(ra.n_detected, rb.n_detected);  // compaction preserves coverage
+}
+
+TEST(Options, BenchRegistryDeterministic) {
+  const BenchCircuit a = load_bench_circuit("c17");
+  const BenchCircuit b = load_bench_circuit("c17");
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_EQ(a.tpg.n_detected, b.tpg.n_detected);
+}
+
+TEST(Options, CampaignDisabledMethodsSkipped) {
+  Device& d = device();
+  CampaignConfig cfg;
+  cfg.n_cases = 3;
+  cfg.run_single = false;
+  cfg.run_slat = false;
+  const CampaignResult r = run_campaign(d.netlist, d.patterns, cfg);
+  EXPECT_EQ(r.single.n_cases, 0u);
+  EXPECT_EQ(r.slat.n_cases, 0u);
+  EXPECT_EQ(r.multiplet.n_cases, r.n_cases);
+}
+
+}  // namespace
+}  // namespace mdd

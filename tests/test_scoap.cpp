@@ -1,0 +1,101 @@
+// Unit tests: SCOAP testability analysis.
+#include <gtest/gtest.h>
+
+#include "atpg/scoap.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(Scoap, PrimaryInputs) {
+  const Netlist nl = make_c17();
+  const Scoap s = compute_scoap(nl);
+  for (NetId i : nl.inputs()) {
+    EXPECT_EQ(s.cc0[i], 1u);
+    EXPECT_EQ(s.cc1[i], 1u);
+  }
+}
+
+TEST(Scoap, AndGateRules) {
+  Netlist nl("and");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId z = nl.add_gate(GateKind::And, {a, b}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+  const Scoap s = compute_scoap(nl);
+  EXPECT_EQ(s.cc1[z], 3u);  // both inputs 1: 1+1+1
+  EXPECT_EQ(s.cc0[z], 2u);  // one input 0: 1+1
+  EXPECT_EQ(s.co[z], 0u);   // is a PO
+  // Observing `a` needs b=1: co(z)+cc1(b)+1 = 2.
+  EXPECT_EQ(s.co[a], 2u);
+}
+
+TEST(Scoap, InverterSwapsControllability) {
+  Netlist nl("inv");
+  const NetId a = nl.add_input("a");
+  const NetId z = nl.add_gate(GateKind::Not, {a}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+  const Scoap s = compute_scoap(nl);
+  EXPECT_EQ(s.cc0[z], s.cc1[a] + 1);
+  EXPECT_EQ(s.cc1[z], s.cc0[a] + 1);
+  EXPECT_EQ(s.co[a], 1u);
+}
+
+TEST(Scoap, TieCellsOneSidedControllable) {
+  Netlist nl("tie");
+  const NetId t0 = nl.add_gate(GateKind::Const0, {}, "t0");
+  const NetId a = nl.add_input("a");
+  const NetId z = nl.add_gate(GateKind::Or, {t0, a}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+  const Scoap s = compute_scoap(nl);
+  EXPECT_LT(s.cc0[t0], Scoap::kInf);
+  EXPECT_GE(s.cc1[t0], Scoap::kInf);  // cannot drive a tie-0 to 1
+}
+
+TEST(Scoap, XorBothValuesReachable) {
+  const Netlist nl = make_parity_tree(8);
+  const Scoap s = compute_scoap(nl);
+  const NetId out = nl.outputs()[0];
+  EXPECT_LT(s.cc0[out], Scoap::kInf);
+  EXPECT_LT(s.cc1[out], Scoap::kInf);
+  // Deeper XOR levels cost more.
+  EXPECT_GT(s.cc0[out], s.cc0[nl.inputs()[0]]);
+}
+
+TEST(Scoap, DistanceFromOutputsIncreasesObservationCost) {
+  const Netlist nl = make_ripple_adder(8);
+  const Scoap s = compute_scoap(nl);
+  // Early carries must propagate through the rest of the chain (their
+  // direct sum outputs aside, the carry path itself gets longer), so the
+  // chain head is never cheaper to observe than the tail.
+  const NetId cy0 = nl.find_net("cy_0");
+  const NetId cy6 = nl.find_net("cy_6");
+  ASSERT_NE(cy0, kNoNet);
+  ASSERT_NE(cy6, kNoNet);
+  EXPECT_GE(s.co[cy0], s.co[cy6]);
+  EXPECT_LT(s.co[cy0], Scoap::kInf);
+  // Controllability through the XOR sum path grows with bit position.
+  EXPECT_LT(s.cc1[nl.find_net("axb_0")], Scoap::kInf);
+}
+
+TEST(Scoap, ObservabilityFiniteIffReachesOutput) {
+  const Netlist nl = make_named_circuit("g200");
+  const Scoap s = compute_scoap(nl);
+  for (NetId n = 0; n < nl.n_nets(); ++n) {
+    const bool reaches = !nl.reachable_outputs(n).empty();
+    EXPECT_EQ(s.co[n] < Scoap::kInf, reaches) << nl.net_name(n);
+  }
+}
+
+TEST(Scoap, TestEffortCombines) {
+  const Netlist nl = make_c17();
+  const Scoap s = compute_scoap(nl);
+  const NetId n16 = nl.find_net("16");
+  EXPECT_EQ(s.test_effort(n16, false), s.cc1[n16] + s.co[n16]);
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,45 @@
+// Unit tests: text table formatting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/table.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"circuit", "gates"});
+  t.add_row({"c17", "6"});
+  t.add_row({"g20k", "20000"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("| circuit | gates "), std::string::npos);
+  EXPECT_NE(s.find("| c17 "), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| x |"), std::string::npos);
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.87349, 3), "0.873");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_pct(0.873, 1), "87.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,218 @@
+// Unit tests: transition-fault extension (two-frame simulation, TDF test
+// generation, pair-mode diagnosis).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/tpg.hpp"
+#include "diag/metrics.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "netlist/generator.hpp"
+#include "workload/campaign.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(TransitionFault, Constructors) {
+  const Fault str = Fault::slow_to_rise(4);
+  EXPECT_TRUE(str.is_transition());
+  EXPECT_FALSE(str.is_stuck_at());
+  EXPECT_FALSE(str.is_bridge());
+  EXPECT_EQ(str.kind, FaultKind::SlowToRise);
+  const Netlist nl = make_c17();
+  EXPECT_EQ(to_string(Fault::slow_to_rise(nl.find_net("16")), nl), "STR 16");
+  EXPECT_NO_THROW(validate_fault(Fault::slow_to_fall(3), nl));
+  EXPECT_THROW(validate_fault(Fault::slow_to_rise(1000), nl),
+               std::invalid_argument);
+}
+
+TEST(TransitionFault, UniverseSize) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(all_transition_faults(nl).size(), nl.n_nets() * 2);
+}
+
+/// Gross-delay semantics on a buffer: slow-to-rise holds the launch value
+/// exactly on rising pairs.
+TEST(TransitionFault, GrossDelaySemantics) {
+  Netlist nl("buf");
+  const NetId a = nl.add_input("a");
+  const NetId z = nl.add_gate(GateKind::Buf, {a}, "z");
+  nl.mark_output(z);
+  nl.finalize();
+
+  // Pairs: (0->0), (0->1), (1->0), (1->1).
+  PatternSet launch(4, 1), capture(4, 1);
+  launch.set(2, 0, true);
+  launch.set(3, 0, true);
+  capture.set(1, 0, true);
+  capture.set(3, 0, true);
+
+  FaultyMachine fm(nl);
+  const Fault str = Fault::slow_to_rise(z);
+  fm.set_faults({&str, 1});
+  const PatternSet r = fm.simulate_pair(launch, capture);
+  EXPECT_FALSE(r.get(0, 0));  // 0->0 stays 0
+  EXPECT_FALSE(r.get(1, 0));  // 0->1 slowed: holds 0 (FAULTY)
+  EXPECT_FALSE(r.get(2, 0));  // 1->0 falls normally
+  EXPECT_TRUE(r.get(3, 0));   // 1->1 stays 1
+
+  const Fault stf = Fault::slow_to_fall(z);
+  fm.set_faults({&stf, 1});
+  const PatternSet r2 = fm.simulate_pair(launch, capture);
+  EXPECT_FALSE(r2.get(0, 0));
+  EXPECT_TRUE(r2.get(1, 0));  // rises normally
+  EXPECT_TRUE(r2.get(2, 0));  // 1->0 slowed: holds 1 (FAULTY)
+  EXPECT_TRUE(r2.get(3, 0));
+}
+
+/// Transition faults are inert in single-frame simulation, and static
+/// faults corrupt both frames of a pair.
+TEST(TransitionFault, InertWithoutPair) {
+  const Netlist nl = make_c17();
+  const PatternSet stimuli = PatternSet::exhaustive(5);
+  const Fault str = Fault::slow_to_rise(nl.find_net("16"));
+  FaultyMachine fm(nl);
+  fm.set_faults({&str, 1});
+  EXPECT_EQ(fm.simulate(stimuli), simulate(nl, stimuli));
+}
+
+TEST(TransitionFault, StaticFaultStillActsInPairMode) {
+  const Netlist nl = make_c17();
+  const PatternSet launch = PatternSet::random(32, 5, 1);
+  const PatternSet capture = PatternSet::random(32, 5, 2);
+  const Fault sa = Fault::stem_sa(nl.find_net("16"), true);
+  FaultyMachine fm(nl);
+  fm.set_faults({&sa, 1});
+  const PatternSet pair_resp = fm.simulate_pair(launch, capture);
+  // Capture response must equal the static faulty response to the capture
+  // vectors (a hard stuck-at has no history dependence).
+  EXPECT_EQ(pair_resp, simulate_with_faults(nl, {&sa, 1}, capture));
+}
+
+/// Two-frame good machine equals two independent good simulations.
+TEST(TransitionFault, GoodPairEqualsCaptureSim) {
+  const Netlist nl = make_named_circuit("g200");
+  const PatternSet launch = PatternSet::random(64, nl.n_inputs(), 3);
+  const PatternSet capture = PatternSet::random(64, nl.n_inputs(), 4);
+  PairFaultSimulator fsim(nl, launch, capture);
+  EXPECT_EQ(fsim.good_response(), simulate(nl, capture));
+}
+
+TEST(TdfTpg, GeneratesUsablePairs) {
+  const Netlist nl = make_named_circuit("g200");
+  TdfTpgOptions opt;
+  opt.seed = 5;
+  const TdfTpgResult r = generate_tdf_tests(nl, opt);
+  EXPECT_GT(r.capture.n_patterns(), 0u);
+  EXPECT_EQ(r.launch.n_patterns(), r.capture.n_patterns());
+  EXPECT_GT(r.coverage(), 0.5);
+  // Deterministic.
+  const TdfTpgResult r2 = generate_tdf_tests(nl, opt);
+  EXPECT_EQ(r.capture, r2.capture);
+  EXPECT_EQ(r.launch, r2.launch);
+}
+
+struct TdfCase {
+  Netlist netlist = make_named_circuit("g200");
+  TdfTpgResult tests = generate_tdf_tests(netlist, {256, 8, 4096, 7});
+  PairFaultSimulator fsim{netlist, tests.launch, tests.capture};
+  CollapsedFaults collapsed{netlist};
+};
+
+TdfCase& tdf_case() {
+  static TdfCase c;
+  return c;
+}
+
+/// Property: a single injected transition fault is diagnosed exactly in
+/// pair mode.
+TEST(TdfDiagnosis, SingleTransitionFaultDiagnosed) {
+  TdfCase& c = tdf_case();
+  std::mt19937_64 rng(11);
+  std::size_t tested = 0, hits = 0;
+  while (tested < 12) {
+    const NetId net = rng() % c.netlist.n_nets();
+    const Fault f = (rng() & 1) ? Fault::slow_to_rise(net)
+                                : Fault::slow_to_fall(net);
+    if (!c.fsim.detects(f)) continue;
+    ++tested;
+    const Datalog log = datalog_from_defect_pair(
+        c.netlist, {&f, 1}, c.tests.launch, c.tests.capture,
+        c.fsim.good_response());
+    DiagnosisContext ctx(c.netlist, c.tests.launch, c.tests.capture, log);
+    EXPECT_TRUE(ctx.pair_mode());
+    const DiagnosisReport r = diagnose_multiplet(ctx);
+    const TruthEvaluation ev =
+        evaluate_against_truth(r, {&f, 1}, c.collapsed);
+    hits += ev.all_hit;
+    EXPECT_TRUE(r.explains_all) << to_string(f, c.netlist);
+  }
+  // Most single transition faults must be named exactly (some are
+  // indistinguishable from equivalent sites under the pair set).
+  EXPECT_GE(hits * 10, tested * 7);
+}
+
+/// Mixed static + dynamic defect: the pair-mode multiplet method explains
+/// the composite log.
+TEST(TdfDiagnosis, MixedStaticDynamicDefect) {
+  TdfCase& c = tdf_case();
+  std::mt19937_64 rng(13);
+  DefectSampleConfig dc;
+  dc.multiplicity = 2;
+  dc.transition_fraction = 0.5;
+  std::size_t tested = 0, exact = 0;
+  for (int iter = 0; iter < 20 && tested < 8; ++iter) {
+    const auto defect = sample_tdf_defect(c.netlist, c.fsim, dc, rng);
+    if (!defect) continue;
+    const Datalog log = datalog_from_defect_pair(
+        c.netlist, *defect, c.tests.launch, c.tests.capture,
+        c.fsim.good_response());
+    if (!log.has_failures()) continue;
+    ++tested;
+    DiagnosisContext ctx(c.netlist, c.tests.launch, c.tests.capture, log);
+    const DiagnosisReport r = diagnose_multiplet(ctx);
+    exact += r.explains_all;
+  }
+  ASSERT_GT(tested, 0u);
+  EXPECT_GE(exact * 2, tested);  // at least half explained exactly
+}
+
+TEST(TdfCampaign, RunsAndAggregates) {
+  TdfCase& c = tdf_case();
+  CampaignConfig cfg;
+  cfg.n_cases = 6;
+  cfg.defect.multiplicity = 2;
+  cfg.defect.transition_fraction = 1.0;
+  cfg.seed = 17;
+  const CampaignResult r =
+      run_tdf_campaign(c.netlist, c.tests.launch, c.tests.capture, cfg);
+  EXPECT_GT(r.n_cases, 0u);
+  EXPECT_EQ(r.multiplet.n_cases, r.n_cases);
+  EXPECT_GE(r.multiplet.avg_hit_rate(), 0.0);
+}
+
+/// Pair-mode candidate extraction proposes the injected transition fault.
+TEST(TdfCandidates, InjectedTransitionInPool) {
+  TdfCase& c = tdf_case();
+  std::mt19937_64 rng(19);
+  std::size_t tested = 0;
+  while (tested < 10) {
+    const NetId net = rng() % c.netlist.n_nets();
+    const Fault f = (rng() & 1) ? Fault::slow_to_rise(net)
+                                : Fault::slow_to_fall(net);
+    if (!c.fsim.detects(f)) continue;
+    ++tested;
+    const Datalog log = datalog_from_defect_pair(
+        c.netlist, {&f, 1}, c.tests.launch, c.tests.capture,
+        c.fsim.good_response());
+    const CandidatePool pool = extract_tdf_candidates(
+        c.netlist, c.tests.launch, c.tests.capture, log);
+    EXPECT_NE(std::find(pool.faults.begin(), pool.faults.end(), f),
+              pool.faults.end())
+        << to_string(f, c.netlist);
+  }
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,113 @@
+// Unit tests: text file formats and fault-spec parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/generator.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(TextIoPatterns, RoundTrip) {
+  const PatternSet original = PatternSet::random(100, 7, 3);
+  std::stringstream ss;
+  write_patterns(ss, original);
+  const PatternSet back = read_patterns(ss);
+  EXPECT_EQ(back, original);
+}
+
+TEST(TextIoPatterns, RejectsBadInput) {
+  {
+    std::stringstream ss("nonsense 3\n010\n");
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("patterns 3\n01\n");  // width mismatch
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("patterns 3\n01X\n");  // non-binary
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("patterns 3\n");  // empty
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+}
+
+TEST(TextIoPatterns, CommentsIgnored) {
+  std::stringstream ss("# hello\npatterns 2\n01 # trailing\n10\n");
+  const PatternSet ps = read_patterns(ss);
+  EXPECT_EQ(ps.n_patterns(), 2u);
+  EXPECT_TRUE(ps.get(0, 1));
+  EXPECT_TRUE(ps.get(1, 0));
+}
+
+TEST(TextIoDatalog, RoundTrip) {
+  const Netlist nl = make_c17();
+  const PatternSet patterns = PatternSet::exhaustive(5);
+  const PatternSet good = simulate(nl, patterns);
+  const Fault f = Fault::stem_sa(nl.find_net("16"), true);
+  const Datalog original =
+      datalog_from_defect(nl, {&f, 1}, patterns, good);
+  ASSERT_TRUE(original.has_failures());
+
+  std::stringstream ss;
+  write_datalog(ss, original, nl);
+  const Datalog back = read_datalog(ss, nl);
+  EXPECT_EQ(back.observed, original.observed);
+  EXPECT_EQ(back.n_patterns_applied, original.n_patterns_applied);
+}
+
+TEST(TextIoDatalog, RejectsBadInput) {
+  const Netlist nl = make_c17();
+  {
+    std::stringstream ss("datalog\nfail 1 : 22\n");  // missing applied
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {
+    std::stringstream ss("datalog\napplied 8\nfail 1 : nosuch\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {
+    std::stringstream ss("datalog\napplied 8\nfail 1 : 16\n");  // not a PO
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {
+    std::stringstream ss("datalog\napplied 2\nfail 5 : 22\n");  // beyond
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+}
+
+TEST(FaultSpec, ParsesAllKinds) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(parse_fault_spec("sa0 16", nl),
+            Fault::stem_sa(nl.find_net("16"), false));
+  EXPECT_EQ(parse_fault_spec("SA1 16", nl),
+            Fault::stem_sa(nl.find_net("16"), true));
+  EXPECT_EQ(parse_fault_spec("sa1 16.1", nl),
+            Fault::branch_sa(nl.find_net("16"), 1, true));
+  EXPECT_EQ(parse_fault_spec("dom 10 19", nl),
+            Fault::bridge_dom(nl.find_net("19"), nl.find_net("10")));
+  EXPECT_EQ(parse_fault_spec("wand 10 19", nl),
+            Fault::bridge_wand(nl.find_net("10"), nl.find_net("19")));
+  EXPECT_EQ(parse_fault_spec("wor 10 19", nl),
+            Fault::bridge_wor(nl.find_net("10"), nl.find_net("19")));
+  EXPECT_EQ(parse_fault_spec("str 16", nl),
+            Fault::slow_to_rise(nl.find_net("16")));
+  EXPECT_EQ(parse_fault_spec("stf 16", nl),
+            Fault::slow_to_fall(nl.find_net("16")));
+}
+
+TEST(FaultSpec, RejectsBadSpecs) {
+  const Netlist nl = make_c17();
+  EXPECT_THROW(parse_fault_spec("sa0 nosuch", nl), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("frob 16", nl), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("sa0", nl), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("dom 10", nl), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("sa0 16.9", nl), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,86 @@
+// Unit tests: X-masked observations.
+#include <gtest/gtest.h>
+
+#include "diag/metrics.hpp"
+#include "diag/multiplet.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+ErrorSignature sig_with(std::initializer_list<std::pair<std::uint32_t, Word>>
+                            entries,
+                        std::size_t n_patterns = 100,
+                        std::size_t n_outputs = 8) {
+  ErrorSignature sig(n_patterns, n_outputs);
+  for (const auto& [p, mask] : entries) sig.append(p, {&mask, 1});
+  return sig;
+}
+
+TEST(XMask, MaskedFailuresDisappear) {
+  const ErrorSignature full = sig_with({{2, 0b11}, {9, 0b1}});
+  DatalogOptions opt;
+  opt.x_mask_fraction = 1.0;  // everything masked
+  const Datalog log = make_datalog(full, 100, opt);
+  EXPECT_FALSE(log.has_failures());
+  EXPECT_FALSE(log.masked.empty());
+}
+
+TEST(XMask, ZeroFractionNoMask) {
+  const ErrorSignature full = sig_with({{2, 0b11}});
+  const Datalog log = make_datalog(full, 100);
+  EXPECT_TRUE(log.masked.empty());
+  EXPECT_EQ(log.observed, full);
+}
+
+TEST(XMask, MaskIsDeterministicInSeed) {
+  const ErrorSignature full = sig_with({{2, 0b11}});
+  DatalogOptions opt;
+  opt.x_mask_fraction = 0.3;
+  opt.x_mask_seed = 42;
+  const Datalog a = make_datalog(full, 100, opt);
+  const Datalog b = make_datalog(full, 100, opt);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.observed, b.observed);
+  opt.x_mask_seed = 43;
+  const Datalog c = make_datalog(full, 100, opt);
+  EXPECT_NE(c.masked, a.masked);
+}
+
+TEST(XMask, ObservedNeverIntersectsMask) {
+  const Netlist nl = make_named_circuit("g200");
+  const PatternSet patterns = PatternSet::random(128, nl.n_inputs(), 3);
+  const PatternSet good = simulate(nl, patterns);
+  const Fault f = Fault::stem_sa(nl.find_net("g_50"), true);
+  DatalogOptions opt;
+  opt.x_mask_fraction = 0.2;
+  const Datalog log = datalog_from_defect(nl, {&f, 1}, patterns, good, opt);
+  const ErrorSignature overlap =
+      signature_difference(log.observed,
+                           signature_difference(log.observed, log.masked));
+  EXPECT_TRUE(overlap.empty());
+}
+
+/// Diagnosis remains exact when the defect is still observable: masked
+/// bits are stripped from both the datalog and the candidate signatures,
+/// so a masked bit can never produce a mismatch.
+TEST(XMask, DiagnosisConsistentUnderMasking) {
+  const Netlist nl = make_named_circuit("g200");
+  const PatternSet patterns = PatternSet::random(256, nl.n_inputs(), 7);
+  const PatternSet good = simulate(nl, patterns);
+  const CollapsedFaults collapsed(nl);
+  const Fault f = Fault::stem_sa(nl.find_net("g_120"), false);
+
+  DatalogOptions opt;
+  opt.x_mask_fraction = 0.1;
+  const Datalog log = datalog_from_defect(nl, {&f, 1}, patterns, good, opt);
+  if (!log.has_failures()) GTEST_SKIP() << "defect fully masked";
+  DiagnosisContext ctx(nl, patterns, log);
+  const DiagnosisReport r = diagnose_multiplet(ctx);
+  EXPECT_TRUE(r.explains_all);
+  const TruthEvaluation ev = evaluate_against_truth(r, {&f, 1}, collapsed);
+  EXPECT_TRUE(ev.all_hit);
+}
+
+}  // namespace
+}  // namespace mdd

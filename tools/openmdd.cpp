@@ -1,0 +1,239 @@
+// openmdd — command-line front-end.
+//
+//   openmdd stats    <netlist>
+//   openmdd convert  <netlist> -o out.{bench,v}
+//   openmdd atpg     <netlist> -o patterns.txt [--seed N] [--no-compact]
+//   openmdd inject   <netlist> --patterns f --fault "sa0 n16" [--fault ...]
+//                    [-o datalog.txt] [--max-failing N]
+//   openmdd diagnose <netlist> --patterns f --datalog f
+//                    [--method multiplet|slat|single|all]
+//
+// Netlists are read as ISCAS .bench (*.bench) or structural Verilog (*.v);
+// file formats are documented in src/workload/textio.hpp.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atpg/tpg.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+#include "fault/collapse.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/dot.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "workload/textio.hpp"
+
+namespace {
+
+using namespace mdd;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  openmdd stats    <netlist>\n"
+         "  openmdd convert  <netlist> -o <out.bench|out.v|out.dot>\n"
+         "  openmdd atpg     <netlist> -o <patterns.txt> [--seed N]"
+         " [--no-compact]\n"
+         "  openmdd inject   <netlist> --patterns <f> --fault <spec>..."
+         " [-o <datalog>] [--max-failing N]\n"
+         "  openmdd diagnose <netlist> --patterns <f> --datalog <f>"
+         " [--method multiplet|slat|single|all]\n"
+         "fault specs: 'sa0 NET' 'sa1 GATE.PIN' 'dom AGG VICTIM'"
+         " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n";
+  return 2;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Netlist load_netlist(const std::string& path) {
+  if (ends_with(path, ".bench")) return parse_bench_file(path).netlist;
+  if (ends_with(path, ".v")) {
+    static const CellLibrary lib;
+    return parse_verilog_file(path, lib).netlist;
+  }
+  throw std::runtime_error("unknown netlist extension (want .bench or .v): " +
+                           path);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;  // --key value
+  std::vector<std::string> flags;                            // --key
+
+  bool has_flag(std::string_view f) const {
+    for (const auto& x : flags)
+      if (x == f) return true;
+    return false;
+  }
+  std::string option(std::string_view key, std::string dflt = "") const {
+    for (const auto& [k, v] : options)
+      if (k == key) return v;
+    return dflt;
+  }
+  std::vector<std::string> all_options(std::string_view key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : options)
+      if (k == key) out.push_back(v);
+    return out;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  static const char* kValueOptions[] = {"-o",        "--patterns", "--fault",
+                                        "--datalog", "--seed",     "--method",
+                                        "--max-failing"};
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    bool is_value_option = false;
+    for (const char* vo : kValueOptions) is_value_option |= (a == vo);
+    if (is_value_option) {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      args.options.emplace_back(a, argv[++i]);
+    } else if (a.rfind("--", 0) == 0) {
+      args.flags.push_back(a);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmd_stats(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(0));
+  const auto s = nl.stats();
+  const CollapsedFaults cf(nl);
+  std::cout << "netlist:    " << nl.name() << "\n"
+            << "inputs:     " << s.n_inputs << "\n"
+            << "outputs:    " << s.n_outputs << "\n"
+            << "gates:      " << s.n_gates << "\n"
+            << "depth:      " << s.depth << "\n"
+            << "max fanin:  " << s.max_fanin << "\n"
+            << "max fanout: " << s.max_fanout << "\n"
+            << "stems:      " << s.n_fanout_stems << "\n"
+            << "sa faults:  " << cf.universe().size() << " ("
+            << cf.representatives().size() << " collapsed)\n"
+            << "cells:      " << nl.cell_instances().size() << "\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(0));
+  const std::string out = args.option("-o");
+  if (out.empty()) throw std::runtime_error("convert: missing -o");
+  std::ofstream os(out);
+  if (!os) throw std::runtime_error("cannot write " + out);
+  if (ends_with(out, ".bench"))
+    write_bench(os, nl);
+  else if (ends_with(out, ".v"))
+    write_verilog(os, nl);
+  else if (ends_with(out, ".dot"))
+    write_dot(os, nl);
+  else
+    throw std::runtime_error("unknown output extension: " + out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_atpg(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(0));
+  const std::string out = args.option("-o");
+  if (out.empty()) throw std::runtime_error("atpg: missing -o");
+  TpgOptions opt;
+  opt.seed = std::stoull(args.option("--seed", "1"));
+  opt.compact = !args.has_flag("--no-compact");
+  const TpgResult r = generate_tests(nl, opt);
+  write_patterns_file(out, r.patterns);
+  std::cout << "patterns:   " << r.patterns.n_patterns() << "\n"
+            << "coverage:   " << r.coverage() * 100 << "%\n"
+            << "effective:  " << r.effective_coverage() * 100 << "%\n"
+            << "untestable: " << r.n_untestable << "\n"
+            << "aborted:    " << r.n_aborted << "\n"
+            << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_inject(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(0));
+  const PatternSet patterns = read_patterns_file(args.option("--patterns"));
+  if (patterns.n_signals() != nl.n_inputs())
+    throw std::runtime_error("pattern width does not match netlist inputs");
+  std::vector<Fault> defect;
+  for (const std::string& spec : args.all_options("--fault"))
+    defect.push_back(parse_fault_spec(spec, nl));
+  if (defect.empty()) throw std::runtime_error("inject: no --fault given");
+
+  DatalogOptions opt;
+  const std::string cap = args.option("--max-failing");
+  if (!cap.empty()) opt.max_failing_patterns = std::stoul(cap);
+
+  const PatternSet good = simulate(nl, patterns);
+  const Datalog log = datalog_from_defect(nl, defect, patterns, good, opt);
+  std::cout << "injected " << defect.size() << " fault(s); "
+            << log.observed.n_failing_patterns() << " failing patterns, "
+            << log.observed.n_error_bits() << " failing bits\n";
+  const std::string out = args.option("-o");
+  if (out.empty()) {
+    write_datalog(std::cout, log, nl);
+  } else {
+    write_datalog_file(out, log, nl);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_diagnose(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(0));
+  const PatternSet patterns = read_patterns_file(args.option("--patterns"));
+  const Datalog log = read_datalog_file(args.option("--datalog"), nl);
+  const std::string method = args.option("--method", "multiplet");
+
+  DiagnosisContext ctx(nl, patterns, log);
+  std::vector<DiagnosisReport> reports;
+  if (method == "multiplet" || method == "all")
+    reports.push_back(diagnose_multiplet(ctx));
+  if (method == "slat" || method == "all")
+    reports.push_back(diagnose_slat(ctx));
+  if (method == "single" || method == "all")
+    reports.push_back(diagnose_single_fault(ctx));
+  if (reports.empty()) throw std::runtime_error("unknown method " + method);
+
+  for (const DiagnosisReport& r : reports) {
+    std::cout << "== " << r.method << " (" << r.suspects.size()
+              << " suspects" << (r.explains_all ? ", exact" : "") << ", "
+              << r.cpu_seconds * 1000 << " ms)\n";
+    for (const ScoredCandidate& sc : r.suspects) {
+      std::cout << "  " << to_string(sc.fault, nl) << "  [TFSF="
+                << sc.counts.tfsf << " TFSP=" << sc.counts.tfsp
+                << " TPSF=" << sc.counts.tpsf << "]\n";
+      for (const Fault& alt : sc.alternates)
+        std::cout << "    = " << to_string(alt, nl) << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "atpg") return cmd_atpg(args);
+    if (cmd == "inject") return cmd_inject(args);
+    if (cmd == "diagnose") return cmd_diagnose(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "openmdd " << cmd << ": " << e.what() << "\n";
+    return 1;
+  }
+}
