@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_candidates.dir/abl1_candidates.cpp.o"
+  "CMakeFiles/abl1_candidates.dir/abl1_candidates.cpp.o.d"
+  "abl1_candidates"
+  "abl1_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

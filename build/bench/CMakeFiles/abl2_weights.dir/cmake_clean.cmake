@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_weights.dir/abl2_weights.cpp.o"
+  "CMakeFiles/abl2_weights.dir/abl2_weights.cpp.o.d"
+  "abl2_weights"
+  "abl2_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

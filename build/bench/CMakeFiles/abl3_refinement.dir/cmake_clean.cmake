@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_refinement.dir/abl3_refinement.cpp.o"
+  "CMakeFiles/abl3_refinement.dir/abl3_refinement.cpp.o.d"
+  "abl3_refinement"
+  "abl3_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_dictionary.dir/abl4_dictionary.cpp.o"
+  "CMakeFiles/abl4_dictionary.dir/abl4_dictionary.cpp.o.d"
+  "abl4_dictionary"
+  "abl4_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_accuracy_vs_defects.dir/fig1_accuracy_vs_defects.cpp.o"
+  "CMakeFiles/fig1_accuracy_vs_defects.dir/fig1_accuracy_vs_defects.cpp.o.d"
+  "fig1_accuracy_vs_defects"
+  "fig1_accuracy_vs_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_accuracy_vs_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_resolution_vs_defects.dir/fig2_resolution_vs_defects.cpp.o"
+  "CMakeFiles/fig2_resolution_vs_defects.dir/fig2_resolution_vs_defects.cpp.o.d"
+  "fig2_resolution_vs_defects"
+  "fig2_resolution_vs_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_resolution_vs_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

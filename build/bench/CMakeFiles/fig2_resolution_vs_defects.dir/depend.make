@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_resolution_vs_defects.
+# This may be replaced when dependencies are built.

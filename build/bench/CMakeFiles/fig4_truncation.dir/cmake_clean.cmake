@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_truncation.dir/fig4_truncation.cpp.o"
+  "CMakeFiles/fig4_truncation.dir/fig4_truncation.cpp.o.d"
+  "fig4_truncation"
+  "fig4_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_xmask.dir/fig5_xmask.cpp.o"
+  "CMakeFiles/fig5_xmask.dir/fig5_xmask.cpp.o.d"
+  "fig5_xmask"
+  "fig5_xmask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_xmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

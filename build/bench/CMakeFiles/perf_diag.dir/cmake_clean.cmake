@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_diag.dir/perf_diag.cpp.o"
+  "CMakeFiles/perf_diag.dir/perf_diag.cpp.o.d"
+  "perf_diag"
+  "perf_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

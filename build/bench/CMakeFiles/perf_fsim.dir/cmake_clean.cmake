@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fsim.dir/perf_fsim.cpp.o"
+  "CMakeFiles/perf_fsim.dir/perf_fsim.cpp.o.d"
+  "perf_fsim"
+  "perf_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_circuits.dir/tab1_circuits.cpp.o"
+  "CMakeFiles/tab1_circuits.dir/tab1_circuits.cpp.o.d"
+  "tab1_circuits"
+  "tab1_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

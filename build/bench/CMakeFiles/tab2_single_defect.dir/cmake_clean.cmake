@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_single_defect.dir/tab2_single_defect.cpp.o"
+  "CMakeFiles/tab2_single_defect.dir/tab2_single_defect.cpp.o.d"
+  "tab2_single_defect"
+  "tab2_single_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_single_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

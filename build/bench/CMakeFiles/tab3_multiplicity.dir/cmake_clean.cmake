@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_multiplicity.dir/tab3_multiplicity.cpp.o"
+  "CMakeFiles/tab3_multiplicity.dir/tab3_multiplicity.cpp.o.d"
+  "tab3_multiplicity"
+  "tab3_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_fault_mix.dir/tab4_fault_mix.cpp.o"
+  "CMakeFiles/tab4_fault_mix.dir/tab4_fault_mix.cpp.o.d"
+  "tab4_fault_mix"
+  "tab4_fault_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_fault_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_interaction.dir/tab5_interaction.cpp.o"
+  "CMakeFiles/tab5_interaction.dir/tab5_interaction.cpp.o.d"
+  "tab5_interaction"
+  "tab5_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

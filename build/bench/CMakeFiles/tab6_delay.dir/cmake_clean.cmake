@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_delay.dir/tab6_delay.cpp.o"
+  "CMakeFiles/tab6_delay.dir/tab6_delay.cpp.o.d"
+  "tab6_delay"
+  "tab6_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

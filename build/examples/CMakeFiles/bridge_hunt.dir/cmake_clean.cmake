@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_hunt.dir/bridge_hunt.cpp.o"
+  "CMakeFiles/bridge_hunt.dir/bridge_hunt.cpp.o.d"
+  "bridge_hunt"
+  "bridge_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/delay_defect.cpp" "examples/CMakeFiles/delay_defect.dir/delay_defect.cpp.o" "gcc" "examples/CMakeFiles/delay_defect.dir/delay_defect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mdd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/mdd_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/mdd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/mdd_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mdd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

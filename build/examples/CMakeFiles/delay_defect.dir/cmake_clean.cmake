@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_defect.dir/delay_defect.cpp.o"
+  "CMakeFiles/delay_defect.dir/delay_defect.cpp.o.d"
+  "delay_defect"
+  "delay_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

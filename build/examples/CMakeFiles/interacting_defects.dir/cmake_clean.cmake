@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interacting_defects.dir/interacting_defects.cpp.o"
+  "CMakeFiles/interacting_defects.dir/interacting_defects.cpp.o.d"
+  "interacting_defects"
+  "interacting_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interacting_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

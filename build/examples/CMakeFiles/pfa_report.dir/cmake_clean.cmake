@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfa_report.dir/pfa_report.cpp.o"
+  "CMakeFiles/pfa_report.dir/pfa_report.cpp.o.d"
+  "pfa_report"
+  "pfa_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfa_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

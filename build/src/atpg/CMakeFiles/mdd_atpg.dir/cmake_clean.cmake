@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_atpg.dir/podem.cpp.o"
+  "CMakeFiles/mdd_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/mdd_atpg.dir/scoap.cpp.o"
+  "CMakeFiles/mdd_atpg.dir/scoap.cpp.o.d"
+  "CMakeFiles/mdd_atpg.dir/tpg.cpp.o"
+  "CMakeFiles/mdd_atpg.dir/tpg.cpp.o.d"
+  "libmdd_atpg.a"
+  "libmdd_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

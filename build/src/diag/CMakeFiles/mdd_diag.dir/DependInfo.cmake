@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/candidates.cpp" "src/diag/CMakeFiles/mdd_diag.dir/candidates.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/candidates.cpp.o.d"
+  "/root/repo/src/diag/datalog.cpp" "src/diag/CMakeFiles/mdd_diag.dir/datalog.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/datalog.cpp.o.d"
+  "/root/repo/src/diag/diagnosis.cpp" "src/diag/CMakeFiles/mdd_diag.dir/diagnosis.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/diag/dictionary.cpp" "src/diag/CMakeFiles/mdd_diag.dir/dictionary.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/dictionary.cpp.o.d"
+  "/root/repo/src/diag/metrics.cpp" "src/diag/CMakeFiles/mdd_diag.dir/metrics.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/metrics.cpp.o.d"
+  "/root/repo/src/diag/multiplet.cpp" "src/diag/CMakeFiles/mdd_diag.dir/multiplet.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/multiplet.cpp.o.d"
+  "/root/repo/src/diag/single_fault.cpp" "src/diag/CMakeFiles/mdd_diag.dir/single_fault.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/single_fault.cpp.o.d"
+  "/root/repo/src/diag/slat.cpp" "src/diag/CMakeFiles/mdd_diag.dir/slat.cpp.o" "gcc" "src/diag/CMakeFiles/mdd_diag.dir/slat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsim/CMakeFiles/mdd_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mdd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

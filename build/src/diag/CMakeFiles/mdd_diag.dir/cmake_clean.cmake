@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_diag.dir/candidates.cpp.o"
+  "CMakeFiles/mdd_diag.dir/candidates.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/datalog.cpp.o"
+  "CMakeFiles/mdd_diag.dir/datalog.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/diagnosis.cpp.o"
+  "CMakeFiles/mdd_diag.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/dictionary.cpp.o"
+  "CMakeFiles/mdd_diag.dir/dictionary.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/metrics.cpp.o"
+  "CMakeFiles/mdd_diag.dir/metrics.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/multiplet.cpp.o"
+  "CMakeFiles/mdd_diag.dir/multiplet.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/single_fault.cpp.o"
+  "CMakeFiles/mdd_diag.dir/single_fault.cpp.o.d"
+  "CMakeFiles/mdd_diag.dir/slat.cpp.o"
+  "CMakeFiles/mdd_diag.dir/slat.cpp.o.d"
+  "libmdd_diag.a"
+  "libmdd_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

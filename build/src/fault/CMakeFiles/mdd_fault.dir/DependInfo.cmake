@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/collapse.cpp" "src/fault/CMakeFiles/mdd_fault.dir/collapse.cpp.o" "gcc" "src/fault/CMakeFiles/mdd_fault.dir/collapse.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/mdd_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/mdd_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/inject.cpp" "src/fault/CMakeFiles/mdd_fault.dir/inject.cpp.o" "gcc" "src/fault/CMakeFiles/mdd_fault.dir/inject.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_fault.dir/collapse.cpp.o"
+  "CMakeFiles/mdd_fault.dir/collapse.cpp.o.d"
+  "CMakeFiles/mdd_fault.dir/fault.cpp.o"
+  "CMakeFiles/mdd_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/mdd_fault.dir/inject.cpp.o"
+  "CMakeFiles/mdd_fault.dir/inject.cpp.o.d"
+  "libmdd_fault.a"
+  "libmdd_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsim/cpt.cpp" "src/fsim/CMakeFiles/mdd_fsim.dir/cpt.cpp.o" "gcc" "src/fsim/CMakeFiles/mdd_fsim.dir/cpt.cpp.o.d"
+  "/root/repo/src/fsim/fsim.cpp" "src/fsim/CMakeFiles/mdd_fsim.dir/fsim.cpp.o" "gcc" "src/fsim/CMakeFiles/mdd_fsim.dir/fsim.cpp.o.d"
+  "/root/repo/src/fsim/propagate.cpp" "src/fsim/CMakeFiles/mdd_fsim.dir/propagate.cpp.o" "gcc" "src/fsim/CMakeFiles/mdd_fsim.dir/propagate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/mdd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

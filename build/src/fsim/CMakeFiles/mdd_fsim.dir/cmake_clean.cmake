@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_fsim.dir/cpt.cpp.o"
+  "CMakeFiles/mdd_fsim.dir/cpt.cpp.o.d"
+  "CMakeFiles/mdd_fsim.dir/fsim.cpp.o"
+  "CMakeFiles/mdd_fsim.dir/fsim.cpp.o.d"
+  "CMakeFiles/mdd_fsim.dir/propagate.cpp.o"
+  "CMakeFiles/mdd_fsim.dir/propagate.cpp.o.d"
+  "libmdd_fsim.a"
+  "libmdd_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

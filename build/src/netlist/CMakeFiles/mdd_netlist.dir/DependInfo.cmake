@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_parser.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/bench_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/bench_parser.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/dot.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/dot.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/netlist/CMakeFiles/mdd_netlist.dir/verilog_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/mdd_netlist.dir/verilog_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_netlist.dir/bench_parser.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/bench_parser.cpp.o.d"
+  "CMakeFiles/mdd_netlist.dir/cell.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/mdd_netlist.dir/dot.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/mdd_netlist.dir/generator.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/mdd_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/mdd_netlist.dir/verilog_parser.cpp.o"
+  "CMakeFiles/mdd_netlist.dir/verilog_parser.cpp.o.d"
+  "libmdd_netlist.a"
+  "libmdd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdd_netlist.a"
+)

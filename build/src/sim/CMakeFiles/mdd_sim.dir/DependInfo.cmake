@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/mdd_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mdd_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/patterns.cpp" "src/sim/CMakeFiles/mdd_sim.dir/patterns.cpp.o" "gcc" "src/sim/CMakeFiles/mdd_sim.dir/patterns.cpp.o.d"
+  "/root/repo/src/sim/sim2.cpp" "src/sim/CMakeFiles/mdd_sim.dir/sim2.cpp.o" "gcc" "src/sim/CMakeFiles/mdd_sim.dir/sim2.cpp.o.d"
+  "/root/repo/src/sim/sim3.cpp" "src/sim/CMakeFiles/mdd_sim.dir/sim3.cpp.o" "gcc" "src/sim/CMakeFiles/mdd_sim.dir/sim3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

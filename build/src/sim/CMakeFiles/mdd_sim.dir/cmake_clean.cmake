@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/mdd_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/mdd_sim.dir/patterns.cpp.o"
+  "CMakeFiles/mdd_sim.dir/patterns.cpp.o.d"
+  "CMakeFiles/mdd_sim.dir/sim2.cpp.o"
+  "CMakeFiles/mdd_sim.dir/sim2.cpp.o.d"
+  "CMakeFiles/mdd_sim.dir/sim3.cpp.o"
+  "CMakeFiles/mdd_sim.dir/sim3.cpp.o.d"
+  "libmdd_sim.a"
+  "libmdd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_workload.dir/campaign.cpp.o"
+  "CMakeFiles/mdd_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/mdd_workload.dir/circuits.cpp.o"
+  "CMakeFiles/mdd_workload.dir/circuits.cpp.o.d"
+  "CMakeFiles/mdd_workload.dir/table.cpp.o"
+  "CMakeFiles/mdd_workload.dir/table.cpp.o.d"
+  "CMakeFiles/mdd_workload.dir/textio.cpp.o"
+  "CMakeFiles/mdd_workload.dir/textio.cpp.o.d"
+  "libmdd_workload.a"
+  "libmdd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

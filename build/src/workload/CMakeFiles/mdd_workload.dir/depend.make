@@ -1,0 +1,2 @@
+# Empty dependencies file for mdd_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atpg.cpp" "tests/CMakeFiles/mdd_tests.dir/test_atpg.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_atpg.cpp.o.d"
+  "/root/repo/tests/test_bench_parser.cpp" "tests/CMakeFiles/mdd_tests.dir/test_bench_parser.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_bench_parser.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/mdd_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_candidates.cpp" "tests/CMakeFiles/mdd_tests.dir/test_candidates.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_candidates.cpp.o.d"
+  "/root/repo/tests/test_cell.cpp" "tests/CMakeFiles/mdd_tests.dir/test_cell.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_cell.cpp.o.d"
+  "/root/repo/tests/test_collapse.cpp" "tests/CMakeFiles/mdd_tests.dir/test_collapse.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_collapse.cpp.o.d"
+  "/root/repo/tests/test_cpt.cpp" "tests/CMakeFiles/mdd_tests.dir/test_cpt.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_cpt.cpp.o.d"
+  "/root/repo/tests/test_datalog.cpp" "tests/CMakeFiles/mdd_tests.dir/test_datalog.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_datalog.cpp.o.d"
+  "/root/repo/tests/test_diag_sweep.cpp" "tests/CMakeFiles/mdd_tests.dir/test_diag_sweep.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_diag_sweep.cpp.o.d"
+  "/root/repo/tests/test_diagnosis.cpp" "tests/CMakeFiles/mdd_tests.dir/test_diagnosis.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_diagnosis.cpp.o.d"
+  "/root/repo/tests/test_dictionary.cpp" "tests/CMakeFiles/mdd_tests.dir/test_dictionary.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_dictionary.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/mdd_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/mdd_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_fsim.cpp" "tests/CMakeFiles/mdd_tests.dir/test_fsim.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_fsim.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/mdd_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mdd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_logic.cpp" "tests/CMakeFiles/mdd_tests.dir/test_logic.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_logic.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/mdd_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/mdd_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_propagate.cpp" "tests/CMakeFiles/mdd_tests.dir/test_propagate.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_propagate.cpp.o.d"
+  "/root/repo/tests/test_scoap.cpp" "tests/CMakeFiles/mdd_tests.dir/test_scoap.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_scoap.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mdd_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mdd_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tdf.cpp" "tests/CMakeFiles/mdd_tests.dir/test_tdf.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_tdf.cpp.o.d"
+  "/root/repo/tests/test_textio.cpp" "tests/CMakeFiles/mdd_tests.dir/test_textio.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_textio.cpp.o.d"
+  "/root/repo/tests/test_verilog_parser.cpp" "tests/CMakeFiles/mdd_tests.dir/test_verilog_parser.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_verilog_parser.cpp.o.d"
+  "/root/repo/tests/test_xmask.cpp" "tests/CMakeFiles/mdd_tests.dir/test_xmask.cpp.o" "gcc" "tests/CMakeFiles/mdd_tests.dir/test_xmask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mdd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/mdd_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/mdd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/mdd_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mdd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mdd_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

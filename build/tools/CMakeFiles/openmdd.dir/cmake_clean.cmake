@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmdd.dir/openmdd.cpp.o"
+  "CMakeFiles/openmdd.dir/openmdd.cpp.o.d"
+  "openmdd"
+  "openmdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
