@@ -3,6 +3,9 @@
 // Every table/figure binary accepts:
 //   --cases N     override the per-cell campaign case count
 //   --fast        quarter-size campaigns (CI smoke)
+//   --threads N   case-parallel campaigns on N threads (0 = all cores;
+//                 default from MDD_THREADS, else serial). Results are
+//                 byte-identical to serial for any N.
 // and prints the reproduced table in the paper's layout followed by a CSV
 // block (for plotting).
 #pragma once
@@ -12,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/exec.hpp"
 #include "workload/campaign.hpp"
 #include "workload/circuits.hpp"
 #include "workload/table.hpp"
@@ -21,7 +25,12 @@ namespace mdd::bench {
 struct BenchArgs {
   std::size_t cases = 0;  // 0 = binary's default
   bool fast = false;
+  ExecPolicy exec = ExecPolicy::from_env();
 };
+
+/// Execution policy applied by run_cell (set from the parsed args so the
+/// per-table binaries stay declarative).
+inline ExecPolicy g_exec = ExecPolicy::from_env();
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
@@ -30,8 +39,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.fast = true;
     } else if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
       args.cases = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.exec = ExecPolicy::parallel(
+          static_cast<std::size_t>(std::atol(argv[++i])));
     }
   }
+  g_exec = args.exec;
   return args;
 }
 
@@ -48,8 +61,10 @@ inline void print_header(const std::string& id, const std::string& title) {
 }
 
 /// Runs one campaign cell and returns the result (thin wrapper to keep the
-/// per-table binaries declarative).
+/// per-table binaries declarative). Applies the --threads / MDD_THREADS
+/// execution policy; the reproduced numbers do not depend on it.
 inline CampaignResult run_cell(const BenchCircuit& bc, CampaignConfig cfg) {
+  cfg.exec = g_exec;
   return run_campaign(bc.netlist, bc.patterns, cfg);
 }
 

@@ -82,6 +82,56 @@ void BM_DiagnoseMultiplet(benchmark::State& state) {
 }
 BENCHMARK(BM_DiagnoseMultiplet);
 
+ExecPolicy policy_of(const benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  return threads <= 1 ? ExecPolicy::serial() : ExecPolicy::parallel(threads);
+}
+
+// Threads axis: candidate-parallel solo-signature cache warm — the cost
+// every diagnoser pays on first access, isolated from context
+// construction. Cached values are byte-identical across the axis.
+void BM_WarmSoloCacheThreads(benchmark::State& state) {
+  Fixture& f = fixture();
+  const ExecPolicy policy = policy_of(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, f.log);
+    state.ResumeTiming();
+    ctx.warm_solo_signatures(policy);
+    benchmark::DoNotOptimize(ctx.solo_compute_count());
+  }
+}
+BENCHMARK(BM_WarmSoloCacheThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Threads axis: case-parallel campaign end to end (sampling, datalog,
+// three diagnosers per case). Deterministic fields of the result are
+// byte-identical across the axis.
+void BM_CampaignThreads(benchmark::State& state) {
+  Fixture& f = fixture();
+  CampaignConfig cfg;
+  cfg.n_cases = 8;
+  cfg.defect.multiplicity = 2;
+  cfg.seed = 0xD1A6;
+  cfg.exec = policy_of(state);
+  for (auto _ : state) {
+    const CampaignResult r = run_campaign(f.bc.netlist, f.bc.patterns, cfg);
+    benchmark::DoNotOptimize(r.n_cases);
+  }
+}
+BENCHMARK(BM_CampaignThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

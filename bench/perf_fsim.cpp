@@ -65,6 +65,62 @@ void BM_SignatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureExtraction)->Arg(128)->Arg(512);
 
+// Threads axis: fault-parallel signature batch on the large generated
+// circuit — the hot path of every diagnosis campaign. Arg = thread count;
+// output is byte-identical across the axis (tests/test_parallel_equiv.cpp),
+// so the BENCH json trajectory records pure speedup.
+void BM_SignatureBatchThreads(benchmark::State& state) {
+  const Netlist& nl = circuit("g5k");
+  const PatternSet stimuli = PatternSet::random(256, nl.n_inputs(), 3);
+  FaultSimulator fsim(nl, stimuli);
+  const std::vector<Fault> universe = all_stuck_at_faults(nl);
+  std::vector<Fault> faults;
+  for (std::size_t i = 0; i < universe.size() && faults.size() < 256;
+       i += universe.size() / 256 + 1)
+    faults.push_back(universe[i]);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const ExecPolicy policy =
+      threads <= 1 ? ExecPolicy::serial() : ExecPolicy::parallel(threads);
+  for (auto _ : state) {
+    auto sigs = fsim.signatures(faults, policy);
+    benchmark::DoNotOptimize(sigs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_SignatureBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Threads axis for batch detection (early-exit workload, less uniform per
+// fault than full signatures).
+void BM_DetectedBatchThreads(benchmark::State& state) {
+  const Netlist& nl = circuit("g1k");
+  const PatternSet stimuli = PatternSet::random(256, nl.n_inputs(), 5);
+  FaultSimulator fsim(nl, stimuli);
+  const std::vector<Fault> faults = all_stuck_at_faults(nl);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const ExecPolicy policy =
+      threads <= 1 ? ExecPolicy::serial() : ExecPolicy::parallel(threads);
+  for (auto _ : state) {
+    auto det = fsim.detected(faults, policy);
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_DetectedBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CriticalPathTrace(benchmark::State& state) {
   const Netlist& nl = circuit("g1k");
   const PatternSet stimuli = PatternSet::random(8, nl.n_inputs(), 1);

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       cfg.defect.multiplicity = k;
       cfg.defect.transition_fraction = fraction;
       cfg.seed = 0x7AB6 + k;
+      cfg.exec = args.exec;
       const CampaignResult r =
           run_tdf_campaign(nl, tests.launch, tests.capture, cfg);
       for (const MethodAggregate* m :

@@ -1,0 +1,53 @@
+// openmdd — execution policy and deterministic parallel loops.
+//
+// `ExecPolicy` is the knob threaded through the stack: serial (the
+// default, always available) or parallel with a fixed thread count. Every
+// parallel loop in the repo goes through `parallel_for` /
+// `parallel_for_ranges`, which partition [0, n) into contiguous
+// per-worker ranges on a shared fixed-size `ThreadPool`. Callers write
+// results into per-index slots and aggregate in index order, so output is
+// byte-identical to the serial loop for any thread count — the property
+// the differential tests (tests/test_parallel_equiv.cpp) pin down.
+//
+// Nested parallel regions (a parallel_for issued from inside a worker)
+// degrade to serial execution in the calling worker: determinism and
+// deadlock-freedom over cleverness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mdd {
+
+struct ExecPolicy {
+  /// Number of worker threads; <= 1 means serial.
+  std::size_t n_threads = 1;
+
+  static ExecPolicy serial() { return ExecPolicy{1}; }
+
+  /// `n == 0` picks std::thread::hardware_concurrency().
+  static ExecPolicy parallel(std::size_t n = 0);
+
+  /// Reads the MDD_THREADS environment variable ("0" = hardware
+  /// concurrency, unset/empty/"1" = serial).
+  static ExecPolicy from_env();
+
+  bool is_serial() const { return n_threads <= 1; }
+
+  bool operator==(const ExecPolicy&) const = default;
+};
+
+/// Runs body(begin, end, worker) over a static partition of [0, n) into
+/// min(policy.n_threads, n) contiguous ranges (one per worker, worker ids
+/// dense from 0). Serial policies, n <= 1, and nested calls run inline as
+/// body(0, n, 0). Blocks until every range is done; exceptions propagate.
+void parallel_for_ranges(
+    const ExecPolicy& policy, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Per-index convenience over parallel_for_ranges: body(i, worker).
+void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace mdd

@@ -1,0 +1,62 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mdd {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t n = std::max<std::size_t>(1, n_threads);
+  errors_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t id = 0; id < n; ++id)
+    workers_.emplace_back([this, id] { worker_main(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &job;
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  n_done_ = 0;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return n_done_ == workers_.size(); });
+  job_ = nullptr;
+  for (std::exception_ptr& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void ThreadPool::worker_main(std::size_t id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[id] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++n_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace mdd

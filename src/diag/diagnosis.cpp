@@ -47,13 +47,50 @@ DiagnosisContext::DiagnosisContext(const Netlist& netlist,
       propagator_(std::in_place, netlist, launch_window_, window_),
       solo_cache_(pool_.faults.size()) {}
 
+void DiagnosisContext::fill_solo(SoloSlot& slot, SingleFaultPropagator& prop,
+                                 std::size_t i) {
+  std::call_once(slot.once, [&] {
+    ErrorSignature sig = prop.signature(pool_.faults[i]);
+    if (!masked_.empty()) sig = signature_difference(sig, masked_);
+    slot.sig = std::move(sig);
+    solo_computes_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
 const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
-  if (!solo_cache_[i]) {
+  SoloSlot& slot = solo_cache_[i];
+  // The shared propagator's scratch state needs exclusive access; the
+  // once_flag still guarantees a single compute per slot when readers
+  // race.
+  std::call_once(slot.once, [&] {
+    std::lock_guard<std::mutex> lock(propagator_mutex_);
     ErrorSignature sig = propagator_->signature(pool_.faults[i]);
     if (!masked_.empty()) sig = signature_difference(sig, masked_);
-    solo_cache_[i] = std::move(sig);
+    slot.sig = std::move(sig);
+    solo_computes_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot.sig;
+}
+
+void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy) {
+  const std::size_t n = pool_.faults.size();
+  if (policy.is_serial()) {
+    for (std::size_t i = 0; i < n; ++i) solo_signature(i);
+    return;
   }
-  return *solo_cache_[i];
+  parallel_for_ranges(policy, n,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        // One private event engine per worker: identical
+                        // per-query results, no shared scratch.
+                        SingleFaultPropagator prop =
+                            pair_mode()
+                                ? SingleFaultPropagator(*netlist_,
+                                                        launch_window_,
+                                                        window_)
+                                : SingleFaultPropagator(*netlist_, window_);
+                        for (std::size_t i = begin; i < end; ++i)
+                          fill_solo(solo_cache_[i], prop, i);
+                      });
 }
 
 ErrorSignature DiagnosisContext::multiplet_signature(

@@ -7,11 +7,15 @@
 // diagnoser needs most of them, no diagnoser wants to recompute them).
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "diag/candidates.hpp"
 #include "diag/datalog.hpp"
 #include "fsim/fsim.hpp"
@@ -99,7 +103,21 @@ class DiagnosisContext {
   const Fault& candidate(std::size_t i) const { return pool_.faults[i]; }
 
   /// Solo signature of candidate `i` over the applied window (cached).
+  /// Thread-safe: concurrent callers for the same `i` all receive the same
+  /// cached object, computed exactly once (per-slot std::once_flag).
   const ErrorSignature& solo_signature(std::size_t i);
+
+  /// Fills the solo-signature cache candidate-parallel under `policy`,
+  /// each worker propagating with its own event engine. Slots already
+  /// computed are kept; the cached values are byte-identical to the lazy
+  /// serial fill for any thread count.
+  void warm_solo_signatures(const ExecPolicy& policy);
+
+  /// Number of solo signatures computed so far (cache instrumentation;
+  /// never exceeds n_candidates()).
+  std::size_t solo_compute_count() const {
+    return solo_computes_.load(std::memory_order_relaxed);
+  }
 
   /// Signature of an arbitrary multiplet over the applied window
   /// (uncached; composite evaluation).
@@ -123,7 +141,19 @@ class DiagnosisContext {
   /// signatures (composite multiplet signatures still use the full
   /// machines above).
   std::optional<SingleFaultPropagator> propagator_;
-  std::vector<std::optional<ErrorSignature>> solo_cache_;
+
+  struct SoloSlot {
+    std::once_flag once;
+    ErrorSignature sig;
+  };
+  /// Computes slot `i` with `prop` (masked-bit subtraction included);
+  /// no-op if already filled.
+  void fill_solo(SoloSlot& slot, SingleFaultPropagator& prop, std::size_t i);
+
+  /// deque: slots are neither movable (once_flag) nor relocated.
+  std::deque<SoloSlot> solo_cache_;
+  std::mutex propagator_mutex_;  ///< guards propagator_'s scratch state
+  std::atomic<std::size_t> solo_computes_{0};
 };
 
 }  // namespace mdd

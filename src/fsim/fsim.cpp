@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 
 namespace mdd {
@@ -134,6 +135,102 @@ ErrorSignature restrict_signature(const ErrorSignature& sig,
   return out;
 }
 
+namespace {
+
+/// Single-frame signature kernel on an explicit machine — shared by the
+/// serial member and the fault-parallel batch (one machine per worker).
+ErrorSignature signature_on(FaultyMachine& machine, const Netlist& netlist,
+                            const PatternSet& patterns,
+                            const PatternSet& good,
+                            std::span<const Fault> multiplet) {
+  machine.set_faults(multiplet);
+  ErrorSignature sig(patterns.n_patterns(), netlist.n_outputs());
+  std::vector<Word> mask(sig.n_po_words());
+  const auto& pos = netlist.outputs();
+  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
+    machine.run(patterns, b);
+    const Word valid = patterns.valid_mask(b);
+    // Which patterns in this block show any PO difference?
+    Word any_diff = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any_diff |= (machine.value(pos[o]) ^ good.word(b, o)) & valid;
+    while (any_diff) {
+      const int bit = std::countr_zero(any_diff);
+      any_diff &= any_diff - 1;
+      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
+      std::fill(mask.begin(), mask.end(), kAllZero);
+      for (std::size_t o = 0; o < pos.size(); ++o) {
+        const Word d = machine.value(pos[o]) ^ good.word(b, o);
+        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+      }
+      sig.append(static_cast<std::uint32_t>(p), mask);
+    }
+  }
+  return sig;
+}
+
+bool detects_on(FaultyMachine& machine, const Netlist& netlist,
+                const PatternSet& patterns, const PatternSet& good,
+                const Fault& fault) {
+  machine.set_faults({&fault, 1});
+  const auto& pos = netlist.outputs();
+  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
+    machine.run(patterns, b);
+    const Word valid = patterns.valid_mask(b);
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      if ((machine.value(pos[o]) ^ good.word(b, o)) & valid) return true;
+  }
+  return false;
+}
+
+/// Two-frame (launch/capture) signature kernel on an explicit machine.
+ErrorSignature pair_signature_on(FaultyMachine& machine,
+                                 const Netlist& netlist,
+                                 const PatternSet& launch,
+                                 const PatternSet& capture,
+                                 const PatternSet& good,
+                                 std::span<const Fault> multiplet) {
+  machine.set_faults(multiplet);
+  ErrorSignature sig(capture.n_patterns(), netlist.n_outputs());
+  std::vector<Word> mask(sig.n_po_words());
+  const auto& pos = netlist.outputs();
+  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
+    machine.run_pair(launch, capture, b);
+    const Word valid = capture.valid_mask(b);
+    Word any_diff = kAllZero;
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      any_diff |= (machine.value(pos[o]) ^ good.word(b, o)) & valid;
+    while (any_diff) {
+      const int bit = std::countr_zero(any_diff);
+      any_diff &= any_diff - 1;
+      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
+      std::fill(mask.begin(), mask.end(), kAllZero);
+      for (std::size_t o = 0; o < pos.size(); ++o) {
+        const Word d = machine.value(pos[o]) ^ good.word(b, o);
+        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+      }
+      sig.append(static_cast<std::uint32_t>(p), mask);
+    }
+  }
+  return sig;
+}
+
+bool pair_detects_on(FaultyMachine& machine, const Netlist& netlist,
+                     const PatternSet& launch, const PatternSet& capture,
+                     const PatternSet& good, const Fault& fault) {
+  machine.set_faults({&fault, 1});
+  const auto& pos = netlist.outputs();
+  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
+    machine.run_pair(launch, capture, b);
+    const Word valid = capture.valid_mask(b);
+    for (std::size_t o = 0; o < pos.size(); ++o)
+      if ((machine.value(pos[o]) ^ good.word(b, o)) & valid) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 FaultSimulator::FaultSimulator(const Netlist& netlist,
                                const PatternSet& patterns)
     : netlist_(&netlist),
@@ -146,42 +243,11 @@ ErrorSignature FaultSimulator::signature(const Fault& fault) {
 }
 
 ErrorSignature FaultSimulator::signature(std::span<const Fault> multiplet) {
-  machine_.set_faults(multiplet);
-  ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
-  std::vector<Word> mask(sig.n_po_words());
-  const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
-    machine_.run(*patterns_, b);
-    const Word valid = patterns_->valid_mask(b);
-    // Which patterns in this block show any PO difference?
-    Word any_diff = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any_diff |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
-    while (any_diff) {
-      const int bit = std::countr_zero(any_diff);
-      any_diff &= any_diff - 1;
-      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
-      std::fill(mask.begin(), mask.end(), kAllZero);
-      for (std::size_t o = 0; o < pos.size(); ++o) {
-        const Word d = machine_.value(pos[o]) ^ good_.word(b, o);
-        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
-      }
-      sig.append(static_cast<std::uint32_t>(p), mask);
-    }
-  }
-  return sig;
+  return signature_on(machine_, *netlist_, *patterns_, good_, multiplet);
 }
 
 bool FaultSimulator::detects(const Fault& fault) {
-  machine_.set_faults({&fault, 1});
-  const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
-    machine_.run(*patterns_, b);
-    const Word valid = patterns_->valid_mask(b);
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      if ((machine_.value(pos[o]) ^ good_.word(b, o)) & valid) return true;
-  }
-  return false;
+  return detects_on(machine_, *netlist_, *patterns_, good_, fault);
 }
 
 std::optional<std::uint32_t> FaultSimulator::first_detecting_pattern(
@@ -215,6 +281,56 @@ double FaultSimulator::coverage(std::span<const Fault> faults) {
   return static_cast<double>(n) / static_cast<double>(faults.size());
 }
 
+std::vector<ErrorSignature> FaultSimulator::signatures(
+    std::span<const Fault> faults, const ExecPolicy& policy) const {
+  std::vector<ErrorSignature> out(faults.size());
+  parallel_for_ranges(policy, faults.size(),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        FaultyMachine machine(*netlist_);
+                        for (std::size_t i = begin; i < end; ++i)
+                          out[i] = signature_on(machine, *netlist_,
+                                                *patterns_, good_,
+                                                {&faults[i], 1});
+                      });
+  return out;
+}
+
+std::vector<bool> FaultSimulator::detected(std::span<const Fault> faults,
+                                           const ExecPolicy& policy) const {
+  std::vector<bool> out(faults.size());
+  // std::vector<bool> packs bits — adjacent slots share a word, so each
+  // worker writes a private buffer and the caller stitches ranges back in
+  // index order.
+  std::vector<std::vector<bool>> parts;
+  std::vector<std::size_t> offsets;
+  std::mutex mu;
+  parallel_for_ranges(
+      policy, faults.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        FaultyMachine machine(*netlist_);
+        std::vector<bool> part(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+          part[i - begin] =
+              detects_on(machine, *netlist_, *patterns_, good_, faults[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        parts.push_back(std::move(part));
+        offsets.push_back(begin);
+      });
+  for (std::size_t k = 0; k < parts.size(); ++k)
+    for (std::size_t i = 0; i < parts[k].size(); ++i)
+      out[offsets[k] + i] = parts[k][i];
+  return out;
+}
+
+double FaultSimulator::coverage(std::span<const Fault> faults,
+                                const ExecPolicy& policy) const {
+  if (faults.empty()) return 1.0;
+  const auto det = detected(faults, policy);
+  std::size_t n = 0;
+  for (bool d : det) n += d;
+  return static_cast<double>(n) / static_cast<double>(faults.size());
+}
+
 PairFaultSimulator::PairFaultSimulator(const Netlist& netlist,
                                        const PatternSet& launch,
                                        const PatternSet& capture)
@@ -233,41 +349,13 @@ ErrorSignature PairFaultSimulator::signature(const Fault& fault) {
 }
 
 ErrorSignature PairFaultSimulator::signature(std::span<const Fault> multiplet) {
-  machine_.set_faults(multiplet);
-  ErrorSignature sig(capture_->n_patterns(), netlist_->n_outputs());
-  std::vector<Word> mask(sig.n_po_words());
-  const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
-    machine_.run_pair(*launch_, *capture_, b);
-    const Word valid = capture_->valid_mask(b);
-    Word any_diff = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any_diff |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
-    while (any_diff) {
-      const int bit = std::countr_zero(any_diff);
-      any_diff &= any_diff - 1;
-      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
-      std::fill(mask.begin(), mask.end(), kAllZero);
-      for (std::size_t o = 0; o < pos.size(); ++o) {
-        const Word d = machine_.value(pos[o]) ^ good_.word(b, o);
-        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
-      }
-      sig.append(static_cast<std::uint32_t>(p), mask);
-    }
-  }
-  return sig;
+  return pair_signature_on(machine_, *netlist_, *launch_, *capture_, good_,
+                           multiplet);
 }
 
 bool PairFaultSimulator::detects(const Fault& fault) {
-  machine_.set_faults({&fault, 1});
-  const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
-    machine_.run_pair(*launch_, *capture_, b);
-    const Word valid = capture_->valid_mask(b);
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      if ((machine_.value(pos[o]) ^ good_.word(b, o)) & valid) return true;
-  }
-  return false;
+  return pair_detects_on(machine_, *netlist_, *launch_, *capture_, good_,
+                         fault);
 }
 
 std::optional<std::uint32_t> PairFaultSimulator::first_detecting_pair(
@@ -290,6 +378,53 @@ double PairFaultSimulator::coverage(std::span<const Fault> faults) {
   if (faults.empty()) return 1.0;
   std::size_t n = 0;
   for (const Fault& f : faults) n += detects(f);
+  return static_cast<double>(n) / static_cast<double>(faults.size());
+}
+
+std::vector<ErrorSignature> PairFaultSimulator::signatures(
+    std::span<const Fault> faults, const ExecPolicy& policy) const {
+  std::vector<ErrorSignature> out(faults.size());
+  parallel_for_ranges(policy, faults.size(),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        FaultyMachine machine(*netlist_);
+                        for (std::size_t i = begin; i < end; ++i)
+                          out[i] = pair_signature_on(machine, *netlist_,
+                                                     *launch_, *capture_,
+                                                     good_, {&faults[i], 1});
+                      });
+  return out;
+}
+
+std::vector<bool> PairFaultSimulator::detected(
+    std::span<const Fault> faults, const ExecPolicy& policy) const {
+  std::vector<bool> out(faults.size());
+  std::vector<std::vector<bool>> parts;
+  std::vector<std::size_t> offsets;
+  std::mutex mu;
+  parallel_for_ranges(
+      policy, faults.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        FaultyMachine machine(*netlist_);
+        std::vector<bool> part(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+          part[i - begin] = pair_detects_on(machine, *netlist_, *launch_,
+                                            *capture_, good_, faults[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        parts.push_back(std::move(part));
+        offsets.push_back(begin);
+      });
+  for (std::size_t k = 0; k < parts.size(); ++k)
+    for (std::size_t i = 0; i < parts[k].size(); ++i)
+      out[offsets[k] + i] = parts[k][i];
+  return out;
+}
+
+double PairFaultSimulator::coverage(std::span<const Fault> faults,
+                                    const ExecPolicy& policy) const {
+  if (faults.empty()) return 1.0;
+  const auto det = detected(faults, policy);
+  std::size_t n = 0;
+  for (bool d : det) n += d;
   return static_cast<double>(n) / static_cast<double>(faults.size());
 }
 

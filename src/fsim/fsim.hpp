@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "fault/inject.hpp"
 #include "sim/sim2.hpp"
 
@@ -109,6 +110,22 @@ class FaultSimulator {
   /// Fraction of `faults` detected by the pattern set.
   double coverage(std::span<const Fault> faults);
 
+  /// Solo signatures of every fault, fault-parallel under `policy` with
+  /// per-worker FaultyMachine scratch. Result order matches `faults` and
+  /// each entry is byte-identical to `signature(faults[i])` for any thread
+  /// count.
+  std::vector<ErrorSignature> signatures(std::span<const Fault> faults,
+                                         const ExecPolicy& policy) const;
+
+  /// Fault-parallel `detected` (same early exit per fault, identical
+  /// output for any thread count).
+  std::vector<bool> detected(std::span<const Fault> faults,
+                             const ExecPolicy& policy) const;
+
+  /// Fault-parallel coverage.
+  double coverage(std::span<const Fault> faults,
+                  const ExecPolicy& policy) const;
+
  private:
   const Netlist* netlist_;
   const PatternSet* patterns_;
@@ -138,6 +155,15 @@ class PairFaultSimulator {
   bool detects(const Fault& fault);
   std::optional<std::uint32_t> first_detecting_pair(const Fault& fault);
   double coverage(std::span<const Fault> faults);
+
+  /// Pair-parallel batch APIs, mirroring FaultSimulator: output is
+  /// byte-identical to the per-fault serial calls for any thread count.
+  std::vector<ErrorSignature> signatures(std::span<const Fault> faults,
+                                         const ExecPolicy& policy) const;
+  std::vector<bool> detected(std::span<const Fault> faults,
+                             const ExecPolicy& policy) const;
+  double coverage(std::span<const Fault> faults,
+                  const ExecPolicy& policy) const;
 
  private:
   const Netlist* netlist_;

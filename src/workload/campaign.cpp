@@ -151,52 +151,76 @@ void MethodAggregate::add(const TruthEvaluation& ev,
   sum_cpu += report.cpu_seconds;
 }
 
-CampaignResult run_campaign(const Netlist& netlist, const PatternSet& patterns,
-                            const CampaignConfig& config) {
+namespace {
+
+/// Decorrelated per-case RNG seed (splitmix64 of seed + case index): each
+/// case is an independent stream, which is what makes case-parallel
+/// execution bit-identical to the serial loop.
+std::uint64_t case_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Everything one campaign case produces; aggregated in case order.
+struct CaseOutcome {
+  bool valid = false;
+  std::size_t fail_patterns = 0;
+  std::size_t fail_bits = 0;
+  std::optional<DiagnosisReport> single, slat, multiplet;
+  TruthEvaluation single_ev, slat_ev, multiplet_ev;
+};
+
+/// Runs the diagnosers on one sampled case (mode-independent tail).
+void diagnose_case(DiagnosisContext& ctx, std::span<const Fault> defect,
+                   const CollapsedFaults& collapsed,
+                   const CampaignConfig& config, CaseOutcome& out) {
+  out.fail_patterns = ctx.observed().n_failing_patterns();
+  out.fail_bits = ctx.observed().n_error_bits();
+  out.valid = true;
+  if (config.run_single) {
+    out.single = diagnose_single_fault(ctx, config.single);
+    out.single_ev = evaluate_against_truth(*out.single, defect, collapsed);
+  }
+  if (config.run_slat) {
+    out.slat = diagnose_slat(ctx, config.slat);
+    out.slat_ev = evaluate_against_truth(*out.slat, defect, collapsed);
+  }
+  if (config.run_multiplet) {
+    out.multiplet = diagnose_multiplet(ctx, config.multiplet);
+    out.multiplet_ev =
+        evaluate_against_truth(*out.multiplet, defect, collapsed);
+  }
+}
+
+/// Folds per-case outcomes into the aggregate result, in case order.
+CampaignResult aggregate(std::span<const CaseOutcome> outcomes) {
   CampaignResult result;
   result.single.method = "single-fault";
   result.slat.method = "slat";
   result.multiplet.method = "multiplet";
 
-  const CollapsedFaults collapsed(netlist);
-  FaultSimulator fsim(netlist, patterns);
-  std::mt19937_64 rng(config.seed);
-
   double sum_fail_patterns = 0, sum_fail_bits = 0, sum_slat_fraction = 0;
   std::size_t slat_fraction_cases = 0;
 
-  for (std::size_t c = 0; c < config.n_cases; ++c) {
-    const auto defect =
-        sample_defect(netlist, fsim, config.defect, rng);
-    if (!defect) continue;
-    const Datalog log = datalog_from_defect(
-        netlist, *defect, patterns, fsim.good_response(), config.datalog);
-    if (!log.has_failures()) continue;
-
-    DiagnosisContext ctx(netlist, patterns, log, config.candidates);
-    sum_fail_patterns +=
-        static_cast<double>(ctx.observed().n_failing_patterns());
-    sum_fail_bits += static_cast<double>(ctx.observed().n_error_bits());
+  for (const CaseOutcome& out : outcomes) {
+    if (!out.valid) continue;
+    sum_fail_patterns += static_cast<double>(out.fail_patterns);
+    sum_fail_bits += static_cast<double>(out.fail_bits);
     ++result.n_cases;
-
-    if (config.run_single) {
-      const DiagnosisReport r = diagnose_single_fault(ctx, config.single);
-      result.single.add(evaluate_against_truth(r, *defect, collapsed), r);
-    }
-    if (config.run_slat) {
-      const DiagnosisReport r = diagnose_slat(ctx, config.slat);
-      result.slat.add(evaluate_against_truth(r, *defect, collapsed), r);
-      const std::size_t total = r.n_slat_patterns + r.n_nonslat_patterns;
+    if (out.single) result.single.add(out.single_ev, *out.single);
+    if (out.slat) {
+      result.slat.add(out.slat_ev, *out.slat);
+      const std::size_t total =
+          out.slat->n_slat_patterns + out.slat->n_nonslat_patterns;
       if (total > 0) {
-        sum_slat_fraction +=
-            static_cast<double>(r.n_slat_patterns) / static_cast<double>(total);
+        sum_slat_fraction += static_cast<double>(out.slat->n_slat_patterns) /
+                             static_cast<double>(total);
         ++slat_fraction_cases;
       }
     }
-    if (config.run_multiplet) {
-      const DiagnosisReport r = diagnose_multiplet(ctx, config.multiplet);
-      result.multiplet.add(evaluate_against_truth(r, *defect, collapsed), r);
-    }
+    if (out.multiplet) result.multiplet.add(out.multiplet_ev, *out.multiplet);
   }
 
   if (result.n_cases > 0) {
@@ -211,66 +235,62 @@ CampaignResult run_campaign(const Netlist& netlist, const PatternSet& patterns,
   return result;
 }
 
+}  // namespace
+
+CampaignResult run_campaign(const Netlist& netlist, const PatternSet& patterns,
+                            const CampaignConfig& config) {
+  const CollapsedFaults collapsed(netlist);
+  std::vector<CaseOutcome> outcomes(config.n_cases);
+
+  parallel_for_ranges(
+      config.exec, config.n_cases,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        // One simulator per worker: sampling (detectability checks) and
+        // datalog production need mutable machine scratch.
+        FaultSimulator fsim(netlist, patterns);
+        for (std::size_t c = begin; c < end; ++c) {
+          std::mt19937_64 rng(case_seed(config.seed, c));
+          const auto defect = sample_defect(netlist, fsim, config.defect, rng);
+          if (!defect) continue;
+          const Datalog log =
+              datalog_from_defect(netlist, *defect, patterns,
+                                  fsim.good_response(), config.datalog);
+          if (!log.has_failures()) continue;
+          DiagnosisContext ctx(netlist, patterns, log, config.candidates);
+          diagnose_case(ctx, *defect, collapsed, config, outcomes[c]);
+        }
+      });
+
+  return aggregate(outcomes);
+}
+
 CampaignResult run_tdf_campaign(const Netlist& netlist,
                                 const PatternSet& launch,
                                 const PatternSet& capture,
                                 const CampaignConfig& config) {
-  CampaignResult result;
-  result.single.method = "single-fault";
-  result.slat.method = "slat";
-  result.multiplet.method = "multiplet";
-
   const CollapsedFaults collapsed(netlist);
-  PairFaultSimulator fsim(netlist, launch, capture);
-  std::mt19937_64 rng(config.seed);
+  std::vector<CaseOutcome> outcomes(config.n_cases);
 
-  double sum_fail_patterns = 0, sum_fail_bits = 0, sum_slat_fraction = 0;
-  std::size_t slat_fraction_cases = 0;
+  parallel_for_ranges(
+      config.exec, config.n_cases,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        PairFaultSimulator fsim(netlist, launch, capture);
+        for (std::size_t c = begin; c < end; ++c) {
+          std::mt19937_64 rng(case_seed(config.seed, c));
+          const auto defect =
+              sample_tdf_defect(netlist, fsim, config.defect, rng);
+          if (!defect) continue;
+          const Datalog log = datalog_from_defect_pair(
+              netlist, *defect, launch, capture, fsim.good_response(),
+              config.datalog);
+          if (!log.has_failures()) continue;
+          DiagnosisContext ctx(netlist, launch, capture, log,
+                               config.candidates);
+          diagnose_case(ctx, *defect, collapsed, config, outcomes[c]);
+        }
+      });
 
-  for (std::size_t c = 0; c < config.n_cases; ++c) {
-    const auto defect = sample_tdf_defect(netlist, fsim, config.defect, rng);
-    if (!defect) continue;
-    const Datalog log = datalog_from_defect_pair(
-        netlist, *defect, launch, capture, fsim.good_response(),
-        config.datalog);
-    if (!log.has_failures()) continue;
-
-    DiagnosisContext ctx(netlist, launch, capture, log, config.candidates);
-    sum_fail_patterns +=
-        static_cast<double>(ctx.observed().n_failing_patterns());
-    sum_fail_bits += static_cast<double>(ctx.observed().n_error_bits());
-    ++result.n_cases;
-
-    if (config.run_single) {
-      const DiagnosisReport r = diagnose_single_fault(ctx, config.single);
-      result.single.add(evaluate_against_truth(r, *defect, collapsed), r);
-    }
-    if (config.run_slat) {
-      const DiagnosisReport r = diagnose_slat(ctx, config.slat);
-      result.slat.add(evaluate_against_truth(r, *defect, collapsed), r);
-      const std::size_t total = r.n_slat_patterns + r.n_nonslat_patterns;
-      if (total > 0) {
-        sum_slat_fraction +=
-            static_cast<double>(r.n_slat_patterns) / static_cast<double>(total);
-        ++slat_fraction_cases;
-      }
-    }
-    if (config.run_multiplet) {
-      const DiagnosisReport r = diagnose_multiplet(ctx, config.multiplet);
-      result.multiplet.add(evaluate_against_truth(r, *defect, collapsed), r);
-    }
-  }
-
-  if (result.n_cases > 0) {
-    result.avg_failing_patterns =
-        sum_fail_patterns / static_cast<double>(result.n_cases);
-    result.avg_failing_bits =
-        sum_fail_bits / static_cast<double>(result.n_cases);
-  }
-  if (slat_fraction_cases > 0)
-    result.avg_slat_fraction =
-        sum_slat_fraction / static_cast<double>(slat_fraction_cases);
-  return result;
+  return aggregate(outcomes);
 }
 
 }  // namespace mdd

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "diag/metrics.hpp"
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
@@ -106,6 +107,12 @@ struct CampaignConfig {
   SlatOptions slat{};
   MultipletOptions multiplet{};
   std::uint64_t seed = 1;
+  /// Case-parallel execution. Each case draws from its own RNG stream
+  /// (seeded from `seed` and the case index) and cases are aggregated in
+  /// index order, so every deterministic field of CampaignResult is
+  /// byte-identical for any thread count (cpu-time fields are measured
+  /// wall clock and excluded from that guarantee).
+  ExecPolicy exec{};
 };
 
 struct CampaignResult {

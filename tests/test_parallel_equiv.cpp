@@ -1,0 +1,266 @@
+// Differential tests: parallel execution ≡ serial execution, byte for
+// byte, for every ExecPolicy-taking API — fault-parallel signature
+// batches, detection flags, coverage, the solo-signature cache warm, and
+// whole diagnosis campaigns — at thread counts below, at, and far above
+// the work size (this container may expose a single core; determinism
+// must hold regardless).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "diag/diagnosis.hpp"
+#include "netlist/generator.hpp"
+#include "workload/campaign.hpp"
+
+namespace mdd {
+namespace {
+
+const ExecPolicy kPolicies[] = {ExecPolicy::parallel(2),
+                                ExecPolicy::parallel(8),
+                                ExecPolicy::parallel(37)};
+
+/// Deterministic mixed fault list: stems, branches, and non-feedback
+/// dominant bridges.
+std::vector<Fault> make_fault_list(const Netlist& nl, std::size_t n,
+                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Fault> faults;
+  while (faults.size() < n) {
+    const NetId net = static_cast<NetId>(rng() % nl.n_nets());
+    switch (rng() % 4) {
+      case 0:
+        faults.push_back(Fault::stem_sa(net, rng() % 2 == 0));
+        break;
+      case 1: {
+        const auto fi = nl.fanins(net);
+        if (fi.empty()) continue;
+        const std::uint32_t pin = static_cast<std::uint32_t>(rng() % fi.size());
+        if (nl.fanouts(fi[pin]).size() > 1)
+          faults.push_back(Fault::branch_sa(net, pin, rng() % 2 == 0));
+        else
+          faults.push_back(Fault::stem_sa(net, rng() % 2 == 0));
+        break;
+      }
+      default: {
+        const NetId other = static_cast<NetId>(rng() % nl.n_nets());
+        if (other == net || is_feedback_pair(nl, net, other)) continue;
+        faults.push_back(Fault::bridge_dom(net, other));
+        break;
+      }
+    }
+  }
+  return faults;
+}
+
+void expect_equal_counts(const MatchCounts& a, const MatchCounts& b) {
+  EXPECT_EQ(a.tfsf, b.tfsf);
+  EXPECT_EQ(a.tfsp, b.tfsp);
+  EXPECT_EQ(a.tpsf, b.tpsf);
+}
+
+class ParallelEquivFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    netlist_ = new Netlist(make_named_circuit("g200"));
+    patterns_ = new PatternSet(
+        PatternSet::random(192, netlist_->n_inputs(), 0xF00D));
+  }
+  static void TearDownTestSuite() {
+    delete patterns_;
+    delete netlist_;
+    patterns_ = nullptr;
+    netlist_ = nullptr;
+  }
+  static Netlist* netlist_;
+  static PatternSet* patterns_;
+};
+Netlist* ParallelEquivFixture::netlist_ = nullptr;
+PatternSet* ParallelEquivFixture::patterns_ = nullptr;
+
+TEST_F(ParallelEquivFixture, SignatureBatchMatchesSerial) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> faults = make_fault_list(*netlist_, 64, 7);
+  const auto serial = fsim.signatures(faults, ExecPolicy::serial());
+  ASSERT_EQ(serial.size(), faults.size());
+  // Serial batch equals the one-at-a-time member calls.
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(serial[i], fsim.signature(faults[i])) << "fault " << i;
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    EXPECT_EQ(fsim.signatures(faults, policy), serial);
+  }
+}
+
+TEST_F(ParallelEquivFixture, MatchCountsAndScoresMatchSerial) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> faults = make_fault_list(*netlist_, 32, 11);
+  // "Observed" = a 2-defect composite response.
+  const std::vector<Fault> defect{faults[0], faults[15]};
+  const ErrorSignature observed = fsim.signature(defect);
+  const auto serial = fsim.signatures(faults, ExecPolicy::serial());
+  const ScoreWeights weights;
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    const auto par = fsim.signatures(faults, policy);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const MatchCounts ms = match(observed, serial[i]);
+      const MatchCounts mp = match(observed, par[i]);
+      expect_equal_counts(ms, mp);
+      EXPECT_EQ(score_of(ms, weights), score_of(mp, weights));
+    }
+  }
+}
+
+TEST_F(ParallelEquivFixture, FewerFaultsThanThreads) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> faults = make_fault_list(*netlist_, 3, 13);
+  const auto serial = fsim.signatures(faults, ExecPolicy::serial());
+  EXPECT_EQ(fsim.signatures(faults, ExecPolicy::parallel(8)), serial);
+  EXPECT_EQ(fsim.signatures(faults, ExecPolicy::parallel(37)), serial);
+}
+
+TEST_F(ParallelEquivFixture, ZeroFaultsIsEmptyForAnyPolicy) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> none;
+  for (const ExecPolicy& policy : kPolicies) {
+    EXPECT_TRUE(fsim.signatures(none, policy).empty());
+    EXPECT_TRUE(fsim.detected(none, policy).empty());
+    EXPECT_EQ(fsim.coverage(none, policy), 1.0);
+  }
+}
+
+TEST_F(ParallelEquivFixture, DetectionAndCoverageMatchSerial) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> faults = make_fault_list(*netlist_, 96, 17);
+  const auto serial = fsim.detected(faults);
+  const double cov_serial = fsim.coverage(faults);
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    EXPECT_EQ(fsim.detected(faults, policy), serial);
+    EXPECT_EQ(fsim.coverage(faults, policy), cov_serial);
+  }
+}
+
+TEST_F(ParallelEquivFixture, PairSimulatorMatchesSerial) {
+  const PatternSet launch =
+      PatternSet::random(128, netlist_->n_inputs(), 0xA);
+  const PatternSet capture =
+      PatternSet::random(128, netlist_->n_inputs(), 0xB);
+  PairFaultSimulator fsim(*netlist_, launch, capture);
+  std::vector<Fault> faults = make_fault_list(*netlist_, 24, 19);
+  // Mix in transition faults (pair-mode specific).
+  std::mt19937_64 rng(23);
+  for (std::size_t k = 0; k < 8; ++k) {
+    const NetId net = static_cast<NetId>(rng() % netlist_->n_nets());
+    faults.push_back(rng() % 2 ? Fault::slow_to_rise(net)
+                               : Fault::slow_to_fall(net));
+  }
+  const auto serial = fsim.signatures(faults, ExecPolicy::serial());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(serial[i], fsim.signature(faults[i])) << "fault " << i;
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    EXPECT_EQ(fsim.signatures(faults, policy), serial);
+    EXPECT_EQ(fsim.coverage(faults, policy),
+              fsim.coverage(faults, ExecPolicy::serial()));
+  }
+}
+
+TEST_F(ParallelEquivFixture, SoloCacheWarmMatchesLazySerial) {
+  FaultSimulator fsim(*netlist_, *patterns_);
+  const std::vector<Fault> defect = make_fault_list(*netlist_, 2, 29);
+  const Datalog log = datalog_from_defect(*netlist_, defect, *patterns_,
+                                          fsim.good_response());
+  ASSERT_TRUE(log.has_failures());
+
+  DiagnosisContext lazy(*netlist_, *patterns_, log);
+  for (std::size_t i = 0; i < lazy.n_candidates(); ++i) lazy.solo_signature(i);
+  EXPECT_EQ(lazy.solo_compute_count(), lazy.n_candidates());
+
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    DiagnosisContext warm(*netlist_, *patterns_, log);
+    warm.warm_solo_signatures(policy);
+    EXPECT_EQ(warm.solo_compute_count(), warm.n_candidates());
+    ASSERT_EQ(warm.n_candidates(), lazy.n_candidates());
+    for (std::size_t i = 0; i < lazy.n_candidates(); ++i)
+      EXPECT_EQ(warm.solo_signature(i), lazy.solo_signature(i)) << "i=" << i;
+  }
+}
+
+/// All deterministic aggregate fields (cpu sums are measured wall time and
+/// excluded by design — see CampaignConfig::exec).
+void expect_equal_aggregate(const MethodAggregate& a,
+                            const MethodAggregate& b) {
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.n_cases, b.n_cases);
+  EXPECT_EQ(a.sum_hit_rate, b.sum_hit_rate);
+  EXPECT_EQ(a.sum_precision, b.sum_precision);
+  EXPECT_EQ(a.sum_resolution, b.sum_resolution);
+  EXPECT_EQ(a.n_all_hit, b.n_all_hit);
+  EXPECT_EQ(a.n_first_hit, b.n_first_hit);
+  EXPECT_EQ(a.n_exact, b.n_exact);
+}
+
+void expect_equal_campaign(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.n_cases, b.n_cases);
+  EXPECT_EQ(a.avg_failing_patterns, b.avg_failing_patterns);
+  EXPECT_EQ(a.avg_failing_bits, b.avg_failing_bits);
+  EXPECT_EQ(a.avg_slat_fraction, b.avg_slat_fraction);
+  expect_equal_aggregate(a.single, b.single);
+  expect_equal_aggregate(a.slat, b.slat);
+  expect_equal_aggregate(a.multiplet, b.multiplet);
+}
+
+TEST_F(ParallelEquivFixture, CampaignTableMatchesSerial) {
+  CampaignConfig cfg;
+  cfg.n_cases = 6;
+  cfg.defect.multiplicity = 2;
+  cfg.seed = 0xCAFE;
+  cfg.exec = ExecPolicy::serial();
+  const CampaignResult serial = run_campaign(*netlist_, *patterns_, cfg);
+  ASSERT_GT(serial.n_cases, 0u);
+  for (const ExecPolicy& policy : kPolicies) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    cfg.exec = policy;
+    expect_equal_campaign(run_campaign(*netlist_, *patterns_, cfg), serial);
+  }
+}
+
+TEST_F(ParallelEquivFixture, TdfCampaignTableMatchesSerial) {
+  const PatternSet launch =
+      PatternSet::random(128, netlist_->n_inputs(), 0xC);
+  const PatternSet capture =
+      PatternSet::random(128, netlist_->n_inputs(), 0xD);
+  CampaignConfig cfg;
+  cfg.n_cases = 4;
+  cfg.defect.multiplicity = 2;
+  cfg.seed = 0xBEE;
+  cfg.exec = ExecPolicy::serial();
+  const CampaignResult serial =
+      run_tdf_campaign(*netlist_, launch, capture, cfg);
+  ASSERT_GT(serial.n_cases, 0u);
+  for (const ExecPolicy& policy : {ExecPolicy::parallel(2),
+                                   ExecPolicy::parallel(8)}) {
+    SCOPED_TRACE("n_threads=" + std::to_string(policy.n_threads));
+    cfg.exec = policy;
+    expect_equal_campaign(run_tdf_campaign(*netlist_, launch, capture, cfg),
+                          serial);
+  }
+}
+
+TEST_F(ParallelEquivFixture, ZeroCaseCampaignIsEmpty) {
+  CampaignConfig cfg;
+  cfg.n_cases = 0;
+  for (const ExecPolicy& policy :
+       {ExecPolicy::serial(), ExecPolicy::parallel(8)}) {
+    cfg.exec = policy;
+    const CampaignResult r = run_campaign(*netlist_, *patterns_, cfg);
+    EXPECT_EQ(r.n_cases, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,107 @@
+// Stress/regression tests for the DiagnosisContext solo-signature cache:
+// concurrent readers racing on the same slots must all observe the same
+// cached object, each slot computed exactly once (atomic compute counter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "diag/diagnosis.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+struct CacheCase {
+  Netlist netlist;
+  PatternSet patterns;
+  Datalog log;
+};
+
+CacheCase make_case() {
+  CacheCase c{make_named_circuit("g200"), {}, {}};
+  c.patterns = PatternSet::random(128, c.netlist.n_inputs(), 0xCACE);
+  FaultSimulator fsim(c.netlist, c.patterns);
+  const std::vector<Fault> defect{
+      Fault::stem_sa(c.netlist.n_nets() / 3, false),
+      Fault::stem_sa(c.netlist.n_nets() / 2, true)};
+  c.log = datalog_from_defect(c.netlist, defect, c.patterns,
+                              fsim.good_response());
+  return c;
+}
+
+TEST(SoloCacheStress, ConcurrentReadersComputeEachSlotOnce) {
+  const CacheCase c = make_case();
+  ASSERT_TRUE(c.log.has_failures());
+  DiagnosisContext ctx(c.netlist, c.patterns, c.log);
+  const std::size_t n = ctx.n_candidates();
+  ASSERT_GT(n, 0u);
+
+  constexpr std::size_t kReaders = 8;
+  // Every reader touches every slot, in a reader-specific order, and
+  // records the address it saw.
+  std::vector<std::vector<const ErrorSignature*>> seen(
+      kReaders, std::vector<const ErrorSignature*>(n));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        // Cyclic shift per reader: full coverage, staggered contention.
+        const std::size_t i = (k + r * (n / kReaders)) % n;
+        seen[r][i] = &ctx.solo_signature(i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Exactly one compute per slot, despite 8 racing readers.
+  EXPECT_EQ(ctx.solo_compute_count(), n);
+  // All readers saw the same cached object per slot.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 1; r < kReaders; ++r)
+      EXPECT_EQ(seen[r][i], seen[0][i]) << "slot " << i << " reader " << r;
+}
+
+TEST(SoloCacheStress, WarmThenReadDoesNotRecompute) {
+  const CacheCase c = make_case();
+  DiagnosisContext ctx(c.netlist, c.patterns, c.log);
+  const std::size_t n = ctx.n_candidates();
+
+  ctx.warm_solo_signatures(ExecPolicy::parallel(4));
+  EXPECT_EQ(ctx.solo_compute_count(), n);
+
+  // Addresses are stable and no slot recomputes on re-read or re-warm.
+  std::vector<const ErrorSignature*> first(n);
+  for (std::size_t i = 0; i < n; ++i) first[i] = &ctx.solo_signature(i);
+  ctx.warm_solo_signatures(ExecPolicy::parallel(4));
+  ctx.warm_solo_signatures(ExecPolicy::serial());
+  EXPECT_EQ(ctx.solo_compute_count(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(&ctx.solo_signature(i), first[i]) << "slot " << i;
+}
+
+TEST(SoloCacheStress, PartiallyLazyThenParallelWarm) {
+  const CacheCase c = make_case();
+  DiagnosisContext ctx(c.netlist, c.patterns, c.log);
+  const std::size_t n = ctx.n_candidates();
+  ASSERT_GT(n, 2u);
+
+  // Touch a few slots lazily first (the diagnoser access pattern)...
+  const ErrorSignature* s0 = &ctx.solo_signature(0);
+  const ErrorSignature* s1 = &ctx.solo_signature(n / 2);
+  EXPECT_EQ(ctx.solo_compute_count(), 2u);
+
+  // ...then a parallel warm fills only the remaining slots.
+  ctx.warm_solo_signatures(ExecPolicy::parallel(4));
+  EXPECT_EQ(ctx.solo_compute_count(), n);
+  EXPECT_EQ(&ctx.solo_signature(0), s0);
+  EXPECT_EQ(&ctx.solo_signature(n / 2), s1);
+}
+
+}  // namespace
+}  // namespace mdd

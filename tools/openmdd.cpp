@@ -6,10 +6,15 @@
 //   openmdd inject   <netlist> --patterns f --fault "sa0 n16" [--fault ...]
 //                    [-o datalog.txt] [--max-failing N]
 //   openmdd diagnose <netlist> --patterns f --datalog f
-//                    [--method multiplet|slat|single|all]
+//                    [--method multiplet|slat|single|all] [--threads N]
+//
+// --threads N (or the MDD_THREADS environment variable; 0 = all cores)
+// pre-fills the candidate solo-signature cache candidate-parallel before
+// diagnosis; reports are byte-identical for any thread count.
 //
 // Netlists are read as ISCAS .bench (*.bench) or structural Verilog (*.v);
 // file formats are documented in src/workload/textio.hpp.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "atpg/tpg.hpp"
+#include "core/exec.hpp"
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
@@ -40,7 +46,7 @@ int usage() {
          "  openmdd inject   <netlist> --patterns <f> --fault <spec>..."
          " [-o <datalog>] [--max-failing N]\n"
          "  openmdd diagnose <netlist> --patterns <f> --datalog <f>"
-         " [--method multiplet|slat|single|all]\n"
+         " [--method multiplet|slat|single|all] [--threads N]\n"
          "fault specs: 'sa0 NET' 'sa1 GATE.PIN' 'dom AGG VICTIM'"
          " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n";
   return 2;
@@ -86,9 +92,9 @@ struct Args {
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
-  static const char* kValueOptions[] = {"-o",        "--patterns", "--fault",
-                                        "--datalog", "--seed",     "--method",
-                                        "--max-failing"};
+  static const char* kValueOptions[] = {
+      "-o",     "--patterns", "--fault",       "--datalog",
+      "--seed", "--method",   "--max-failing", "--threads"};
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     bool is_value_option = false;
@@ -193,8 +199,14 @@ int cmd_diagnose(const Args& args) {
   const PatternSet patterns = read_patterns_file(args.option("--patterns"));
   const Datalog log = read_datalog_file(args.option("--datalog"), nl);
   const std::string method = args.option("--method", "multiplet");
+  ExecPolicy exec = ExecPolicy::from_env();
+  const std::string threads = args.option("--threads");
+  if (!threads.empty())
+    exec = ExecPolicy::parallel(
+        static_cast<std::size_t>(std::atol(threads.c_str())));
 
   DiagnosisContext ctx(nl, patterns, log);
+  if (!exec.is_serial()) ctx.warm_solo_signatures(exec);
   std::vector<DiagnosisReport> reports;
   if (method == "multiplet" || method == "all")
     reports.push_back(diagnose_multiplet(ctx));
