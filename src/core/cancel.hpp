@@ -1,0 +1,92 @@
+// openmdd — cooperative cancellation and deadlines.
+//
+// `CancelToken` is the stop signal threaded through long-running work: a
+// sticky cancelled flag plus an optional steady-clock deadline. Nothing is
+// ever interrupted preemptively — loops poll the token at checkpoints and
+// wind down with whatever partial result they have, which is what lets the
+// serving layer promise that a pathological datalog cannot wedge a worker
+// past its deadline.
+//
+// `CancelCheckpoint` throttles the polling: `cancelled()` reads the clock,
+// so tight inner loops check only every `stride` calls. Once a checkpoint
+// observes cancellation it stays tripped (no un-cancel).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mdd {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires on its own; cancel via request_cancel().
+  CancelToken() = default;
+
+  /// Expires at `deadline` (and can still be cancelled earlier).
+  explicit CancelToken(Clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  /// Expires `budget` from now.
+  static CancelToken after(std::chrono::milliseconds budget) {
+    return CancelToken(Clock::now() + budget);
+  }
+
+  // Shared by reference/pointer between the requester and the workers;
+  // copying would silently fork the flag.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Thread-safe; sticky.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. The deadline check latches
+  /// into the flag so later calls skip the clock read.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Throttled token poll for tight loops. A null token never cancels, so
+/// call sites need no branching of their own:
+///
+///     CancelCheckpoint cp(options.cancel, 64);
+///     for (...) { if (cp()) break; ... }
+class CancelCheckpoint {
+ public:
+  explicit CancelCheckpoint(const CancelToken* token,
+                            std::uint32_t stride = 64)
+      : token_(token), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True if the token is cancelled; polls every `stride` calls (and on
+  /// the first call).
+  bool operator()() {
+    if (token_ == nullptr) return false;
+    if (tripped_) return true;
+    if (count_++ % stride_ == 0) tripped_ = token_->cancelled();
+    return tripped_;
+  }
+
+ private:
+  const CancelToken* token_;
+  std::uint32_t stride_;
+  std::uint32_t count_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace mdd

@@ -78,4 +78,22 @@ void parallel_for(const ExecPolicy& policy, std::size_t n,
                       });
 }
 
+void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const CancelToken* cancel,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (cancel == nullptr) {
+    parallel_for(policy, n, body);
+    return;
+  }
+  parallel_for_ranges(policy, n,
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t worker) {
+                        CancelCheckpoint cp(cancel, 8);
+                        for (std::size_t i = begin; i < end; ++i) {
+                          if (cp()) break;
+                          body(i, worker);
+                        }
+                      });
+}
+
 }  // namespace mdd

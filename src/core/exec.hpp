@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/cancel.hpp"
+
 namespace mdd {
 
 struct ExecPolicy {
@@ -48,6 +50,17 @@ void parallel_for_ranges(
 
 /// Per-index convenience over parallel_for_ranges: body(i, worker).
 void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Cancellable per-index loop: identical to parallel_for, except every
+/// worker polls `cancel` (throttled, every few indices) and stops at the
+/// next index boundary once the token is cancelled or its deadline has
+/// passed. Cooperative: indices already started still finish, and which
+/// indices ran is NOT deterministic after cancellation — callers must
+/// treat a cancelled loop as partial and check `cancel->cancelled()`
+/// afterwards. A null token degrades to plain parallel_for.
+void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const CancelToken* cancel,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace mdd

@@ -1,0 +1,11 @@
+// openmdd — release version string (reported by `openmdd version` and the
+// server's ping/stats responses; bump on protocol or schema changes).
+#pragma once
+
+#include <string_view>
+
+namespace mdd {
+
+inline constexpr std::string_view kVersion = "0.2.0";
+
+}  // namespace mdd

@@ -69,7 +69,18 @@ CandidatePool extract_candidates(const Netlist& netlist,
     for (NetId n = 0; n < netlist.n_nets(); ++n)
       if (sim.value(n)) traced.bits[n] |= Word{1} << k;
     for (std::uint32_t po : obs.failing_outputs(i)) {
-      for (const Fault& f : cpt.critical_faults(sim, po)) {
+      // The critical set of (pattern, output) is datalog-independent, so a
+      // session-level store can replace the trace with a lookup.
+      std::shared_ptr<const std::vector<Fault>> crit;
+      if (options.trace_store != nullptr)
+        crit = options.trace_store->lookup(p, po);
+      if (crit == nullptr) {
+        crit = std::make_shared<const std::vector<Fault>>(
+            cpt.critical_faults(sim, po));
+        if (options.trace_store != nullptr)
+          options.trace_store->store(p, po, crit);
+      }
+      for (const Fault& f : *crit) {
         ++support[f];
         if (f.is_stuck_at() && f.pin == kStemPin)
           victim_on[f.net] |= Word{1} << k;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "diag/datalog.hpp"
@@ -21,6 +22,23 @@
 #include "sim/patterns.hpp"
 
 namespace mdd {
+
+/// Cross-case store for critical-path traces. The critical fault set of a
+/// failing (pattern, output) pair depends only on (netlist, patterns) —
+/// not on which datalog reported the failure — so a long-lived session can
+/// cache traces and answer repeated failures by lookup instead of
+/// re-tracing. Implementations must be thread-safe and must return exactly
+/// what a fresh trace would produce.
+class CptTraceStore {
+ public:
+  virtual ~CptTraceStore() = default;
+  /// Cached critical faults for (pattern, output), or null on miss.
+  virtual std::shared_ptr<const std::vector<Fault>> lookup(
+      std::uint32_t pattern, std::uint32_t po) = 0;
+  /// Offers a freshly traced set; the store may decline (full).
+  virtual void store(std::uint32_t pattern, std::uint32_t po,
+                     std::shared_ptr<const std::vector<Fault>> faults) = 0;
+};
 
 struct CandidateOptions {
   bool include_bridges = true;
@@ -36,6 +54,9 @@ struct CandidateOptions {
   /// Add stem stuck-at candidates for the whole fan-in cone of the failing
   /// outputs when CPT support is thin (< this many candidates).
   std::size_t back_cone_threshold = 2;
+  /// Optional cross-case trace cache (non-owning; see CptTraceStore).
+  /// Static-test extraction only; the pair-mode variant ignores it.
+  CptTraceStore* trace_store = nullptr;
 };
 
 struct CandidatePool {

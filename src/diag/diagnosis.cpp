@@ -14,10 +14,11 @@ PatternSet make_window(const PatternSet& patterns, std::size_t n_applied) {
 
 }  // namespace
 
-DiagnosisContext::DiagnosisContext(const Netlist& netlist,
-                                   const PatternSet& patterns,
-                                   const Datalog& datalog,
-                                   const CandidateOptions& candidate_options)
+DiagnosisContext::DiagnosisContext(
+    const Netlist& netlist, const PatternSet& patterns,
+    const Datalog& datalog, const CandidateOptions& candidate_options,
+    const PatternSet* precomputed_good,
+    std::shared_ptr<const PropagatorBaseline> baseline)
     : netlist_(&netlist),
       datalog_(&datalog),
       window_(make_window(patterns, datalog.n_patterns_applied)),
@@ -25,9 +26,26 @@ DiagnosisContext::DiagnosisContext(const Netlist& netlist,
                                    datalog.n_patterns_applied)),
       masked_(restrict_signature(datalog.masked, datalog.n_patterns_applied)),
       pool_(extract_candidates(netlist, window_, datalog, candidate_options)),
-      fsim_(std::in_place, netlist, window_),
-      propagator_(std::in_place, netlist, window_),
-      solo_cache_(pool_.faults.size()) {}
+      solo_cache_(pool_.faults.size()) {
+  // The shared baseline was built for the full pattern set; it is only
+  // valid when the window is the full set (no truncation).
+  if (baseline != nullptr &&
+      baseline->values.size() == window_.n_blocks() &&
+      baseline->good.n_patterns() == window_.n_patterns())
+    baseline_ = std::move(baseline);
+  if (baseline_ != nullptr)
+    propagator_.emplace(netlist, window_, baseline_);
+  else
+    propagator_.emplace(netlist, window_);
+  if (precomputed_good != nullptr &&
+      precomputed_good->n_patterns() >= window_.n_patterns())
+    fsim_.emplace(netlist, window_,
+                  make_window(*precomputed_good, window_.n_patterns()));
+  else
+    fsim_.emplace(netlist, window_);
+  store_usable_ = datalog.n_patterns_applied >= patterns.n_patterns() &&
+                  masked_.empty();
+}
 
 DiagnosisContext::DiagnosisContext(const Netlist& netlist,
                                    const PatternSet& launch,
@@ -50,10 +68,17 @@ DiagnosisContext::DiagnosisContext(const Netlist& netlist,
 void DiagnosisContext::fill_solo(SoloSlot& slot, SingleFaultPropagator& prop,
                                  std::size_t i) {
   std::call_once(slot.once, [&] {
+    if (solo_store_ != nullptr) {
+      if (auto hit = solo_store_->lookup(pool_.faults[i])) {
+        slot.sig = std::move(hit);
+        return;
+      }
+    }
     ErrorSignature sig = prop.signature(pool_.faults[i]);
     if (!masked_.empty()) sig = signature_difference(sig, masked_);
-    slot.sig = std::move(sig);
+    slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
+    if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
   });
 }
 
@@ -63,33 +88,52 @@ const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
   // once_flag still guarantees a single compute per slot when readers
   // race.
   std::call_once(slot.once, [&] {
+    if (solo_store_ != nullptr) {
+      if (auto hit = solo_store_->lookup(pool_.faults[i])) {
+        slot.sig = std::move(hit);
+        return;
+      }
+    }
     std::lock_guard<std::mutex> lock(propagator_mutex_);
     ErrorSignature sig = propagator_->signature(pool_.faults[i]);
     if (!masked_.empty()) sig = signature_difference(sig, masked_);
-    slot.sig = std::move(sig);
+    slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
+    if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
   });
-  return slot.sig;
+  return *slot.sig;
 }
 
-void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy) {
+void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy,
+                                            const CancelToken* cancel) {
   const std::size_t n = pool_.faults.size();
   if (policy.is_serial()) {
-    for (std::size_t i = 0; i < n; ++i) solo_signature(i);
+    CancelCheckpoint cp(cancel, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cp()) return;
+      solo_signature(i);
+    }
     return;
   }
   parallel_for_ranges(policy, n,
                       [&](std::size_t begin, std::size_t end, std::size_t) {
                         // One private event engine per worker: identical
-                        // per-query results, no shared scratch.
+                        // per-query results, no shared scratch. The good
+                        // machine is read-only, so workers share it.
                         SingleFaultPropagator prop =
                             pair_mode()
                                 ? SingleFaultPropagator(*netlist_,
                                                         launch_window_,
                                                         window_)
+                            : baseline_ != nullptr
+                                ? SingleFaultPropagator(*netlist_, window_,
+                                                        baseline_)
                                 : SingleFaultPropagator(*netlist_, window_);
-                        for (std::size_t i = begin; i < end; ++i)
+                        CancelCheckpoint cp(cancel, 8);
+                        for (std::size_t i = begin; i < end; ++i) {
+                          if (cp()) return;
                           fill_solo(solo_cache_[i], prop, i);
+                        }
                       });
 }
 

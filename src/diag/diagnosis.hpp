@@ -54,6 +54,9 @@ struct DiagnosisReport {
   std::vector<ScoredCandidate> suspects;
   /// The reported suspect set reproduces the datalog exactly.
   bool explains_all = false;
+  /// The diagnoser hit its cancellation token / deadline and wound down
+  /// early; `suspects` holds the best partial answer found so far.
+  bool timed_out = false;
   std::size_t n_candidates_scored = 0;
   /// SLAT bookkeeping (filled by the SLAT baseline).
   std::size_t n_slat_patterns = 0;
@@ -68,12 +71,39 @@ struct DiagnosisReport {
   }
 };
 
+/// Cross-case store for candidate solo signatures. A solo signature
+/// depends only on (netlist, applied window) — not on the observed
+/// failures — so when many datalogs for one circuit apply the full
+/// pattern set, their contexts can share one store and each candidate is
+/// simulated once per circuit instead of once per datalog. Implementations
+/// must be thread-safe; lookups must return exactly what a fresh compute
+/// would produce (the serving layer's determinism contract rides on it).
+class SoloSignatureStore {
+ public:
+  virtual ~SoloSignatureStore() = default;
+  /// Cached signature for `f` over the full window, or null on miss.
+  virtual std::shared_ptr<const ErrorSignature> lookup(const Fault& f) = 0;
+  /// Offers a freshly computed signature (shared, so neither side copies);
+  /// the store may decline (full).
+  virtual void store(const Fault& f,
+                     std::shared_ptr<const ErrorSignature> sig) = 0;
+};
+
 class DiagnosisContext {
  public:
-  /// Static-test context (single-frame patterns).
-  DiagnosisContext(const Netlist& netlist, const PatternSet& patterns,
-                   const Datalog& datalog,
-                   const CandidateOptions& candidate_options = {});
+  /// Static-test context (single-frame patterns). `precomputed_good`, if
+  /// given, must be simulate(netlist, patterns) over the FULL pattern set
+  /// (the serving session cache computes it once per circuit); the window
+  /// restriction is applied here. Null recomputes it. `baseline`, if
+  /// given, must be SingleFaultPropagator::make_baseline(netlist,
+  /// patterns) — it is used (shared, not copied) whenever the datalog's
+  /// window spans the full pattern set, sparing each context the
+  /// full-circuit good simulation; otherwise it is ignored.
+  DiagnosisContext(
+      const Netlist& netlist, const PatternSet& patterns,
+      const Datalog& datalog, const CandidateOptions& candidate_options = {},
+      const PatternSet* precomputed_good = nullptr,
+      std::shared_ptr<const PropagatorBaseline> baseline = nullptr);
 
   /// Pair-test context (launch/capture pairs, transition-fault capable).
   /// Candidate extraction adds slow-to-rise/fall candidates and every
@@ -110,14 +140,27 @@ class DiagnosisContext {
   /// Fills the solo-signature cache candidate-parallel under `policy`,
   /// each worker propagating with its own event engine. Slots already
   /// computed are kept; the cached values are byte-identical to the lazy
-  /// serial fill for any thread count.
-  void warm_solo_signatures(const ExecPolicy& policy);
+  /// serial fill for any thread count. A cancelled `cancel` token stops
+  /// the warm at the next candidate boundary — remaining slots simply
+  /// stay cold and fill lazily on demand.
+  void warm_solo_signatures(const ExecPolicy& policy,
+                            const CancelToken* cancel = nullptr);
 
   /// Number of solo signatures computed so far (cache instrumentation;
   /// never exceeds n_candidates()).
   std::size_t solo_compute_count() const {
     return solo_computes_.load(std::memory_order_relaxed);
   }
+
+  /// Attaches a cross-case solo-signature store. Only honored when this
+  /// context's window spans the full pattern set with no masked bits
+  /// (static mode) — under truncation a cached full-window signature
+  /// would not match, so attaching is silently a no-op. Call before the
+  /// first solo_signature()/warm_solo_signatures() query.
+  void attach_solo_store(SoloSignatureStore* store) {
+    if (store_usable_) solo_store_ = store;
+  }
+  bool solo_store_attached() const { return solo_store_ != nullptr; }
 
   /// Signature of an arbitrary multiplet over the applied window
   /// (uncached; composite evaluation).
@@ -144,7 +187,9 @@ class DiagnosisContext {
 
   struct SoloSlot {
     std::once_flag once;
-    ErrorSignature sig;
+    /// Shared with the attached store when one is in play — a cache hit
+    /// is a pointer copy, not a signature copy.
+    std::shared_ptr<const ErrorSignature> sig;
   };
   /// Computes slot `i` with `prop` (masked-bit subtraction included);
   /// no-op if already filled.
@@ -154,6 +199,11 @@ class DiagnosisContext {
   std::deque<SoloSlot> solo_cache_;
   std::mutex propagator_mutex_;  ///< guards propagator_'s scratch state
   std::atomic<std::size_t> solo_computes_{0};
+  SoloSignatureStore* solo_store_ = nullptr;
+  bool store_usable_ = false;  ///< full window, nothing masked
+  /// Shared good-machine state for the propagators (full-window static
+  /// contexts only; null means each propagator computes its own).
+  std::shared_ptr<const PropagatorBaseline> baseline_;
 };
 
 }  // namespace mdd

@@ -90,8 +90,9 @@ DiagnosisReport FaultDictionary::diagnose(const Datalog& datalog) const {
     };
     std::vector<Entry> entries;
     entries.reserve(faults_.size());
+    const SignatureMatcher matcher(observed);
     for (std::size_t i = 0; i < faults_.size(); ++i) {
-      const MatchCounts mc = match(observed, signatures_[i]);
+      const MatchCounts mc = matcher.match(signatures_[i]);
       entries.push_back({i, mc, score_of(mc, options_.weights)});
     }
     std::sort(entries.begin(), entries.end(),

@@ -22,12 +22,34 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
   report.n_candidates_scored = ctx.n_candidates();
 
   const ErrorSignature& observed = ctx.observed();
+  // One observed signature scored against many composites/solos: expand it
+  // once (identical counts to the pairwise match()).
+  const SignatureMatcher matcher(observed);
+
+  // Deadline polling: coarse boundaries (rounds, passes) poll the token
+  // directly; per-candidate loops go through throttled checkpoints. Once
+  // tripped, every stage below winds down and the best multiplet found so
+  // far is reported with timed_out set.
+  bool timed_out = false;
+  auto expired = [&] {
+    if (!timed_out && options.cancel != nullptr && options.cancel->cancelled())
+      timed_out = true;
+    return timed_out;
+  };
 
   // Per-candidate solo error-bit count, for the shortlist's precision
   // tie-break.
-  std::vector<std::size_t> solo_bits(ctx.n_candidates());
-  for (std::size_t i = 0; i < ctx.n_candidates(); ++i)
-    solo_bits[i] = ctx.solo_signature(i).n_error_bits();
+  std::vector<std::size_t> solo_bits(ctx.n_candidates(), 0);
+  {
+    CancelCheckpoint cp(options.cancel, 16);
+    for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
+      if (cp()) {
+        timed_out = true;
+        break;
+      }
+      solo_bits[i] = ctx.solo_signature(i).n_error_bits();
+    }
+  }
 
   struct H {
     std::size_t index;
@@ -55,11 +77,20 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     const Word* mask;
   };
   std::vector<std::vector<Posting>> postings(observed.n_patterns());
-  for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
-    const ErrorSignature& sig = ctx.solo_signature(i);
-    for (std::size_t k = 0; k < sig.n_failing_patterns(); ++k) {
-      postings[sig.failing_patterns()[k]].push_back(
-          {static_cast<std::uint32_t>(i), sig.mask(k).data()});
+  {
+    // A tripped deadline leaves the index partial (or empty): shortlists
+    // then surface fewer (or no) extensions and the greedy winds down.
+    CancelCheckpoint cp(options.cancel, 16);
+    for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
+      if (cp()) {
+        timed_out = true;
+        break;
+      }
+      const ErrorSignature& sig = ctx.solo_signature(i);
+      for (std::size_t k = 0; k < sig.n_failing_patterns(); ++k) {
+        postings[sig.failing_patterns()[k]].push_back(
+            {static_cast<std::uint32_t>(i), sig.mask(k).data()});
+      }
     }
   }
   std::vector<std::size_t> tfsf_acc(ctx.n_candidates(), 0);
@@ -106,7 +137,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
   };
   const ErrorSignature empty_sig(observed.n_patterns(), observed.n_outputs());
   const double empty_score =
-      score_of(match(observed, empty_sig), options.weights);
+      score_of(matcher.match(empty_sig), options.weights);
 
   // Greedy rounds from a given state: per round, shortlist against the
   // residual, evaluate each extension exactly on the composite machine,
@@ -115,7 +146,8 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     std::vector<char> in_m(ctx.n_candidates(), 0);
     for (std::size_t m : state.members) in_m[m] = 1;
     while (state.members.size() < options.max_multiplicity) {
-      if (!observed.empty() && exact_match(match(observed, state.composite)))
+      if (expired()) break;
+      if (!observed.empty() && exact_match(matcher.match(state.composite)))
         break;
       const ErrorSignature residual =
           signature_difference(observed, state.composite);
@@ -130,10 +162,11 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
       for (std::size_t m : state.members)
         faults.push_back(ctx.candidate(m));
       for (const H& h : heur) {
+        if (expired()) break;
         faults.push_back(ctx.candidate(h.index));
         ErrorSignature sig = ctx.multiplet_signature(faults);
         faults.pop_back();
-        const double s = score_of(match(observed, sig), options.weights);
+        const double s = score_of(matcher.match(sig), options.weights);
         // Strict improvement required; ties resolved by shortlist order
         // (highest residual TFSF first), which is deterministic.
         if (s > best_score) {
@@ -169,7 +202,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     std::vector<Seed> seeds;
     for (const H& h : heur0) {
       ErrorSignature sig = ctx.solo_signature(h.index);
-      const double s = score_of(match(observed, sig), options.weights);
+      const double s = score_of(matcher.match(sig), options.weights);
       if (s > empty_score + options.min_improvement)
         seeds.push_back({h.index, s, std::move(sig)});
     }
@@ -178,6 +211,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     if (seeds.size() > options.restarts) seeds.resize(options.restarts);
 
     for (Seed& seed : seeds) {
+      if (expired()) break;
       State state{{seed.index}, std::move(seed.sig), seed.score};
       state = extend_greedy(std::move(state));
       const bool better =
@@ -186,7 +220,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
            state.members.size() < best.members.size());
       if (better) best = std::move(state);
       // A found exact explanation cannot be beaten, only tied.
-      if (!observed.empty() && exact_match(match(observed, best.composite)))
+      if (!observed.empty() && exact_match(matcher.match(best.composite)))
         break;
     }
   }
@@ -207,16 +241,17 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
         std::max<std::size_t>(8, options.shortlist / 2);
     bool changed = true;
     std::size_t guard = 0;
-    while (changed && guard++ < 16) {
+    while (changed && guard++ < 16 && !expired()) {
       changed = false;
 
       // Drop pass.
       for (std::size_t m = 0; m < members.size() && members.size() > 1; ++m) {
+        if (expired()) break;
         std::vector<Fault> without;
         for (std::size_t j = 0; j < members.size(); ++j)
           if (j != m) without.push_back(ctx.candidate(members[j]));
         ErrorSignature sig = ctx.multiplet_signature(without);
-        const double s = score_of(match(observed, sig), options.weights);
+        const double s = score_of(matcher.match(sig), options.weights);
         if (s >= best_score) {
           in_multiplet[members[m]] = 0;
           members.erase(members.begin() + static_cast<std::ptrdiff_t>(m));
@@ -230,6 +265,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
 
       // Swap pass.
       for (std::size_t m = 0; m < members.size() && !changed; ++m) {
+        if (expired()) break;
         std::vector<Fault> base;
         for (std::size_t j = 0; j < members.size(); ++j)
           if (j != m) base.push_back(ctx.candidate(members[j]));
@@ -243,7 +279,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
           base.push_back(ctx.candidate(h.index));
           ErrorSignature sig = ctx.multiplet_signature(base);
           base.pop_back();
-          const double s = score_of(match(observed, sig), options.weights);
+          const double s = score_of(matcher.match(sig), options.weights);
           if (s > best_score) {
             in_multiplet[members[m]] = 0;
             in_multiplet[h.index] = 1;
@@ -261,6 +297,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
   // Per-member marginal gain for reporting: score(M) - score(M \ m).
   std::vector<double> member_gain(members.size(), 0.0);
   for (std::size_t m = 0; m < members.size(); ++m) {
+    if (expired()) break;
     if (members.size() == 1) {
       member_gain[m] = best_score - empty_score;
       break;
@@ -270,20 +307,23 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
       if (j != m) without.push_back(ctx.candidate(members[j]));
     const ErrorSignature sig = ctx.multiplet_signature(without);
     member_gain[m] =
-        best_score - score_of(match(observed, sig), options.weights);
+        best_score - score_of(matcher.match(sig), options.weights);
   }
 
   for (std::size_t m = 0; m < members.size(); ++m) {
     ScoredCandidate sc;
     sc.fault = ctx.candidate(members[m]);
-    sc.counts = match(observed, ctx.solo_signature(members[m]));
+    sc.counts = matcher.match(ctx.solo_signature(members[m]));
     sc.score = member_gain[m];
-    if (options.report_alternates)
+    // indistinguishable_from sweeps every solo signature — far too heavy
+    // for a request that already blew its deadline.
+    if (options.report_alternates && !timed_out)
       sc.alternates = ctx.indistinguishable_from(members[m]);
     report.suspects.push_back(std::move(sc));
   }
   report.explains_all =
-      !observed.empty() && exact_match(match(observed, composite));
+      !observed.empty() && exact_match(matcher.match(composite));
+  report.timed_out = timed_out;
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -43,6 +43,11 @@ struct MultipletOptions {
   /// Drop-if-no-worse refinement pass.
   bool refine = true;
   bool report_alternates = true;
+  /// Cooperative cancellation / deadline (serving). Checked between
+  /// candidate scorings, greedy rounds, and refinement passes: once the
+  /// token cancels, the search winds down and reports the best multiplet
+  /// found so far with `timed_out` set. Null = run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 DiagnosisReport diagnose_multiplet(DiagnosisContext& context,

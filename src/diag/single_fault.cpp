@@ -18,9 +18,18 @@ DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
   };
   std::vector<Entry> entries;
   entries.reserve(ctx.n_candidates());
-  for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
-    const MatchCounts mc = match(ctx.observed(), ctx.solo_signature(i));
-    entries.push_back({i, mc, score_of(mc, options.weights)});
+  bool timed_out = false;
+  {
+    const SignatureMatcher matcher(ctx.observed());
+    CancelCheckpoint cp(options.cancel, 16);
+    for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
+      if (cp()) {
+        timed_out = true;
+        break;
+      }
+      const MatchCounts mc = matcher.match(ctx.solo_signature(i));
+      entries.push_back({i, mc, score_of(mc, options.weights)});
+    }
   }
   report.n_candidates_scored = entries.size();
 
@@ -36,7 +45,8 @@ DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
     sc.fault = ctx.candidate(entries[r].index);
     sc.counts = entries[r].counts;
     sc.score = entries[r].score;
-    if (options.report_alternates)
+    // Alternate sweeps touch every solo signature — skip on timeout.
+    if (options.report_alternates && !timed_out)
       sc.alternates = ctx.indistinguishable_from(entries[r].index);
     report.suspects.push_back(std::move(sc));
   }
@@ -46,6 +56,7 @@ DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
         best.counts.tfsp == 0 && best.counts.tpsf == 0 &&
         !ctx.observed().empty();
   }
+  report.timed_out = timed_out;
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

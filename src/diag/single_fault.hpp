@@ -16,6 +16,10 @@ struct SingleFaultOptions {
   /// Attach indistinguishability classes to reported suspects (costs one
   /// signature comparison sweep per reported suspect).
   bool report_alternates = true;
+  /// Cooperative cancellation / deadline: stops scoring at the next
+  /// candidate boundary and ranks the candidates scored so far
+  /// (`timed_out` set on the report). Null = run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 DiagnosisReport diagnose_single_fault(

@@ -18,8 +18,14 @@ DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
 
   // explanations[p] = candidates whose solo response on failing pattern p
   // equals the observed failing-output set exactly.
+  bool timed_out = false;
+  CancelCheckpoint cp(options.cancel, 16);
   std::vector<std::vector<std::size_t>> explanations(n_fail);
   for (std::size_t c = 0; c < n_cand; ++c) {
+    if (cp()) {
+      timed_out = true;
+      break;
+    }
     const ErrorSignature& sig = ctx.solo_signature(c);
     for (std::size_t i = 0; i < n_fail; ++i) {
       const std::uint32_t p = obs.failing_patterns()[i];
@@ -44,8 +50,13 @@ DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
   // mispredicted bits on passing patterns (POIROT-style post-ranking),
   // then by fault order for determinism.
   std::vector<std::size_t> tpsf(n_cand, 0);
-  for (std::size_t c = 0; c < n_cand; ++c)
-    tpsf[c] = match(obs, ctx.solo_signature(c)).tpsf;
+  // On timeout only candidates whose signature is already cached matter
+  // (uncached ones never made it into an explanation set) — zero
+  // tie-break weights for the rest are harmless and avoid lazily
+  // computing thousands of signatures past the deadline.
+  if (!timed_out)
+    for (std::size_t c = 0; c < n_cand; ++c)
+      tpsf[c] = match(obs, ctx.solo_signature(c)).tpsf;
 
   std::vector<bool> covered(n_fail, false);
   std::vector<std::size_t> per_candidate_cover(n_cand, 0);
@@ -85,7 +96,7 @@ DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
     sc.fault = ctx.candidate(c);
     sc.counts = match(obs, ctx.solo_signature(c));
     sc.score = score_of(sc.counts, options.weights);
-    if (options.report_alternates)
+    if (options.report_alternates && !timed_out)
       sc.alternates = ctx.indistinguishable_from(c);
     report.suspects.push_back(std::move(sc));
   }
@@ -93,7 +104,8 @@ DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
   // SLAT's own success notion: every failing pattern SLAT-explained and
   // covered. (It never checks passing patterns or composite consistency.)
   report.explains_all = (remaining == 0) && (report.n_nonslat_patterns == 0) &&
-                        n_fail > 0;
+                        n_fail > 0 && !timed_out;
+  report.timed_out = timed_out;
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

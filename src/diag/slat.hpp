@@ -18,6 +18,10 @@ struct SlatOptions {
   std::size_t max_multiplicity = 8;
   ScoreWeights weights{};  ///< used only for reporting per-suspect counts
   bool report_alternates = true;
+  /// Cooperative cancellation / deadline: stops the explanation sweep at
+  /// the next candidate boundary and covers with what was collected so
+  /// far (`timed_out` set on the report). Null = run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 DiagnosisReport diagnose_slat(DiagnosisContext& context,

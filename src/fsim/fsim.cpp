@@ -105,6 +105,41 @@ MatchCounts match(const ErrorSignature& observed, const ErrorSignature& sim) {
   return mc;
 }
 
+SignatureMatcher::SignatureMatcher(const ErrorSignature& observed)
+    : n_po_words_(observed.n_po_words()),
+      dense_(observed.n_patterns() * observed.n_po_words(), kAllZero) {
+  for (std::size_t i = 0; i < observed.n_failing_patterns(); ++i) {
+    const std::uint32_t p = observed.failing_patterns()[i];
+    const auto m = observed.mask(i);
+    for (std::size_t w = 0; w < n_po_words_; ++w) {
+      dense_[p * n_po_words_ + w] = m[w];
+      observed_bits_ += static_cast<std::size_t>(std::popcount(m[w]));
+    }
+  }
+}
+
+MatchCounts SignatureMatcher::match(const ErrorSignature& sim) const {
+  assert(sim.n_po_words() == n_po_words_);
+  // tfsp and tpsf follow from the totals: every observed bit is either
+  // explained (tfsf) or not (tfsp), every simulated bit either observed
+  // (tfsf) or a misprediction (tpsf).
+  std::size_t tfsf = 0, sim_bits = 0;
+  const auto& sp = sim.failing_patterns();
+  for (std::size_t j = 0; j < sp.size(); ++j) {
+    const Word* obs = dense_.data() + std::size_t{sp[j]} * n_po_words_;
+    const auto m = sim.mask(j);
+    for (std::size_t w = 0; w < n_po_words_; ++w) {
+      tfsf += static_cast<std::size_t>(std::popcount(obs[w] & m[w]));
+      sim_bits += static_cast<std::size_t>(std::popcount(m[w]));
+    }
+  }
+  MatchCounts mc;
+  mc.tfsf = tfsf;
+  mc.tfsp = observed_bits_ - tfsf;
+  mc.tpsf = sim_bits - tfsf;
+  return mc;
+}
+
 ErrorSignature signature_difference(const ErrorSignature& a,
                                     const ErrorSignature& b) {
   assert(a.n_po_words() == b.n_po_words());
@@ -237,6 +272,18 @@ FaultSimulator::FaultSimulator(const Netlist& netlist,
       patterns_(&patterns),
       good_(simulate(netlist, patterns)),
       machine_(netlist) {}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist,
+                               const PatternSet& patterns, PatternSet good)
+    : netlist_(&netlist),
+      patterns_(&patterns),
+      good_(std::move(good)),
+      machine_(netlist) {
+  if (good_.n_patterns() != patterns.n_patterns() ||
+      good_.n_signals() != netlist.n_outputs())
+    throw std::invalid_argument(
+        "FaultSimulator: precomputed good response shape mismatch");
+}
 
 ErrorSignature FaultSimulator::signature(const Fault& fault) {
   return signature(std::span<const Fault>(&fault, 1));

@@ -73,6 +73,24 @@ struct MatchCounts {
 /// Computes per-bit match counts between two signatures of the same shape.
 MatchCounts match(const ErrorSignature& observed, const ErrorSignature& sim);
 
+/// Repeated-matching accelerator: expands the observed signature into a
+/// dense per-pattern bitmap once, then scores each candidate signature by
+/// direct indexing — O(candidate entries) instead of a branchy sorted
+/// merge. Produces exactly match(observed, sim) for every sim of the same
+/// shape (property-tested); use it wherever one observed signature is
+/// matched against many candidates.
+class SignatureMatcher {
+ public:
+  explicit SignatureMatcher(const ErrorSignature& observed);
+
+  MatchCounts match(const ErrorSignature& sim) const;
+
+ private:
+  std::size_t n_po_words_ = 0;
+  std::size_t observed_bits_ = 0;
+  std::vector<Word> dense_;  // n_patterns * n_po_words
+};
+
 /// Error bits of `a` not present in `b` (same shape): the residual failures
 /// left unexplained by `b`.
 ErrorSignature signature_difference(const ErrorSignature& a,
@@ -87,6 +105,13 @@ class FaultSimulator {
  public:
   /// Precomputes the good-machine response for `patterns`.
   FaultSimulator(const Netlist& netlist, const PatternSet& patterns);
+
+  /// Reuses an already-simulated good response instead of recomputing it
+  /// (the serving session cache amortizes one good simulation across many
+  /// datalogs). `good` must be exactly simulate(netlist, patterns); shape
+  /// mismatches throw std::invalid_argument.
+  FaultSimulator(const Netlist& netlist, const PatternSet& patterns,
+                 PatternSet good);
 
   const Netlist& netlist() const { return *netlist_; }
   const PatternSet& patterns() const { return *patterns_; }

@@ -8,32 +8,48 @@
 
 namespace mdd {
 
-SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
-                                             const PatternSet& patterns)
+std::shared_ptr<const PropagatorBaseline>
+SingleFaultPropagator::make_baseline(const Netlist& netlist,
+                                     const PatternSet& patterns) {
+  auto baseline = std::make_shared<PropagatorBaseline>();
+  BlockSim sim(netlist);
+  baseline->values.resize(patterns.n_blocks());
+  baseline->good = PatternSet(patterns.n_patterns(), netlist.n_outputs());
+  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
+    sim.run(patterns, b);
+    baseline->values[b].assign(sim.values().begin(), sim.values().end());
+    const Word mask = patterns.valid_mask(b);
+    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
+      baseline->good.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
+  }
+  return baseline;
+}
+
+SingleFaultPropagator::SingleFaultPropagator(
+    const Netlist& netlist, const PatternSet& patterns,
+    std::shared_ptr<const PropagatorBaseline> baseline)
     : netlist_(&netlist),
       patterns_(&patterns),
+      baseline_(std::move(baseline)),
       scratch_(netlist.n_nets(), kAllZero),
       touched_(netlist.n_nets(), false),
       level_queue_(netlist.depth() + 1),
       queued_(netlist.n_nets(), false),
       po_mask_buf_((netlist.n_outputs() + 63) / 64, kAllZero),
       fallback_(netlist) {
+  assert(baseline_ != nullptr &&
+         baseline_->values.size() == patterns.n_blocks() &&
+         baseline_->good.n_patterns() == patterns.n_patterns());
   std::size_t max_fanin = 0;
   for (NetId n = 0; n < netlist.n_nets(); ++n)
     max_fanin = std::max(max_fanin, netlist.fanins(n).size());
   fanin_buf_.resize(max_fanin);
-
-  BlockSim sim(netlist);
-  good_values_.resize(patterns.n_blocks());
-  good_ = PatternSet(patterns.n_patterns(), netlist.n_outputs());
-  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
-    sim.run(patterns, b);
-    good_values_[b].assign(sim.values().begin(), sim.values().end());
-    const Word mask = patterns.valid_mask(b);
-    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
-      good_.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
-  }
 }
+
+SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
+                                             const PatternSet& patterns)
+    : SingleFaultPropagator(netlist, patterns,
+                            make_baseline(netlist, patterns)) {}
 
 SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
                                              const PatternSet& launch,
@@ -66,7 +82,7 @@ void SingleFaultPropagator::seed_site(NetId net, Word value, Word good) {
 }
 
 void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b) {
-  const auto& good = good_values_[b];
+  const auto& good = baseline_->values[b];
   switch (fault.kind) {
     case FaultKind::StuckAt0:
     case FaultKind::StuckAt1: {
@@ -118,7 +134,7 @@ void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b) {
 
 bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
                                       NetId watch) {
-  const auto& good = good_values_[b];
+  const auto& good = baseline_->values[b];
   auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
 
   for (std::uint32_t lv = 0; lv < level_queue_.size(); ++lv) {
@@ -220,7 +236,7 @@ ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
       const PatternSet faulty =
           launch_ ? fallback_.simulate_pair(*launch_, *patterns_)
                   : fallback_.simulate(*patterns_);
-      return ErrorSignature::diff(good_, faulty);
+      return ErrorSignature::diff(baseline_->good, faulty);
     }
   }
   return sig;

@@ -13,6 +13,7 @@
 // of queries per case make full re-simulation the dominant cost.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,15 +22,35 @@
 
 namespace mdd {
 
+/// The propagator's precomputed good-machine state: every net's value for
+/// every 64-pattern block, plus the PO response. It depends only on
+/// (netlist, patterns) and is read-only during queries, so propagators for
+/// the same pair — across threads or across requests in the serving layer
+/// — can share one copy instead of re-simulating the whole circuit each.
+struct PropagatorBaseline {
+  std::vector<std::vector<Word>> values;  ///< [block][net]
+  PatternSet good;                        ///< PO response (masked to valid)
+};
+
 class SingleFaultPropagator {
  public:
   /// Single-frame (static test) mode.
   SingleFaultPropagator(const Netlist& netlist, const PatternSet& patterns);
 
+  /// Single-frame mode reusing a shared baseline (must have been built by
+  /// make_baseline for this exact netlist + patterns pair); skips the
+  /// full-circuit good simulation.
+  SingleFaultPropagator(const Netlist& netlist, const PatternSet& patterns,
+                        std::shared_ptr<const PropagatorBaseline> baseline);
+
   /// Two-frame (launch/capture) mode: signatures are capture-frame and
   /// transition faults are supported.
   SingleFaultPropagator(const Netlist& netlist, const PatternSet& launch,
                         const PatternSet& capture);
+
+  /// Computes the shareable good-machine state for (netlist, patterns).
+  static std::shared_ptr<const PropagatorBaseline> make_baseline(
+      const Netlist& netlist, const PatternSet& patterns);
 
   /// Error signature of one fault; equals FaultyMachine-based signatures
   /// for non-feedback faults. Feedback bridges fall back to the exact
@@ -37,7 +58,7 @@ class SingleFaultPropagator {
   ErrorSignature signature(const Fault& fault);
 
   const Netlist& netlist() const { return *netlist_; }
-  const PatternSet& good_response() const { return good_; }
+  const PatternSet& good_response() const { return baseline_->good; }
 
  private:
   void seed_fault(const Fault& fault, std::size_t b);
@@ -49,10 +70,10 @@ class SingleFaultPropagator {
   const Netlist* netlist_;
   const PatternSet* patterns_;  // capture frame in pair mode
   const PatternSet* launch_ = nullptr;
-  PatternSet good_;
 
-  // Committed good values: [block][net].
-  std::vector<std::vector<Word>> good_values_;
+  /// Committed good values + PO response (owned or shared; never written
+  /// after construction).
+  std::shared_ptr<const PropagatorBaseline> baseline_;
   std::vector<std::vector<Word>> launch_values_;  // pair mode
 
   // Per-query scratch.

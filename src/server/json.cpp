@@ -1,0 +1,369 @@
+#include "server/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mdd::server {
+
+namespace {
+
+const std::string kEmptyString;
+const JsonArray kEmptyArray;
+const JsonObject kEmptyObject;
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  // Integral values in the exact-double range print as integers — ids,
+  // counts, and match statistics stay diff-friendly.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    const auto [p, ec] =
+        std::to_chars(buf, buf + sizeof buf, static_cast<long long>(d));
+    out.append(buf, p);
+    return;
+  }
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, p);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char t = peek();
+      ++pos_;
+      if (t == '}') return Json(std::move(obj));
+      if (t != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char t = peek();
+      ++pos_;
+      if (t == ']') return Json(std::move(arr));
+      if (t != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              fail("unpaired high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::string_view("0123456789+-.eE").find(text_[pos_]) !=
+            std::string_view::npos))
+      ++pos_;
+    double d = 0.0;
+    const auto [p, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || p != text_.data() + pos_) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool(bool dflt) const {
+  const bool* b = std::get_if<bool>(&v_);
+  return b != nullptr ? *b : dflt;
+}
+
+double Json::as_number(double dflt) const {
+  const double* d = std::get_if<double>(&v_);
+  return d != nullptr ? *d : dflt;
+}
+
+std::int64_t Json::as_int(std::int64_t dflt) const {
+  const double* d = std::get_if<double>(&v_);
+  return d != nullptr ? static_cast<std::int64_t>(*d) : dflt;
+}
+
+const std::string& Json::as_string() const {
+  const std::string* s = std::get_if<std::string>(&v_);
+  return s != nullptr ? *s : kEmptyString;
+}
+
+const JsonArray& Json::as_array() const {
+  const JsonArray* a = std::get_if<JsonArray>(&v_);
+  return a != nullptr ? *a : kEmptyArray;
+}
+
+const JsonObject& Json::as_object() const {
+  const JsonObject* o = std::get_if<JsonObject>(&v_);
+  return o != nullptr ? *o : kEmptyObject;
+}
+
+const Json* Json::find(std::string_view key) const {
+  const JsonObject* o = std::get_if<JsonObject>(&v_);
+  if (o == nullptr) return nullptr;
+  for (const auto& [k, v] : *o)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string Json::get_string(std::string_view key, std::string dflt) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::move(dflt);
+}
+
+double Json::get_number(std::string_view key, double dflt) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : dflt;
+}
+
+bool Json::get_bool(std::string_view key, bool dflt) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : dflt;
+}
+
+void Json::set(std::string key, Json value) {
+  if (is_null()) v_ = JsonObject{};
+  JsonObject* o = std::get_if<JsonObject>(&v_);
+  if (o == nullptr) return;
+  for (auto& [k, v] : *o) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  o->emplace_back(std::move(key), std::move(value));
+}
+
+void Json::dump(std::string& out) const {
+  switch (type()) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += std::get<bool>(v_) ? "true" : "false"; break;
+    case Type::Number: dump_number(std::get<double>(v_), out); break;
+    case Type::String: dump_string(std::get<std::string>(v_), out); break;
+    case Type::Array: {
+      out.push_back('[');
+      const JsonArray& a = std::get<JsonArray>(v_);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        a[i].dump(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      const JsonObject& o = std::get<JsonObject>(v_);
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        dump_string(o[i].first, out);
+        out.push_back(':');
+        o[i].second.dump(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump(out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace mdd::server

@@ -1,0 +1,99 @@
+// openmdd — minimal JSON value type for the serving protocol.
+//
+// The daemon speaks line-delimited JSON; this is the self-contained value
+// type behind it (no third-party dependency). Two properties matter more
+// than generality:
+//
+//  * deterministic output — objects keep insertion order and `dump()` is
+//    byte-stable, so a served diagnosis can be diffed byte-for-byte
+//    against `openmdd diagnose --format json`;
+//  * defensive input — `parse()` rejects malformed text with a positioned
+//    std::runtime_error and bounds recursion depth, since it reads
+//    whatever a client sends.
+//
+// Numbers are doubles (JSON's own model); integral values within the
+// exact-double range print without a fractional part.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mdd::server {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered (deterministic dump); lookup is linear — protocol
+/// objects have a handful of keys.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(unsigned u) : v_(static_cast<double>(u)) {}
+  Json(long l) : v_(static_cast<double>(l)) {}
+  Json(unsigned long ul) : v_(static_cast<double>(ul)) {}
+  Json(long long ll) : v_(static_cast<double>(ll)) {}
+  Json(unsigned long long ull) : v_(static_cast<double>(ull)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::Null; }
+  bool is_bool() const { return type() == Type::Bool; }
+  bool is_number() const { return type() == Type::Number; }
+  bool is_string() const { return type() == Type::String; }
+  bool is_array() const { return type() == Type::Array; }
+  bool is_object() const { return type() == Type::Object; }
+
+  /// Typed accessors return `dflt` on type mismatch (the protocol layer
+  /// validates presence separately where it matters).
+  bool as_bool(bool dflt = false) const;
+  double as_number(double dflt = 0.0) const;
+  std::int64_t as_int(std::int64_t dflt = 0) const;
+  const std::string& as_string() const;  // empty string on mismatch
+  const JsonArray& as_array() const;     // empty array on mismatch
+  const JsonObject& as_object() const;   // empty object on mismatch
+
+  /// Object member by key; nullptr if absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Convenience lookups with defaults (absent key or wrong type).
+  std::string get_string(std::string_view key, std::string dflt = "") const;
+  double get_number(std::string_view key, double dflt = 0.0) const;
+  bool get_bool(std::string_view key, bool dflt = false) const;
+
+  /// Appends or replaces an object member (no-op unless object/null;
+  /// null promotes to an object first).
+  void set(std::string key, Json value);
+
+  bool operator==(const Json&) const = default;
+
+  /// Compact deterministic serialization (no whitespace, "\uXXXX" escapes
+  /// only for control characters).
+  std::string dump() const;
+  void dump(std::string& out) const;
+
+  /// Parses one JSON value; trailing non-whitespace, depth > 64, or any
+  /// syntax error throws std::runtime_error with a byte offset.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v_;
+};
+
+}  // namespace mdd::server

@@ -1,0 +1,44 @@
+#include "server/result_json.hpp"
+
+namespace mdd::server {
+
+Json report_to_json(const DiagnosisReport& report, const Netlist& netlist) {
+  Json j;
+  j.set("method", report.method);
+  j.set("explains_all", report.explains_all);
+  j.set("timed_out", report.timed_out);
+  j.set("n_candidates_scored", report.n_candidates_scored);
+  JsonArray suspects;
+  suspects.reserve(report.suspects.size());
+  for (const ScoredCandidate& sc : report.suspects) {
+    Json s;
+    s.set("fault", to_string(sc.fault, netlist));
+    s.set("score", sc.score);
+    s.set("tfsf", sc.counts.tfsf);
+    s.set("tfsp", sc.counts.tfsp);
+    s.set("tpsf", sc.counts.tpsf);
+    JsonArray alternates;
+    alternates.reserve(sc.alternates.size());
+    for (const Fault& alt : sc.alternates)
+      alternates.emplace_back(to_string(alt, netlist));
+    s.set("alternates", std::move(alternates));
+    suspects.push_back(std::move(s));
+  }
+  j.set("suspects", std::move(suspects));
+  if (report.method == "slat") {
+    j.set("n_slat_patterns", report.n_slat_patterns);
+    j.set("n_nonslat_patterns", report.n_nonslat_patterns);
+  }
+  return j;
+}
+
+Json reports_to_json(std::span<const DiagnosisReport> reports,
+                     const Netlist& netlist) {
+  JsonArray arr;
+  arr.reserve(reports.size());
+  for (const DiagnosisReport& r : reports)
+    arr.push_back(report_to_json(r, netlist));
+  return Json(std::move(arr));
+}
+
+}  // namespace mdd::server

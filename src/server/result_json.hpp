@@ -1,0 +1,32 @@
+// openmdd — machine-readable diagnosis result schema.
+//
+// ONE serializer for both delivery paths: `openmdd diagnose --format
+// json` and the `openmdd_serve` daemon emit a DiagnosisReport through
+// these functions, so batch and served results are byte-diffable (the CI
+// smoke job holds them to that). Wall-clock timings are deliberately NOT
+// part of a report object — they are nondeterministic and live in the
+// surrounding envelope (`timings_ms`), keeping the `reports` value itself
+// reproducible at any thread count.
+#pragma once
+
+#include <span>
+
+#include "diag/diagnosis.hpp"
+#include "server/json.hpp"
+
+namespace mdd::server {
+
+/// Schema:
+///   {"method":"multiplet","explains_all":true,"timed_out":false,
+///    "n_candidates_scored":1234,
+///    "suspects":[{"fault":"sa0 n16","score":30.0,
+///                 "tfsf":3,"tfsp":0,"tpsf":0,
+///                 "alternates":["sa1 g3.1"]}],
+///    "n_slat_patterns":0,"n_nonslat_patterns":0}   // slat method only
+Json report_to_json(const DiagnosisReport& report, const Netlist& netlist);
+
+/// Array of report objects, in the order given.
+Json reports_to_json(std::span<const DiagnosisReport> reports,
+                     const Netlist& netlist);
+
+}  // namespace mdd::server

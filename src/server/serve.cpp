@@ -1,0 +1,285 @@
+#include "server/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mdd::server {
+
+namespace {
+
+bool blank(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+/// Tracks in-flight requests so shutdown/EOF can drain before returning.
+class Outstanding {
+ public:
+  void add() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+  void done() {
+    // Notify under the lock: wait_idle()'s waker may destroy this object
+    // the moment it returns, so the last touch here must happen before
+    // the waiter can reacquire the mutex.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --count_;
+    idle_.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  std::size_t count_ = 0;
+};
+
+Json parse_error_response(const std::string& what) {
+  Json r;
+  r.set("status", "error");
+  r.set("error", what);
+  return r;
+}
+
+void write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write: ") + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+int serve_stdio(DiagnosisService& service, std::istream& in,
+                std::ostream& out) {
+  std::mutex out_mutex;
+  Outstanding outstanding;
+  const auto respond = [&](const Json& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << response.dump() << "\n";
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (blank(line)) continue;
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const std::exception& e) {
+      respond(parse_error_response(e.what()));
+      continue;
+    }
+    if (request.get_string("op") == "shutdown") {
+      outstanding.wait_idle();
+      Json ack;
+      if (const Json* id = request.find("id")) ack.set("id", *id);
+      ack.set("status", "ok");
+      ack.set("op", "shutdown");
+      respond(ack);
+      return 0;
+    }
+    outstanding.add();
+    service.submit(std::move(request), [&](Json response) {
+      respond(response);
+      outstanding.done();
+    });
+  }
+  outstanding.wait_idle();
+  return 0;
+}
+
+int serve_tcp(DiagnosisService& service, std::uint16_t port,
+              std::ostream& log,
+              const std::function<void(std::uint16_t)>& on_listening) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    log << "openmdd_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 64) < 0) {
+    log << "openmdd_serve: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  const std::uint16_t bound_port = ntohs(addr.sin_port);
+  log << "openmdd_serve: listening on 127.0.0.1:" << bound_port << "\n";
+  log.flush();
+  if (on_listening) on_listening(bound_port);
+
+  std::atomic<bool> stop{false};
+  std::mutex threads_mutex;
+  std::vector<std::thread> threads;
+
+  const auto connection_main = [&](int fd) {
+    std::mutex write_mutex;
+    Outstanding outstanding;
+    const auto respond = [&](const Json& response) {
+      const std::string line = response.dump() + "\n";
+      std::lock_guard<std::mutex> lock(write_mutex);
+      try {
+        write_all(fd, line.data(), line.size());
+      } catch (const std::exception&) {
+        // Client went away; outstanding work still drains harmlessly.
+      }
+    };
+
+    std::string buffer;
+    char chunk[4096];
+    bool shutdown_server = false;
+    for (;;) {
+      const ssize_t r = ::read(fd, chunk, sizeof chunk);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(r));
+      std::size_t nl;
+      while ((nl = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        if (blank(line)) continue;
+        Json request;
+        try {
+          request = Json::parse(line);
+        } catch (const std::exception& e) {
+          respond(parse_error_response(e.what()));
+          continue;
+        }
+        if (request.get_string("op") == "shutdown") {
+          outstanding.wait_idle();
+          Json ack;
+          if (const Json* id = request.find("id")) ack.set("id", *id);
+          ack.set("status", "ok");
+          ack.set("op", "shutdown");
+          respond(ack);
+          shutdown_server = true;
+          break;
+        }
+        outstanding.add();
+        service.submit(std::move(request), [&](Json response) {
+          respond(response);
+          outstanding.done();
+        });
+      }
+      if (shutdown_server) break;
+    }
+    outstanding.wait_idle();
+    ::close(fd);
+    if (shutdown_server) {
+      stop.store(true);
+      ::shutdown(listen_fd, SHUT_RDWR);  // unblocks accept()
+    }
+  };
+
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (shutdown) or fatal
+    }
+    if (stop.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    threads.emplace_back(connection_main, fd);
+  }
+  ::close(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+  }
+  log << "openmdd_serve: shut down\n";
+  return 0;
+}
+
+TcpLineClient::TcpLineClient(const std::string& host, std::uint16_t port,
+                             int connect_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("bad host address: " + host);
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(connect_timeout_ms);
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error(std::string("socket: ") +
+                               std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return;
+    ::close(fd_);
+    fd_ = -1;
+    if (std::chrono::steady_clock::now() >= give_up)
+      throw std::runtime_error("cannot connect to " + host + ":" +
+                               std::to_string(port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+TcpLineClient::~TcpLineClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpLineClient::send_line(const std::string& line) {
+  const std::string framed = line + "\n";
+  write_all(fd_, framed.data(), framed.size());
+}
+
+std::string TcpLineClient::recv_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t r = ::read(fd_, chunk, sizeof chunk);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) throw std::runtime_error("connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+std::string TcpLineClient::roundtrip(const std::string& line) {
+  send_line(line);
+  return recv_line();
+}
+
+}  // namespace mdd::server

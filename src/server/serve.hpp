@@ -1,0 +1,62 @@
+// openmdd — transports for the diagnosis daemon.
+//
+// The service itself is transport-free (JSON in, JSON out); this layer
+// frames it as line-delimited JSON over two transports:
+//
+//  * serve_stdio — one request object per stdin line, one response object
+//    per stdout line. Responses are written as they complete, so they can
+//    arrive out of order relative to requests — clients match on `id`.
+//  * serve_tcp — same framing on a loopback-only TCP socket, one reader
+//    thread per connection, all feeding the shared service queue.
+//
+// Both loops understand {"op":"shutdown"}: drain outstanding work,
+// acknowledge, and return. TCP also provides TcpLineClient, the matching
+// blocking client used by openmdd_loadgen and the smoke tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "server/service.hpp"
+
+namespace mdd::server {
+
+/// Serves until EOF or a shutdown op; returns 0 on clean exit.
+int serve_stdio(DiagnosisService& service, std::istream& in,
+                std::ostream& out);
+
+/// Binds 127.0.0.1:`port` (0 = ephemeral), reports the bound port through
+/// `on_listening`, serves until a shutdown op. Returns 0 on clean exit,
+/// nonzero on socket errors. Loopback only by design — the daemon speaks
+/// an unauthenticated protocol.
+int serve_tcp(DiagnosisService& service, std::uint16_t port,
+              std::ostream& log,
+              const std::function<void(std::uint16_t)>& on_listening = {});
+
+/// Blocking JSONL client: one line out, one line in. Throws
+/// std::runtime_error on connect/IO failure.
+class TcpLineClient {
+ public:
+  /// Retries the connect for up to `connect_timeout_ms` (server startup
+  /// races in scripts/CI).
+  TcpLineClient(const std::string& host, std::uint16_t port,
+                int connect_timeout_ms = 5000);
+  ~TcpLineClient();
+
+  TcpLineClient(const TcpLineClient&) = delete;
+  TcpLineClient& operator=(const TcpLineClient&) = delete;
+
+  /// Sends one request line and blocks for one response line.
+  std::string roundtrip(const std::string& line);
+
+ private:
+  void send_line(const std::string& line);
+  std::string recv_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mdd::server

@@ -1,0 +1,293 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/version.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+#include "server/result_json.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd::server {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Echoes the request id (verbatim, any JSON type) into a fresh response.
+Json make_response(const Json& request, std::string_view status) {
+  Json r;
+  if (const Json* id = request.find("id")) r.set("id", *id);
+  r.set("status", std::string(status));
+  return r;
+}
+
+Json error_response(const Json& request, const std::string& what) {
+  Json r = make_response(request, "error");
+  r.set("error", what);
+  return r;
+}
+
+}  // namespace
+
+DiagnosisService::DiagnosisService(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_bytes, options.memo_bytes),
+      queue_(options.queue_depth),
+      pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options.n_workers))) {
+  pump_ = std::thread([this] {
+    pool_->run_on_all([this](std::size_t) { drain(); });
+  });
+}
+
+DiagnosisService::~DiagnosisService() { shutdown(); }
+
+void DiagnosisService::shutdown() {
+  queue_.close();
+  if (!joined_ && pump_.joinable()) {
+    pump_.join();
+    joined_ = true;
+  }
+}
+
+void DiagnosisService::drain() {
+  while (auto job = queue_.pop()) {
+    Json response;
+    try {
+      if (job->has_deadline && Clock::now() >= job->deadline) {
+        // Expired while queued: answer without burning a worker on it.
+        response = make_response(job->request, "timeout");
+        response.set("where", "queue");
+      } else if (job->has_deadline) {
+        CancelToken token(job->deadline);
+        response = dispatch(job->request, &token);
+      } else {
+        response = dispatch(job->request, nullptr);
+      }
+    } catch (const std::exception& e) {
+      response = error_response(job->request, e.what());
+    }
+    count_status(response);
+    job->done(std::move(response));
+  }
+}
+
+void DiagnosisService::submit(Json request, std::function<void(Json)> done) {
+  Job job;
+  job.has_deadline = false;
+  double deadline_ms = request.get_number("deadline_ms", 0.0);
+  if (deadline_ms <= 0.0 && options_.default_deadline.count() > 0)
+    deadline_ms = static_cast<double>(options_.default_deadline.count());
+  if (deadline_ms > 0.0) {
+    job.has_deadline = true;
+    job.deadline = Clock::now() + std::chrono::microseconds(static_cast<
+                                      std::int64_t>(deadline_ms * 1000.0));
+  }
+  job.request = std::move(request);
+  job.done = std::move(done);
+  if (!queue_.try_push(std::move(job))) {
+    // try_push moves from the job only on success; on rejection it is
+    // intact and carries the reject reply.
+    Json response = make_response(job.request, "overloaded");
+    count_status(response);
+    job.done(std::move(response));
+  }
+}
+
+Json DiagnosisService::handle(const Json& request, const CancelToken* cancel) {
+  try {
+    if (cancel == nullptr) {
+      const double deadline_ms = request.get_number("deadline_ms", 0.0);
+      if (deadline_ms > 0.0) {
+        CancelToken token = CancelToken::after(
+            std::chrono::milliseconds(static_cast<long>(deadline_ms)));
+        Json r = dispatch(request, &token);
+        count_status(r);
+        return r;
+      }
+    }
+    Json r = dispatch(request, cancel);
+    count_status(r);
+    return r;
+  } catch (const std::exception& e) {
+    Json r = error_response(request, e.what());
+    count_status(r);
+    return r;
+  }
+}
+
+Json DiagnosisService::dispatch(const Json& request,
+                                const CancelToken* cancel) {
+  if (!request.is_object())
+    return error_response(request, "request must be a JSON object");
+  const std::string op = request.get_string("op", "diagnose");
+  if (op == "diagnose") return handle_diagnose(request, cancel);
+  if (op == "sleep") return handle_sleep(request, cancel);
+  if (op == "ping") {
+    Json r = make_response(request, "ok");
+    r.set("op", "ping");
+    r.set("version", kVersion);
+    return r;
+  }
+  if (op == "stats") {
+    Json r = make_response(request, "ok");
+    r.set("op", "stats");
+    r.set("stats", stats_json());
+    return r;
+  }
+  return error_response(request, "unknown op '" + op + "'");
+}
+
+Json DiagnosisService::handle_diagnose(const Json& request,
+                                       const CancelToken* cancel) {
+  const auto t0 = Clock::now();
+  const std::string netlist_path = request.get_string("netlist");
+  const std::string patterns_path = request.get_string("patterns");
+  if (netlist_path.empty() || patterns_path.empty())
+    return error_response(request,
+                          "diagnose needs 'netlist' and 'patterns' paths");
+  const Json* inline_log = request.find("datalog");
+  const std::string datalog_file = request.get_string("datalog_file");
+  if ((inline_log == nullptr) == datalog_file.empty())
+    return error_response(
+        request, "diagnose needs exactly one of 'datalog' (inline text) or "
+                 "'datalog_file' (path)");
+  const std::string method = request.get_string("method", "multiplet");
+
+  bool cache_hit = false;
+  std::shared_ptr<const Session> session;
+  try {
+    session = cache_.get(netlist_path, patterns_path, &cache_hit);
+  } catch (const std::exception& e) {
+    return error_response(request, e.what());
+  }
+  const double t_session = ms_since(t0);
+
+  const auto t1 = Clock::now();
+  Datalog log;
+  try {
+    if (inline_log != nullptr) {
+      std::istringstream in(inline_log->as_string());
+      log = read_datalog(in, session->netlist);
+    } else {
+      log = read_datalog_file(datalog_file, session->netlist);
+    }
+  } catch (const std::exception& e) {
+    return error_response(request, e.what());
+  }
+
+  CandidateOptions candidate_options;
+  candidate_options.trace_store = session->traces.get();
+  DiagnosisContext ctx(session->netlist, session->patterns, log,
+                       candidate_options, &session->good, session->baseline);
+  if (session->memo) ctx.attach_solo_store(session->memo.get());
+  if (!options_.exec.is_serial())
+    ctx.warm_solo_signatures(options_.exec, cancel);
+  const double t_context = ms_since(t1);
+
+  const auto t2 = Clock::now();
+  std::vector<DiagnosisReport> reports;
+  if (method == "multiplet" || method == "all") {
+    MultipletOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_multiplet(ctx, opt));
+  }
+  if (method == "slat" || method == "all") {
+    SlatOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_slat(ctx, opt));
+  }
+  if (method == "single" || method == "all") {
+    SingleFaultOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_single_fault(ctx, opt));
+  }
+  if (reports.empty())
+    return error_response(request, "unknown method '" + method + "'");
+  const double t_diagnose = ms_since(t2);
+
+  bool timed_out = cancel != nullptr && cancel->cancelled();
+  for (const DiagnosisReport& r : reports) timed_out |= r.timed_out;
+
+  Json response = make_response(request, timed_out ? "timeout" : "ok");
+  response.set("op", "diagnose");
+  response.set("method", method);
+  response.set("cache", cache_hit ? "hit" : "miss");
+  if (timed_out) response.set("partial", true);
+  response.set("reports", reports_to_json(reports, session->netlist));
+  Json timings;
+  timings.set("session", t_session);
+  timings.set("context", t_context);
+  timings.set("diagnose", t_diagnose);
+  timings.set("total", ms_since(t0));
+  response.set("timings_ms", std::move(timings));
+  return response;
+}
+
+Json DiagnosisService::handle_sleep(const Json& request,
+                                    const CancelToken* cancel) {
+  // Test / load-shaping aid: occupies a worker for `ms` (capped), honoring
+  // the deadline — lets the backpressure and queue-timeout paths be
+  // exercised without a heavy circuit.
+  const double ms = std::clamp(request.get_number("ms", 0.0), 0.0, 60000.0);
+  const auto until = Clock::now() +
+                     std::chrono::microseconds(static_cast<std::int64_t>(
+                         ms * 1000.0));
+  while (Clock::now() < until) {
+    if (cancel != nullptr && cancel->cancelled())
+      return make_response(request, "timeout");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Json r = make_response(request, "ok");
+  r.set("op", "sleep");
+  return r;
+}
+
+void DiagnosisService::count_status(const Json& response) {
+  const std::string status = response.get_string("status");
+  if (status == "ok") ++n_ok_;
+  else if (status == "timeout") ++n_timeout_;
+  else if (status == "overloaded") ++n_overloaded_;
+  else ++n_error_;
+}
+
+Json DiagnosisService::stats_json() const {
+  Json s;
+  s.set("version", kVersion);
+  s.set("workers", options_.n_workers);
+  const SessionCacheStats cs = cache_.stats();
+  Json cache;
+  cache.set("hits", cs.hits);
+  cache.set("misses", cs.misses);
+  cache.set("evictions", cs.evictions);
+  cache.set("entries", cs.entries);
+  cache.set("bytes", cs.bytes);
+  cache.set("max_bytes", cs.max_bytes);
+  s.set("cache", std::move(cache));
+  const auto qs = queue_.stats();
+  Json queue;
+  queue.set("accepted", qs.accepted);
+  queue.set("rejected", qs.rejected);
+  queue.set("high_water", qs.high_water);
+  queue.set("depth", qs.depth);
+  queue.set("capacity", qs.capacity);
+  s.set("queue", std::move(queue));
+  Json requests;
+  requests.set("ok", n_ok_.load());
+  requests.set("error", n_error_.load());
+  requests.set("timeout", n_timeout_.load());
+  requests.set("overloaded", n_overloaded_.load());
+  s.set("requests", std::move(requests));
+  return s;
+}
+
+}  // namespace mdd::server

@@ -1,0 +1,114 @@
+// openmdd — diagnosis-as-a-service core.
+//
+// `DiagnosisService` is the transport-independent heart of the daemon:
+// decoded JSON requests go in, JSON responses come out. Requests admitted
+// through submit() flow through a bounded job queue (full queue → an
+// immediate `overloaded` response — explicit backpressure, not unbounded
+// latency) and execute on a core::ThreadPool whose workers drain the
+// queue until shutdown. Each request carries an optional deadline,
+// counted from ADMISSION (queue wait spends budget): expired-in-queue
+// jobs are answered `timeout` without running, and in-flight work is cut
+// short cooperatively via CancelToken checkpoints inside the diagnosers,
+// returning whatever partial result was found.
+//
+// Protocol (one JSON object per line; see DESIGN.md §7):
+//   {"id":7,"op":"diagnose","netlist":"c.bench","patterns":"c.pat",
+//    "datalog":"datalog\napplied 128\nfail 3 : z1\n",
+//    "method":"multiplet","deadline_ms":2000}
+//   -> {"id":7,"status":"ok","cache":"hit","reports":[...],
+//       "timings_ms":{...}}
+// Other ops: ping, stats, sleep (test/load-shaping aid). Responses carry
+// status ok | timeout | overloaded | error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "core/cancel.hpp"
+#include "core/exec.hpp"
+#include "core/thread_pool.hpp"
+#include "server/job_queue.hpp"
+#include "server/json.hpp"
+#include "server/session_cache.hpp"
+
+namespace mdd::server {
+
+struct ServiceOptions {
+  /// Worker threads executing queued requests (one request per worker at
+  /// a time; independent of intra-request parallelism below).
+  std::size_t n_workers = 2;
+  /// Job-queue capacity; admission beyond it answers `overloaded`.
+  std::size_t queue_depth = 64;
+  /// Session-cache budget (parsed circuits + good responses).
+  std::size_t cache_bytes = 256ull << 20;
+  /// Per-session solo-signature memo budget (cross-request amortization).
+  std::size_t memo_bytes = 256ull << 20;
+  /// Intra-request parallelism for the solo-signature warm. Serial by
+  /// default: with many concurrent requests, request-level parallelism
+  /// is the better use of the cores.
+  ExecPolicy exec{};
+  /// Applied when a request carries no deadline_ms; zero = no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+class DiagnosisService {
+ public:
+  explicit DiagnosisService(const ServiceOptions& options = {});
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  /// Queues `request`; `done` is invoked exactly once with the response —
+  /// from a worker thread normally, or inline right here when the queue
+  /// rejects (overloaded / shutting down). `done` must be thread-safe
+  /// against other responses (the serve loops serialize on a write
+  /// mutex).
+  void submit(Json request, std::function<void(Json)> done);
+
+  /// Executes a request synchronously on the calling thread, bypassing
+  /// queue and deadline admission (tests, one-shot tools). A null
+  /// `cancel` honors the request's own deadline_ms, if any.
+  Json handle(const Json& request, const CancelToken* cancel = nullptr);
+
+  /// Stops admission and joins the workers (queued jobs still drain and
+  /// answer). Idempotent; the destructor calls it.
+  void shutdown();
+
+  Json stats_json() const;
+  SessionCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Job {
+    Json request;
+    std::function<void(Json)> done;
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  void drain();  ///< worker loop: pop → execute → done(response)
+  Json dispatch(const Json& request, const CancelToken* cancel);
+  Json handle_diagnose(const Json& request, const CancelToken* cancel);
+  Json handle_sleep(const Json& request, const CancelToken* cancel);
+  void count_status(const Json& response);
+
+  ServiceOptions options_;
+  SessionCache cache_;
+  BoundedQueue<Job> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread pump_;  ///< runs pool_->run_on_all(drain) until shutdown
+  bool joined_ = false;
+
+  std::atomic<std::uint64_t> n_ok_{0};
+  std::atomic<std::uint64_t> n_error_{0};
+  std::atomic<std::uint64_t> n_timeout_{0};
+  std::atomic<std::uint64_t> n_overloaded_{0};
+};
+
+}  // namespace mdd::server

@@ -1,0 +1,158 @@
+#include "server/session_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "sim/sim2.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd::server {
+
+namespace {
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Netlist load_netlist_file(const std::string& path) {
+  if (ends_with(path, ".bench")) return parse_bench_file(path).netlist;
+  if (ends_with(path, ".v")) {
+    static const CellLibrary lib;
+    return parse_verilog_file(path, lib).netlist;
+  }
+  throw std::runtime_error("unknown netlist extension (want .bench or .v): " +
+                           path);
+}
+
+std::shared_ptr<const Session> load_session(const std::string& netlist_path,
+                                            const std::string& patterns_path,
+                                            std::size_t memo_bytes) {
+  auto session = std::make_shared<Session>();
+  session->netlist = load_netlist_file(netlist_path);
+  session->patterns = read_patterns_file(patterns_path);
+  if (session->patterns.n_signals() != session->netlist.n_inputs())
+    throw std::runtime_error(
+        "pattern width (" + std::to_string(session->patterns.n_signals()) +
+        ") does not match netlist inputs (" +
+        std::to_string(session->netlist.n_inputs()) + "): " + patterns_path);
+  session->good = simulate(session->netlist, session->patterns);
+  session->baseline = SingleFaultPropagator::make_baseline(session->netlist,
+                                                           session->patterns);
+  session->memo = std::make_unique<SignatureMemo>(memo_bytes);
+  session->traces = std::make_unique<TraceMemo>();
+  session->approx_bytes = approx_session_bytes(*session);
+  return session;
+}
+
+}  // namespace
+
+std::size_t approx_session_bytes(const Session& session) {
+  const auto matrix_bytes = [](const PatternSet& ps) {
+    return ps.n_blocks() * ps.n_signals() * sizeof(Word);
+  };
+  // Netlist internals (gate records, fanin/fanout adjacency, name table)
+  // are approximated by a per-net constant.
+  std::size_t baseline_bytes = 0;
+  if (session.baseline != nullptr)
+    baseline_bytes = session.baseline->values.size() *
+                         session.netlist.n_nets() * sizeof(Word) +
+                     matrix_bytes(session.baseline->good);
+  return matrix_bytes(session.patterns) + matrix_bytes(session.good) +
+         baseline_bytes + session.netlist.n_nets() * 160;
+}
+
+SessionCache::SessionCache(std::size_t max_bytes, std::size_t memo_bytes)
+    : max_bytes_(max_bytes), memo_bytes_(memo_bytes) {}
+
+void SessionCache::evict_over_budget_locked() {
+  // Never evict the just-admitted MRU head: an over-budget single session
+  // still serves its requests, it just evicts everything else.
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      if (it->second->session)
+        bytes_ -= it->second->session->approx_bytes;
+      entries_.erase(it);
+    }
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const Session> SessionCache::get(
+    const std::string& netlist_path, const std::string& patterns_path,
+    bool* was_hit) {
+  const Key key = netlist_path + '\n' + patterns_path;
+  for (;;) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        entry = std::make_shared<Entry>();
+        entries_.emplace(key, entry);
+      } else {
+        entry = it->second;
+      }
+    }
+
+    // The slow path (parse + simulate) runs under the per-entry mutex
+    // only — other circuits load concurrently, same-circuit callers wait
+    // here and then take the hit branch.
+    std::lock_guard<std::mutex> load_lock(entry->load_mutex);
+    if (entry->session) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++hits_;
+      auto pos = lru_pos_.find(key);
+      if (pos != lru_pos_.end())
+        lru_.splice(lru_.begin(), lru_, pos->second);
+      if (was_hit != nullptr) *was_hit = true;
+      return entry->session;
+    }
+
+    {
+      // The creator may have failed (entry orphaned) — retry from scratch
+      // so this caller performs its own load attempt.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end() || it->second != entry) continue;
+    }
+
+    try {
+      entry->session = load_session(netlist_path, patterns_path, memo_bytes_);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+      throw;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    bytes_ += entry->session->approx_bytes;
+    lru_.push_front(key);
+    lru_pos_[key] = lru_.begin();
+    evict_over_budget_locked();
+    if (was_hit != nullptr) *was_hit = false;
+    return entry->session;
+  }
+}
+
+SessionCacheStats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+}  // namespace mdd::server

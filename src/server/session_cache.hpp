@@ -1,0 +1,105 @@
+// openmdd — circuit session cache for the diagnosis daemon.
+//
+// The unit of volume diagnosis is one circuit × thousands of tester
+// datalogs; the session cache makes the circuit-level work pay once. A
+// session holds the parsed netlist, the parsed pattern set, and the
+// good-machine response (simulated once, reused by every per-request
+// DiagnosisContext through the precomputed-good path). Sessions are keyed
+// by (netlist path, patterns path), LRU-evicted against a byte budget,
+// and handed out as shared_ptr — eviction drops the cache's reference,
+// in-flight requests keep theirs.
+//
+// Concurrency: a global mutex guards the index and LRU list only; loading
+// (parse + simulate, the slow part) happens under a per-entry mutex, so
+// two clients asking for *different* circuits load in parallel while two
+// asking for the *same* circuit share one load.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fsim/propagate.hpp"
+#include "netlist/netlist.hpp"
+#include "server/signature_memo.hpp"
+#include "server/trace_memo.hpp"
+#include "sim/patterns.hpp"
+
+namespace mdd::server {
+
+struct Session {
+  Netlist netlist;
+  PatternSet patterns;
+  /// Good-machine response over the full pattern set (simulate() output).
+  PatternSet good;
+  /// Cross-request solo-signature memo (full-window datalogs only);
+  /// thread-safe, so it lives happily inside a shared const Session.
+  std::unique_ptr<SignatureMemo> memo;
+  /// Cross-request critical-path-trace memo (thread-safe, like `memo`).
+  std::unique_ptr<TraceMemo> traces;
+  /// Shared propagator good-machine state ([block][net] values + PO
+  /// response); read-only after load, reused by every full-window context
+  /// so requests skip the per-request whole-circuit good simulation.
+  std::shared_ptr<const PropagatorBaseline> baseline;
+  std::size_t approx_bytes = 0;
+};
+
+/// Rough in-memory footprint used for the cache budget (bit-matrix
+/// payloads exactly, netlist structures by a per-net constant).
+std::size_t approx_session_bytes(const Session& session);
+
+struct SessionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< calls that performed (or joined) a load
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t max_bytes = 0;
+};
+
+class SessionCache {
+ public:
+  /// `max_bytes` bounds resident sessions; a single session larger than
+  /// the budget is still admitted (then evicted by the next load).
+  /// `memo_bytes` is the per-session solo-signature memo budget.
+  explicit SessionCache(std::size_t max_bytes,
+                        std::size_t memo_bytes = 256ull << 20);
+
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  /// Returns the session for (netlist_path, patterns_path), loading it on
+  /// miss. Throws std::runtime_error on unreadable/malformed files (the
+  /// failed entry is not cached). `was_hit`, if non-null, reports whether
+  /// the session was already resident.
+  std::shared_ptr<const Session> get(const std::string& netlist_path,
+                                     const std::string& patterns_path,
+                                     bool* was_hit = nullptr);
+
+  SessionCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex load_mutex;
+    std::shared_ptr<const Session> session;  // null until loaded
+  };
+  using Key = std::string;  // netlist_path + '\n' + patterns_path
+
+  void evict_over_budget_locked();
+
+  const std::size_t max_bytes_;
+  const std::size_t memo_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
+  std::list<Key> lru_;  ///< front = most recent; loaded entries only
+  std::unordered_map<Key, std::list<Key>::iterator> lru_pos_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mdd::server

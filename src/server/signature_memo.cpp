@@ -1,0 +1,45 @@
+#include "server/signature_memo.hpp"
+
+namespace mdd::server {
+
+namespace {
+
+std::size_t approx_signature_bytes(const ErrorSignature& sig) {
+  return sizeof(ErrorSignature) +
+         sig.n_failing_patterns() *
+             (sizeof(std::uint32_t) + sig.n_po_words() * sizeof(Word));
+}
+
+}  // namespace
+
+std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(f);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void SignatureMemo::store(const Fault& f,
+                          std::shared_ptr<const ErrorSignature> sig) {
+  const std::size_t cost = approx_signature_bytes(*sig);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes_ + cost > max_bytes_) return;
+  auto [it, inserted] = entries_.emplace(f, std::move(sig));
+  if (inserted) bytes_ += cost;
+}
+
+SignatureMemoStats SignatureMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SignatureMemoStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  s.approx_bytes = bytes_;
+  return s;
+}
+
+}  // namespace mdd::server

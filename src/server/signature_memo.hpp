@@ -1,0 +1,57 @@
+// openmdd — cross-request solo-signature memo for cached sessions.
+//
+// The expensive part of a steady-state diagnosis request is not loading
+// the circuit (the session cache already amortizes that) but simulating
+// the solo signature of every candidate in the datalog's suspect cone.
+// Those signatures depend only on (netlist, applied window): two datalogs
+// for the same circuit that apply the full pattern set share them
+// exactly. `SignatureMemo` is the session-scoped `SoloSignatureStore`
+// implementation — a bounded fault→signature map that turns the second
+// and later requests touching a cone into lookups instead of event-driven
+// simulations. Contexts for truncated datalogs never attach it (see
+// DiagnosisContext::attach_solo_store), so it can never serve a stale
+// window.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "diag/diagnosis.hpp"
+
+namespace mdd::server {
+
+struct SignatureMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t approx_bytes = 0;
+};
+
+class SignatureMemo final : public SoloSignatureStore {
+ public:
+  /// `max_bytes` bounds the memo's approximate footprint; once full, new
+  /// signatures are declined (existing entries keep serving hits) — the
+  /// popular cones of a corpus are cached early, so a simple high-water
+  /// cap captures nearly all of an LRU's benefit without its bookkeeping.
+  explicit SignatureMemo(std::size_t max_bytes = 256ull << 20)
+      : max_bytes_(max_bytes) {}
+
+  std::shared_ptr<const ErrorSignature> lookup(const Fault& f) override;
+  void store(const Fault& f,
+             std::shared_ptr<const ErrorSignature> sig) override;
+
+  SignatureMemoStats stats() const;
+
+ private:
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Fault, std::shared_ptr<const ErrorSignature>, FaultHash>
+      entries_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mdd::server

@@ -1,0 +1,37 @@
+#include "server/trace_memo.hpp"
+
+namespace mdd::server {
+
+std::shared_ptr<const std::vector<Fault>> TraceMemo::lookup(
+    std::uint32_t pattern, std::uint32_t po) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key(pattern, po));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TraceMemo::store(std::uint32_t pattern, std::uint32_t po,
+                      std::shared_ptr<const std::vector<Fault>> faults) {
+  const std::size_t cost =
+      sizeof(std::vector<Fault>) + faults->size() * sizeof(Fault) + 64;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes_ + cost > max_bytes_) return;
+  auto [it, inserted] = entries_.emplace(key(pattern, po), std::move(faults));
+  if (inserted) bytes_ += cost;
+}
+
+TraceMemoStats TraceMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceMemoStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  s.approx_bytes = bytes_;
+  return s;
+}
+
+}  // namespace mdd::server

@@ -1,0 +1,56 @@
+// openmdd — cross-request critical-path-trace memo for cached sessions.
+//
+// Companion to SignatureMemo on the candidate-extraction side: the
+// critical fault set of a failing (pattern, output) pair is a pure
+// function of (netlist, patterns), so datalogs that report overlapping
+// failures — repeats, or distinct dies failing the same way — share their
+// back-traces. `TraceMemo` is the session-scoped `CptTraceStore`
+// implementation: a bounded (pattern, output) → fault-vector map; once
+// full, new traces are declined and existing entries keep serving hits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "diag/candidates.hpp"
+
+namespace mdd::server {
+
+struct TraceMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t approx_bytes = 0;
+};
+
+class TraceMemo final : public CptTraceStore {
+ public:
+  explicit TraceMemo(std::size_t max_bytes = 64ull << 20)
+      : max_bytes_(max_bytes) {}
+
+  std::shared_ptr<const std::vector<Fault>> lookup(std::uint32_t pattern,
+                                                   std::uint32_t po) override;
+  void store(std::uint32_t pattern, std::uint32_t po,
+             std::shared_ptr<const std::vector<Fault>> faults) override;
+
+  TraceMemoStats stats() const;
+
+ private:
+  static std::uint64_t key(std::uint32_t pattern, std::uint32_t po) {
+    return (std::uint64_t{pattern} << 32) | po;
+  }
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<Fault>>>
+      entries_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mdd::server

@@ -1,0 +1,71 @@
+#include "workload/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "workload/textio.hpp"
+
+namespace mdd {
+
+namespace {
+
+/// Same decorrelated per-case seeding as the campaign driver (splitmix64
+/// of seed + index): corpus case i is independent of every other case and
+/// reproducible in isolation.
+std::uint64_t case_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<LoadgenCase> make_corpus(const Netlist& netlist,
+                                     const PatternSet& patterns,
+                                     const PatternSet& good,
+                                     const CorpusConfig& config) {
+  FaultSimulator fsim(netlist, patterns, good);
+  std::vector<LoadgenCase> corpus;
+  corpus.reserve(config.n_cases);
+  for (std::size_t c = 0; c < config.n_cases; ++c) {
+    std::mt19937_64 rng(case_seed(config.seed, c));
+    auto defect = sample_defect(netlist, fsim, config.defect, rng);
+    if (!defect) continue;
+    const Datalog log = datalog_from_defect(netlist, *defect, patterns, good,
+                                            config.datalog);
+    std::ostringstream text;
+    write_datalog(text, log, netlist);
+    LoadgenCase lc;
+    lc.defect = std::move(*defect);
+    lc.datalog_text = text.str();
+    lc.n_failing_patterns = log.observed.n_failing_patterns();
+    corpus.push_back(std::move(lc));
+  }
+  return corpus;
+}
+
+LatencySummary summarize_latencies(std::vector<double> latencies_ms) {
+  LatencySummary s;
+  s.n = latencies_ms.size();
+  if (s.n == 0) return s;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  double sum = 0.0;
+  for (const double v : latencies_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(s.n);
+  // Nearest-rank: the smallest value with at least q*n observations at or
+  // below it.
+  const auto rank = [&](double q) {
+    const std::size_t r = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(s.n)));
+    return latencies_ms[std::min(s.n - 1, r == 0 ? 0 : r - 1)];
+  };
+  s.p50_ms = rank(0.50);
+  s.p95_ms = rank(0.95);
+  s.p99_ms = rank(0.99);
+  s.max_ms = latencies_ms.back();
+  return s;
+}
+
+}  // namespace mdd

@@ -1,0 +1,57 @@
+// openmdd — serving-load corpus generation and latency accounting.
+//
+// The load generator replays realistic tester datalogs against the
+// diagnosis daemon. This module produces those datalogs the same way the
+// campaign driver does — sample a defect multiplet, simulate the
+// composite machine, truncate like an ATE — with the campaign's
+// decorrelated per-case seeding, so a corpus is reproducible from
+// (circuit, seed, n_cases) alone. It also carries the latency quantile
+// math the tools print as p50/p95/p99 tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diag/datalog.hpp"
+#include "workload/campaign.hpp"
+
+namespace mdd {
+
+struct LoadgenCase {
+  std::vector<Fault> defect;
+  /// Datalog in the textio wire format (what goes into a request's
+  /// inline "datalog" field or a corpus file).
+  std::string datalog_text;
+  std::size_t n_failing_patterns = 0;
+};
+
+struct CorpusConfig {
+  std::size_t n_cases = 50;
+  DefectSampleConfig defect{};
+  DatalogOptions datalog{};
+  std::uint64_t seed = 1;
+};
+
+/// Seed-deterministic datalog corpus for one circuit. `good` must be the
+/// good-machine response for `patterns`. Cases whose defect sampling
+/// fails (tiny circuits + strict constraints) are skipped, so the result
+/// may hold fewer than n_cases entries.
+std::vector<LoadgenCase> make_corpus(const Netlist& netlist,
+                                     const PatternSet& patterns,
+                                     const PatternSet& good,
+                                     const CorpusConfig& config);
+
+struct LatencySummary {
+  std::size_t n = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Nearest-rank quantiles over per-request latencies (ms).
+LatencySummary summarize_latencies(std::vector<double> latencies_ms);
+
+}  // namespace mdd

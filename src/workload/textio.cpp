@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -13,6 +14,28 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("textio: " + what);
+}
+
+/// Strict unsigned field: a whole token of digits. Signs, junk, overflow,
+/// and a missing token all fail with `what` in the message — stream
+/// extraction into an unsigned type silently wraps negatives, which is
+/// exactly the corruption a tester datalog must not smuggle in.
+std::size_t read_count(std::istream& ls, const std::string& what) {
+  std::string tok;
+  if (!(ls >> tok)) fail("missing " + what);
+  if (tok.find_first_not_of("0123456789") != std::string::npos)
+    fail(what + " must be a non-negative integer, got '" + tok + "'");
+  try {
+    return std::stoull(tok);
+  } catch (const std::exception&) {
+    fail(what + " out of range: '" + tok + "'");
+  }
+}
+
+/// Rejects any non-space residue on a parsed line.
+void expect_line_end(std::istream& ls, const std::string& line) {
+  std::string extra;
+  if (ls >> extra) fail("trailing junk on line: '" + line + "'");
 }
 
 std::string next_content_line(std::istream& in) {
@@ -43,10 +66,11 @@ PatternSet read_patterns(std::istream& in) {
   std::string header = next_content_line(in);
   std::istringstream hs(header);
   std::string kw;
-  std::size_t n_signals = 0;
-  hs >> kw >> n_signals;
-  if (kw != "patterns" || n_signals == 0)
-    fail("expected 'patterns <width>' header");
+  hs >> kw;
+  if (kw != "patterns") fail("expected 'patterns <width>' header");
+  const std::size_t n_signals = read_count(hs, "pattern width");
+  if (n_signals == 0) fail("pattern width must be positive");
+  expect_line_end(hs, header);
   PatternSet ps(0, n_signals);
   for (std::string line = next_content_line(in); !line.empty();
        line = next_content_line(in)) {
@@ -108,16 +132,23 @@ Datalog read_datalog(std::istream& in, const Netlist& netlist) {
     std::string kw;
     ls >> kw;
     if (kw == "applied") {
-      ls >> n_applied;
+      n_applied = read_count(ls, "'applied' count");
+      expect_line_end(ls, line);
     } else if (kw == "pattern_truncated") {
+      expect_line_end(ls, line);
       log.pattern_truncated = true;
     } else if (kw == "pin_truncated") {
+      expect_line_end(ls, line);
       log.pin_truncated = true;
     } else if (kw == "fail") {
       Entry e;
       e.mask.assign(n_po_words, kAllZero);
+      const std::size_t pattern = read_count(ls, "fail pattern index");
+      if (pattern > std::numeric_limits<std::uint32_t>::max())
+        fail("fail pattern index out of range: " + line);
+      e.pattern = static_cast<std::uint32_t>(pattern);
       std::string colon;
-      ls >> e.pattern >> colon;
+      ls >> colon;
       if (colon != ":") fail("expected ':' in fail line: " + line);
       std::string name;
       bool any = false;
@@ -139,8 +170,11 @@ Datalog read_datalog(std::istream& in, const Netlist& netlist) {
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.pattern < b.pattern; });
   log.observed = ErrorSignature(n_applied, netlist.n_outputs());
-  for (const Entry& e : entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
     if (e.pattern >= n_applied) fail("failing pattern beyond applied window");
+    if (i > 0 && entries[i - 1].pattern == e.pattern)
+      fail("duplicate fail line for pattern " + std::to_string(e.pattern));
     log.observed.append(e.pattern, e.mask);
   }
   log.n_patterns_applied = n_applied;
@@ -173,6 +207,7 @@ Fault parse_fault_spec(std::string_view spec, const Netlist& netlist) {
     return n;
   };
 
+  const auto parse = [&]() -> Fault {
   if (kind == "sa0" || kind == "sa1") {
     std::string site;
     ss >> site;
@@ -216,6 +251,13 @@ Fault parse_fault_spec(std::string_view spec, const Netlist& netlist) {
                          : Fault::slow_to_fall(net_of(site));
   }
   fail("unknown fault kind '" + kind + "'");
+  };  // parse
+
+  const Fault f = parse();
+  std::string extra;
+  if (ss >> extra)
+    fail("trailing junk in fault spec: '" + std::string(spec) + "'");
+  return f;
 }
 
 }  // namespace mdd

@@ -1,0 +1,67 @@
+// Unit tests for cooperative cancellation: token stickiness, deadline
+// latching, and the throttled checkpoint the diagnoser hot loops poll.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/cancel.hpp"
+
+namespace mdd {
+namespace {
+
+TEST(CancelToken, DefaultNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, RequestCancelIsSticky) {
+  CancelToken token;
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, PastDeadlineCancels) {
+  const CancelToken token = CancelToken::after(std::chrono::milliseconds(0));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotCancelYet) {
+  CancelToken token = CancelToken::after(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();  // early cancel still works under a deadline
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelCheckpoint, NullTokenNeverTrips) {
+  CancelCheckpoint cp(nullptr, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(cp());
+}
+
+TEST(CancelCheckpoint, PollsFirstCallAndEveryStride) {
+  CancelToken token;
+  CancelCheckpoint cp(&token, 8);
+  EXPECT_FALSE(cp());  // polled (first call), not cancelled yet
+  token.request_cancel();
+  // Calls 2..8 are within the stride window — the checkpoint may not have
+  // re-polled yet; by the next poll boundary it must trip.
+  bool tripped = false;
+  for (int i = 0; i < 8; ++i) tripped = cp();
+  EXPECT_TRUE(tripped);
+  // Once tripped, stays tripped.
+  EXPECT_TRUE(cp());
+}
+
+TEST(CancelCheckpoint, ZeroStrideClampsToEveryCall) {
+  CancelToken token;
+  CancelCheckpoint cp(&token, 0);
+  EXPECT_FALSE(cp());
+  token.request_cancel();
+  EXPECT_TRUE(cp());
+}
+
+}  // namespace
+}  // namespace mdd

@@ -1,0 +1,114 @@
+// Property tests for SignatureMatcher: the dense-bitmap accelerator must
+// produce exactly match(observed, sim) for every candidate — it replaces
+// the sorted-merge in the scoring hot loops, so any divergence would
+// silently reorder diagnosis rankings.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "netlist/generator.hpp"
+
+namespace mdd {
+namespace {
+
+ErrorSignature random_signature(std::mt19937_64& rng, std::size_t n_patterns,
+                                std::size_t n_outputs, unsigned density) {
+  ErrorSignature sig(n_patterns, n_outputs);
+  const std::size_t n_words = sig.n_po_words();
+  for (std::uint32_t p = 0; p < n_patterns; ++p) {
+    if (rng() % density != 0) continue;
+    std::vector<Word> mask(n_words, kAllZero);
+    const std::size_t n_fail = 1 + rng() % 5;
+    for (std::size_t k = 0; k < n_fail; ++k) {
+      const std::size_t o = rng() % n_outputs;
+      mask[o / 64] |= Word{1} << (o % 64);
+    }
+    sig.append(p, mask);
+  }
+  return sig;
+}
+
+TEST(SignatureMatcherProps, AgreesWithMatchOnRandomSignatures) {
+  constexpr std::uint64_t kSeeds[] = {1, 42, 0xBEEF, 0x5EED5EED};
+  for (std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    const std::size_t n_patterns = 1 + rng() % 300;
+    const std::size_t n_outputs = 1 + rng() % 200;
+
+    const ErrorSignature observed =
+        random_signature(rng, n_patterns, n_outputs, 3);
+    const SignatureMatcher matcher(observed);
+    for (int c = 0; c < 50; ++c) {
+      // Mix dense, sparse, and empty candidates.
+      const ErrorSignature sim =
+          random_signature(rng, n_patterns, n_outputs, 1 + rng() % 8);
+      const MatchCounts slow = match(observed, sim);
+      const MatchCounts fast = matcher.match(sim);
+      EXPECT_EQ(fast.tfsf, slow.tfsf) << "candidate " << c;
+      EXPECT_EQ(fast.tfsp, slow.tfsp) << "candidate " << c;
+      EXPECT_EQ(fast.tpsf, slow.tpsf) << "candidate " << c;
+    }
+  }
+}
+
+TEST(SignatureMatcherProps, EdgeShapes) {
+  std::mt19937_64 rng(7);
+  const std::size_t n_patterns = 64;
+  const std::size_t n_outputs = 65;  // straddles a word boundary
+  const ErrorSignature observed =
+      random_signature(rng, n_patterns, n_outputs, 2);
+  const SignatureMatcher matcher(observed);
+
+  {  // Empty candidate: everything observed is unexplained.
+    const ErrorSignature empty(n_patterns, n_outputs);
+    const MatchCounts mc = matcher.match(empty);
+    EXPECT_EQ(mc.tfsf, 0u);
+    EXPECT_EQ(mc.tfsp, observed.n_error_bits());
+    EXPECT_EQ(mc.tpsf, 0u);
+  }
+  {  // Perfect candidate: the observed signature itself.
+    const MatchCounts mc = matcher.match(observed);
+    EXPECT_EQ(mc.tfsf, observed.n_error_bits());
+    EXPECT_EQ(mc.tfsp, 0u);
+    EXPECT_EQ(mc.tpsf, 0u);
+  }
+  {  // Empty observed: every candidate bit is a misprediction.
+    const ErrorSignature no_fail(n_patterns, n_outputs);
+    const SignatureMatcher empty_matcher(no_fail);
+    const ErrorSignature sim = random_signature(rng, n_patterns, n_outputs, 2);
+    const MatchCounts mc = empty_matcher.match(sim);
+    EXPECT_EQ(mc.tfsf, 0u);
+    EXPECT_EQ(mc.tfsp, 0u);
+    EXPECT_EQ(mc.tpsf, sim.n_error_bits());
+  }
+}
+
+TEST(SignatureMatcherProps, AgreesWithMatchOnCircuitSignatures) {
+  // The real workload: one observed multiplet signature scored against
+  // every collapsed solo candidate of a generated circuit.
+  const Netlist netlist = make_named_circuit("g200");
+  const PatternSet patterns = PatternSet::random(128, netlist.n_inputs(), 3);
+  FaultSimulator fsim(netlist, patterns);
+
+  const std::vector<Fault> defect{
+      Fault::stem_sa(netlist.n_nets() / 4, true),
+      Fault::stem_sa(netlist.n_nets() / 2, false)};
+  const ErrorSignature observed = fsim.signature(defect);
+  ASSERT_FALSE(observed.empty());
+
+  const SignatureMatcher matcher(observed);
+  for (const Fault& f : all_stuck_at_faults(netlist)) {
+    const ErrorSignature sim = fsim.signature(f);
+    const MatchCounts slow = match(observed, sim);
+    const MatchCounts fast = matcher.match(sim);
+    ASSERT_EQ(fast.tfsf, slow.tfsf);
+    ASSERT_EQ(fast.tfsp, slow.tfsp);
+    ASSERT_EQ(fast.tpsf, slow.tpsf);
+  }
+}
+
+}  // namespace
+}  // namespace mdd

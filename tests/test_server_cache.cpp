@@ -1,0 +1,210 @@
+// Tests for the daemon's circuit session cache: hit/miss accounting, the
+// precomputed per-session state (good response, propagator baseline,
+// memos), LRU eviction against the byte budget, survival of evicted
+// sessions held by in-flight requests, and concurrent access (this file
+// builds into the tsan-labelled binary).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "server/session_cache.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd::server {
+namespace {
+
+/// Writes the g200 circuit + a 64-pattern set under unique names in the
+/// test temp dir and returns the two paths. `tag` keeps per-test files
+/// (and, with distinct tags, distinct cache keys) apart.
+struct CircuitFiles {
+  std::string netlist_path;
+  std::string patterns_path;
+};
+
+CircuitFiles write_circuit_files(const std::string& tag) {
+  const Netlist netlist = make_named_circuit("g200");
+  const PatternSet patterns = PatternSet::random(64, netlist.n_inputs(), 7);
+  CircuitFiles f;
+  f.netlist_path = ::testing::TempDir() + "cache_" + tag + ".bench";
+  f.patterns_path = ::testing::TempDir() + "cache_" + tag + ".patterns";
+  std::ofstream bench(f.netlist_path);
+  bench << write_bench_string(netlist);
+  bench.close();
+  write_patterns_file(f.patterns_path, patterns);
+  return f;
+}
+
+TEST(SessionCache, MissThenHitSharesOneSession) {
+  const CircuitFiles f = write_circuit_files("hit");
+  SessionCache cache(1ull << 30);
+
+  bool hit = true;
+  const auto first = cache.get(f.netlist_path, f.patterns_path, &hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(hit);
+
+  const auto second = cache.get(f.netlist_path, f.patterns_path, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second.get(), first.get());
+
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, first->approx_bytes);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(SessionCache, SessionPrecomputesSharedState) {
+  const CircuitFiles f = write_circuit_files("state");
+  SessionCache cache(1ull << 30);
+  const auto session = cache.get(f.netlist_path, f.patterns_path);
+
+  // The cached good response is exactly what a fresh simulation produces.
+  const PatternSet expected_good =
+      simulate(session->netlist, session->patterns);
+  EXPECT_EQ(session->good, expected_good);
+
+  // Propagator baseline: one [block][net] row per 64-pattern block, plus
+  // the good PO response — full-window shape, ready for sharing.
+  ASSERT_NE(session->baseline, nullptr);
+  const std::size_t n_blocks = (session->patterns.n_patterns() + 63) / 64;
+  ASSERT_EQ(session->baseline->values.size(), n_blocks);
+  for (const auto& block : session->baseline->values)
+    EXPECT_EQ(block.size(), session->netlist.n_nets());
+  EXPECT_EQ(session->baseline->good.n_patterns(),
+            session->patterns.n_patterns());
+
+  // Cross-request memos exist (empty until requests populate them).
+  ASSERT_NE(session->memo, nullptr);
+  ASSERT_NE(session->traces, nullptr);
+  EXPECT_EQ(session->memo->stats().entries, 0u);
+  EXPECT_EQ(session->traces->stats().entries, 0u);
+
+  EXPECT_EQ(approx_session_bytes(*session), session->approx_bytes);
+}
+
+TEST(SessionCache, EvictsLeastRecentlyUsed) {
+  const CircuitFiles a = write_circuit_files("lru_a");
+  const CircuitFiles b = write_circuit_files("lru_b");
+  const CircuitFiles c = write_circuit_files("lru_c");
+
+  // Scout load to learn one session's footprint, then size the budget to
+  // hold exactly two of the three (all identical circuits).
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(a.netlist_path, a.patterns_path)->approx_bytes;
+    ASSERT_GT(one, 0u);
+  }
+
+  SessionCache cache(2 * one + one / 2);
+  cache.get(a.netlist_path, a.patterns_path);
+  cache.get(b.netlist_path, b.patterns_path);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch A so B becomes the least recently used, then load C: B must be
+  // the one evicted.
+  bool hit = false;
+  cache.get(a.netlist_path, a.patterns_path, &hit);
+  EXPECT_TRUE(hit);
+  cache.get(c.netlist_path, c.patterns_path);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.get(a.netlist_path, a.patterns_path, &hit);
+  EXPECT_TRUE(hit) << "recently-used A should have survived";
+  cache.get(b.netlist_path, b.patterns_path, &hit);
+  EXPECT_FALSE(hit) << "LRU B should have been evicted";
+}
+
+TEST(SessionCache, EvictedSessionSurvivesForHolders) {
+  const CircuitFiles a = write_circuit_files("hold_a");
+  const CircuitFiles b = write_circuit_files("hold_b");
+
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(a.netlist_path, a.patterns_path)->approx_bytes;
+  }
+
+  // Budget below two sessions: loading B evicts A while we still hold A's
+  // shared_ptr — the in-flight-request scenario.
+  SessionCache cache(one + one / 2);
+  const auto held = cache.get(a.netlist_path, a.patterns_path);
+  cache.get(b.netlist_path, b.patterns_path);
+  EXPECT_GE(cache.stats().evictions, 1u);
+
+  // The evicted session remains fully usable.
+  EXPECT_EQ(held->good, simulate(held->netlist, held->patterns));
+}
+
+TEST(SessionCache, LoadFailureIsNotCached) {
+  const CircuitFiles f = write_circuit_files("fail");
+  const std::string missing = ::testing::TempDir() + "cache_nosuch.bench";
+  SessionCache cache(1ull << 30);
+
+  EXPECT_THROW(cache.get(missing, f.patterns_path), std::runtime_error);
+  EXPECT_THROW(cache.get(missing, f.patterns_path), std::runtime_error);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // A malformed pattern file fails too, and the failure is not sticky for
+  // the valid pair.
+  const std::string bad = ::testing::TempDir() + "cache_bad.patterns";
+  std::ofstream(bad) << "patterns 0\n";
+  EXPECT_THROW(cache.get(f.netlist_path, bad), std::runtime_error);
+
+  bool hit = true;
+  const auto session = cache.get(f.netlist_path, f.patterns_path, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SessionCacheStress, ConcurrentGetsShareOneLoad) {
+  const CircuitFiles f = write_circuit_files("conc");
+  SessionCache cache(1ull << 30);
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const Session>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { got[t] = cache.get(f.netlist_path, f.patterns_path); });
+  for (std::thread& t : threads) t.join();
+
+  // Everyone observes the same session object — one load, shared.
+  for (std::size_t t = 1; t < kThreads; ++t)
+    EXPECT_EQ(got[t].get(), got[0].get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SessionCacheStress, ConcurrentDistinctCircuitsLoadIndependently) {
+  const CircuitFiles a = write_circuit_files("par_a");
+  const CircuitFiles b = write_circuit_files("par_b");
+  SessionCache cache(1ull << 30);
+
+  std::vector<std::shared_ptr<const Session>> got(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < got.size(); ++t)
+    threads.emplace_back([&, t] {
+      const CircuitFiles& f = (t % 2 == 0) ? a : b;
+      got[t] = cache.get(f.netlist_path, f.patterns_path);
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t t = 2; t < got.size(); ++t)
+    EXPECT_EQ(got[t].get(), got[t % 2].get());
+  EXPECT_NE(got[0].get(), got[1].get());
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+}  // namespace
+}  // namespace mdd::server

@@ -1,0 +1,293 @@
+// End-to-end tests of the diagnosis service: served results must be
+// byte-identical to direct (CLI-path) diagnosis, repeat requests must hit
+// the session cache and memos without changing a single byte, deadlines
+// must cut work short with a timeout/partial answer, and a saturated job
+// queue must answer `overloaded` instead of queueing without bound (this
+// file builds into the tsan-labelled binary).
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/version.hpp"
+#include "diag/multiplet.hpp"
+#include "diag/single_fault.hpp"
+#include "diag/slat.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "server/result_json.hpp"
+#include "server/service.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd::server {
+namespace {
+
+/// One circuit + pattern set on disk plus a datalog (inline text) for a
+/// planted two-fault defect — the ingredients of a diagnose request.
+struct ServiceFixture {
+  std::string netlist_path;
+  std::string patterns_path;
+  std::string datalog_text;
+
+  static ServiceFixture make(const std::string& tag) {
+    const Netlist netlist = make_named_circuit("g200");
+    const PatternSet patterns =
+        PatternSet::random(128, netlist.n_inputs(), 0x5EED);
+    FaultSimulator fsim(netlist, patterns);
+    const std::vector<Fault> defect{
+        Fault::stem_sa(netlist.n_nets() / 3, false),
+        Fault::stem_sa(netlist.n_nets() / 2, true)};
+    const Datalog log = datalog_from_defect(netlist, defect, patterns,
+                                            fsim.good_response());
+    EXPECT_TRUE(log.has_failures());
+
+    ServiceFixture f;
+    f.netlist_path = ::testing::TempDir() + "svc_" + tag + ".bench";
+    f.patterns_path = ::testing::TempDir() + "svc_" + tag + ".patterns";
+    std::ofstream(f.netlist_path) << write_bench_string(netlist);
+    write_patterns_file(f.patterns_path, patterns);
+    std::ostringstream dl;
+    write_datalog(dl, log, netlist);
+    f.datalog_text = dl.str();
+    return f;
+  }
+
+  Json diagnose_request(const std::string& method) const {
+    Json r;
+    r.set("op", "diagnose");
+    r.set("netlist", netlist_path);
+    r.set("patterns", patterns_path);
+    r.set("datalog", datalog_text);
+    r.set("method", method);
+    return r;
+  }
+
+  /// What the CLI path computes for the same inputs: parse the same files,
+  /// build a plain context (no session cache, memos, or shared baseline),
+  /// run the diagnoser, serialize through the shared schema.
+  std::string direct_reports_json(const std::string& method) const {
+    const Netlist netlist = parse_bench_file(netlist_path).netlist;
+    const PatternSet patterns = read_patterns_file(patterns_path);
+    std::istringstream in(datalog_text);
+    const Datalog log = read_datalog(in, netlist);
+    DiagnosisContext ctx(netlist, patterns, log);
+    std::vector<DiagnosisReport> reports;
+    if (method == "multiplet") reports.push_back(diagnose_multiplet(ctx));
+    if (method == "slat") reports.push_back(diagnose_slat(ctx));
+    if (method == "single") reports.push_back(diagnose_single_fault(ctx));
+    return reports_to_json(reports, netlist).dump();
+  }
+};
+
+std::string reports_dump(const Json& response) {
+  const Json* reports = response.find("reports");
+  EXPECT_NE(reports, nullptr);
+  return reports == nullptr ? std::string() : reports->dump();
+}
+
+TEST(ServiceDifferential, ServedReportsMatchDirectDiagnosisByteForByte) {
+  const ServiceFixture f = ServiceFixture::make("diff");
+  DiagnosisService service;
+  for (const std::string method : {"single", "multiplet", "slat"}) {
+    const Json response = service.handle(f.diagnose_request(method));
+    EXPECT_EQ(response.get_string("status"), "ok") << method;
+    EXPECT_EQ(reports_dump(response), f.direct_reports_json(method))
+        << method;
+  }
+}
+
+TEST(ServiceDifferential, RepeatRequestHitsCacheAndStaysIdentical) {
+  const ServiceFixture f = ServiceFixture::make("repeat");
+  DiagnosisService service;
+  const Json request = f.diagnose_request("all");
+
+  // First request loads the session; repeats are served from the session
+  // cache with warm signature/trace memos — and must not change a byte.
+  const Json first = service.handle(request);
+  EXPECT_EQ(first.get_string("status"), "ok");
+  EXPECT_EQ(first.get_string("cache"), "miss");
+  for (int i = 0; i < 2; ++i) {
+    const Json again = service.handle(request);
+    EXPECT_EQ(again.get_string("status"), "ok");
+    EXPECT_EQ(again.get_string("cache"), "hit");
+    EXPECT_EQ(reports_dump(again), reports_dump(first));
+  }
+
+  const auto& session = *service.cache().get(f.netlist_path, f.patterns_path);
+  EXPECT_GT(session.memo->stats().hits, 0u);
+  EXPECT_GT(session.traces->stats().hits, 0u);
+}
+
+TEST(ServiceDeadline, ExpiredDeadlineYieldsTimeoutWithPartialResult) {
+  const ServiceFixture f = ServiceFixture::make("deadline");
+  DiagnosisService service;
+  Json request = f.diagnose_request("single");
+  // Sub-millisecond budget: expired before the first cancellation
+  // checkpoint, so the diagnoser winds down immediately.
+  request.set("deadline_ms", 0.001);
+  const Json response = service.handle(request);
+  EXPECT_EQ(response.get_string("status"), "timeout");
+  EXPECT_TRUE(response.get_bool("partial"));
+  // A partial report is still delivered (and still schema-valid).
+  EXPECT_NE(response.find("reports"), nullptr);
+}
+
+TEST(ServiceDeadline, SleepHonorsDeadline) {
+  DiagnosisService service;
+  Json request;
+  request.set("op", "sleep");
+  request.set("ms", 10000.0);
+  request.set("deadline_ms", 30.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Json response = service.handle(request);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(response.get_string("status"), "timeout");
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(ServiceQueue, SaturatedQueueAnswersOverloaded) {
+  ServiceOptions options;
+  options.n_workers = 1;
+  options.queue_depth = 1;
+  DiagnosisService service(options);
+
+  // One worker busy on a long sleep + a depth-1 queue: a burst of
+  // submissions must get explicit `overloaded` rejects, and every submit
+  // must be answered exactly once.
+  constexpr int kBurst = 8;
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::vector<std::string> statuses;
+  for (int i = 0; i < kBurst; ++i) {
+    Json request;
+    request.set("op", "sleep");
+    request.set("ms", 300.0);
+    request.set("id", i);
+    service.submit(std::move(request), [&](Json response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      statuses.push_back(response.get_string("status"));
+      all_done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [&] { return statuses.size() == kBurst; });
+  }
+  service.shutdown();
+
+  int n_ok = 0, n_overloaded = 0;
+  for (const std::string& s : statuses) {
+    if (s == "ok") ++n_ok;
+    if (s == "overloaded") ++n_overloaded;
+  }
+  EXPECT_EQ(n_ok + n_overloaded, kBurst);
+  EXPECT_GE(n_ok, 1);
+  EXPECT_GE(n_overloaded, 1);
+
+  const Json stats = service.stats_json();
+  const Json* queue = stats.find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->get_number("rejected"), 1.0);
+}
+
+TEST(ServiceQueue, DeadlineSpentInQueueAnswersTimeoutWithoutRunning) {
+  ServiceOptions options;
+  options.n_workers = 1;
+  options.queue_depth = 8;
+  DiagnosisService service(options);
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<Json> responses;
+  auto collect = [&](Json response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(std::move(response));
+    done_cv.notify_one();
+  };
+
+  // First job occupies the only worker well past the second job's
+  // deadline; the second must be answered `timeout` from the queue,
+  // without occupying the worker.
+  Json blocker;
+  blocker.set("op", "sleep");
+  blocker.set("ms", 400.0);
+  blocker.set("id", "blocker");
+  service.submit(std::move(blocker), collect);
+
+  Json doomed;
+  doomed.set("op", "sleep");
+  doomed.set("ms", 0.0);
+  doomed.set("id", "doomed");
+  doomed.set("deadline_ms", 50.0);
+  service.submit(std::move(doomed), collect);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return responses.size() == 2; });
+  }
+  service.shutdown();
+
+  for (const Json& r : responses) {
+    if (r.get_string("id", "x") == "doomed") {
+      EXPECT_EQ(r.get_string("status"), "timeout");
+      EXPECT_EQ(r.get_string("where"), "queue");
+    } else {
+      EXPECT_EQ(r.get_string("status"), "ok");
+    }
+  }
+}
+
+TEST(ServiceProtocol, MalformedRequestsAnswerErrorNotCrash) {
+  const ServiceFixture f = ServiceFixture::make("errors");
+  DiagnosisService service;
+
+  {  // Unknown op.
+    Json r;
+    r.set("op", "frobnicate");
+    EXPECT_EQ(service.handle(r).get_string("status"), "error");
+  }
+  {  // Not an object at all.
+    EXPECT_EQ(service.handle(Json(3.0)).get_string("status"), "error");
+  }
+  {  // Missing required paths.
+    Json r;
+    r.set("op", "diagnose");
+    EXPECT_EQ(service.handle(r).get_string("status"), "error");
+  }
+  {  // Both inline datalog and datalog_file.
+    Json r = f.diagnose_request("single");
+    r.set("datalog_file", "/nonexistent");
+    EXPECT_EQ(service.handle(r).get_string("status"), "error");
+  }
+  {  // Unknown method.
+    Json r = f.diagnose_request("psychic");
+    EXPECT_EQ(service.handle(r).get_string("status"), "error");
+  }
+  {  // Unreadable netlist path — load failure surfaces as error.
+    Json r = f.diagnose_request("single");
+    r.set("netlist", ::testing::TempDir() + "svc_nosuch.bench");
+    const Json response = service.handle(r);
+    EXPECT_EQ(response.get_string("status"), "error");
+    EXPECT_FALSE(response.get_string("error").empty());
+  }
+}
+
+TEST(ServiceProtocol, PingEchoesIdAndVersion) {
+  DiagnosisService service;
+  Json request;
+  request.set("op", "ping");
+  request.set("id", 42);
+  const Json response = service.handle(request);
+  EXPECT_EQ(response.get_string("status"), "ok");
+  EXPECT_EQ(response.get_string("version"), std::string(kVersion));
+  const Json* id = response.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->as_number(), 42.0);
+}
+
+}  // namespace
+}  // namespace mdd::server

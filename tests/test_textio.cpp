@@ -80,6 +80,52 @@ TEST(TextIoDatalog, RejectsBadInput) {
   }
 }
 
+TEST(TextIoDatalog, RejectsHostileInput) {
+  const Netlist nl = make_c17();
+  {  // Negative count: must not wrap through unsigned extraction.
+    std::stringstream ss("datalog\napplied -5\nfail 1 : 22\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {  // Trailing junk on the applied line.
+    std::stringstream ss("datalog\napplied 8 junk\nfail 1 : 22\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {  // Duplicate fail lines for one pattern.
+    std::stringstream ss(
+        "datalog\napplied 8\nfail 1 : 22\nfail 1 : 23\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {  // Fail line listing no outputs.
+    std::stringstream ss("datalog\napplied 8\nfail 1 :\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {  // Unknown line keyword.
+    std::stringstream ss("datalog\napplied 8\nfial 1 : 22\n");
+    EXPECT_THROW(read_datalog(ss, nl), std::runtime_error);
+  }
+  {  // Out-of-order fail lines are fine (testers don't guarantee order).
+    std::stringstream ss("datalog\napplied 8\nfail 5 : 22\nfail 1 : 23\n");
+    const Datalog log = read_datalog(ss, nl);
+    EXPECT_EQ(log.observed.n_failing_patterns(), 2u);
+    EXPECT_EQ(log.observed.failing_patterns().front(), 1u);
+  }
+}
+
+TEST(TextIoPatterns, RejectsHeaderJunk) {
+  {
+    std::stringstream ss("patterns 3 extra\n010\n");
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("patterns 0\n");
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("patterns -3\n010\n");
+    EXPECT_THROW(read_patterns(ss), std::runtime_error);
+  }
+}
+
 TEST(FaultSpec, ParsesAllKinds) {
   const Netlist nl = make_c17();
   EXPECT_EQ(parse_fault_spec("sa0 16", nl),
@@ -107,6 +153,9 @@ TEST(FaultSpec, RejectsBadSpecs) {
   EXPECT_THROW(parse_fault_spec("sa0", nl), std::runtime_error);
   EXPECT_THROW(parse_fault_spec("dom 10", nl), std::runtime_error);
   EXPECT_THROW(parse_fault_spec("sa0 16.9", nl), std::invalid_argument);
+  // Trailing junk after a valid spec is rejected, not silently dropped.
+  EXPECT_THROW(parse_fault_spec("sa0 16 extra", nl), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("dom 10 19 22", nl), std::runtime_error);
 }
 
 }  // namespace

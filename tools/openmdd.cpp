@@ -14,15 +14,19 @@
 //
 // Netlists are read as ISCAS .bench (*.bench) or structural Verilog (*.v);
 // file formats are documented in src/workload/textio.hpp.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "atpg/tpg.hpp"
+#include "core/cancel.hpp"
 #include "core/exec.hpp"
+#include "core/version.hpp"
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
@@ -30,6 +34,7 @@
 #include "netlist/bench_parser.hpp"
 #include "netlist/dot.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "server/result_json.hpp"
 #include "workload/textio.hpp"
 
 namespace {
@@ -46,7 +51,10 @@ int usage() {
          "  openmdd inject   <netlist> --patterns <f> --fault <spec>..."
          " [-o <datalog>] [--max-failing N]\n"
          "  openmdd diagnose <netlist> --patterns <f> --datalog <f>"
-         " [--method multiplet|slat|single|all] [--threads N]\n"
+         " [--method multiplet|slat|single|all]\n"
+         "                   [--threads N] [--format text|json]"
+         " [--deadline-ms N]\n"
+         "  openmdd version\n"
          "fault specs: 'sa0 NET' 'sa1 GATE.PIN' 'dom AGG VICTIM'"
          " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n";
   return 2;
@@ -93,8 +101,10 @@ struct Args {
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   static const char* kValueOptions[] = {
-      "-o",     "--patterns", "--fault",       "--datalog",
-      "--seed", "--method",   "--max-failing", "--threads"};
+      "-o",          "--patterns", "--fault",   "--datalog",
+      "--seed",      "--method",   "--max-failing", "--threads",
+      "--format",    "--deadline-ms"};
+  static const char* kFlags[] = {"--no-compact"};
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     bool is_value_option = false;
@@ -102,13 +112,38 @@ Args parse_args(int argc, char** argv, int first) {
     if (is_value_option) {
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
       args.options.emplace_back(a, argv[++i]);
-    } else if (a.rfind("--", 0) == 0) {
+    } else if (a.rfind("-", 0) == 0) {
+      bool known = false;
+      for (const char* f : kFlags) known |= (a == f);
+      if (!known)
+        throw std::runtime_error("unknown option '" + a +
+                                 "' (see usage: run with no arguments)");
       args.flags.push_back(a);
     } else {
       args.positional.push_back(a);
     }
   }
   return args;
+}
+
+/// Strict non-negative integer parse for option values; rejects trailing
+/// junk, signs, and empty strings with the flag name in the message.
+std::size_t parse_count(const std::string& value, std::string_view flag) {
+  std::size_t pos = 0;
+  unsigned long long n = 0;
+  bool ok = !value.empty() && value[0] != '-' && value[0] != '+';
+  if (ok) {
+    try {
+      n = std::stoull(value, &pos);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || pos != value.size())
+    throw std::runtime_error(std::string(flag) +
+                             " wants a non-negative integer, got '" + value +
+                             "'");
+  return static_cast<std::size_t>(n);
 }
 
 int cmd_stats(const Args& args) {
@@ -152,7 +187,7 @@ int cmd_atpg(const Args& args) {
   const std::string out = args.option("-o");
   if (out.empty()) throw std::runtime_error("atpg: missing -o");
   TpgOptions opt;
-  opt.seed = std::stoull(args.option("--seed", "1"));
+  opt.seed = parse_count(args.option("--seed", "1"), "--seed");
   opt.compact = !args.has_flag("--no-compact");
   const TpgResult r = generate_tests(nl, opt);
   write_patterns_file(out, r.patterns);
@@ -177,7 +212,7 @@ int cmd_inject(const Args& args) {
 
   DatalogOptions opt;
   const std::string cap = args.option("--max-failing");
-  if (!cap.empty()) opt.max_failing_patterns = std::stoul(cap);
+  if (!cap.empty()) opt.max_failing_patterns = parse_count(cap, "--max-failing");
 
   const PatternSet good = simulate(nl, patterns);
   const Datalog log = datalog_from_defect(nl, defect, patterns, good, opt);
@@ -199,26 +234,64 @@ int cmd_diagnose(const Args& args) {
   const PatternSet patterns = read_patterns_file(args.option("--patterns"));
   const Datalog log = read_datalog_file(args.option("--datalog"), nl);
   const std::string method = args.option("--method", "multiplet");
+  const std::string format = args.option("--format", "text");
+  if (format != "text" && format != "json")
+    throw std::runtime_error("--format wants 'text' or 'json', got '" +
+                             format + "'");
   ExecPolicy exec = ExecPolicy::from_env();
   const std::string threads = args.option("--threads");
   if (!threads.empty())
-    exec = ExecPolicy::parallel(
-        static_cast<std::size_t>(std::atol(threads.c_str())));
+    exec = ExecPolicy::parallel(parse_count(threads, "--threads"));
+  std::optional<CancelToken> token;
+  const CancelToken* cancel = nullptr;
+  const std::string deadline = args.option("--deadline-ms");
+  if (!deadline.empty()) {
+    const std::size_t ms = parse_count(deadline, "--deadline-ms");
+    if (ms > 0) {
+      token.emplace(CancelToken::Clock::now() +
+                    std::chrono::milliseconds(ms));
+      cancel = &*token;
+    }
+  }
 
   DiagnosisContext ctx(nl, patterns, log);
-  if (!exec.is_serial()) ctx.warm_solo_signatures(exec);
+  if (!exec.is_serial()) ctx.warm_solo_signatures(exec, cancel);
   std::vector<DiagnosisReport> reports;
-  if (method == "multiplet" || method == "all")
-    reports.push_back(diagnose_multiplet(ctx));
-  if (method == "slat" || method == "all")
-    reports.push_back(diagnose_slat(ctx));
-  if (method == "single" || method == "all")
-    reports.push_back(diagnose_single_fault(ctx));
+  if (method == "multiplet" || method == "all") {
+    MultipletOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_multiplet(ctx, opt));
+  }
+  if (method == "slat" || method == "all") {
+    SlatOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_slat(ctx, opt));
+  }
+  if (method == "single" || method == "all") {
+    SingleFaultOptions opt;
+    opt.cancel = cancel;
+    reports.push_back(diagnose_single_fault(ctx, opt));
+  }
   if (reports.empty()) throw std::runtime_error("unknown method " + method);
+
+  if (format == "json") {
+    // Same serializer as the serving path (src/server/result_json.cpp),
+    // so a served response's "reports" diffs clean against this output.
+    bool timed_out = false;
+    for (const DiagnosisReport& r : reports) timed_out |= r.timed_out;
+    server::Json out;
+    out.set("status", timed_out ? "timeout" : "ok");
+    out.set("method", method);
+    if (timed_out) out.set("partial", true);
+    out.set("reports", server::reports_to_json(reports, nl));
+    std::cout << out.dump() << "\n";
+    return 0;
+  }
 
   for (const DiagnosisReport& r : reports) {
     std::cout << "== " << r.method << " (" << r.suspects.size()
-              << " suspects" << (r.explains_all ? ", exact" : "") << ", "
+              << " suspects" << (r.explains_all ? ", exact" : "")
+              << (r.timed_out ? ", partial (deadline)" : "") << ", "
               << r.cpu_seconds * 1000 << " ms)\n";
     for (const ScoredCandidate& sc : r.suspects) {
       std::cout << "  " << to_string(sc.fault, nl) << "  [TFSF="
@@ -234,6 +307,11 @@ int cmd_diagnose(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::string(argv[1]) == "version" ||
+                    std::string(argv[1]) == "--version")) {
+    std::cout << "openmdd " << kVersion << "\n";
+    return 0;
+  }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
