@@ -1,5 +1,9 @@
 #include "diag/diagnosis.hpp"
 
+#include <optional>
+
+#include "obs/metrics.hpp"
+
 namespace mdd {
 
 namespace {
@@ -12,37 +16,62 @@ PatternSet make_window(const PatternSet& patterns, std::size_t n_applied) {
   return window;
 }
 
+struct DiagMetrics {
+  obs::Counter& contexts = obs::registry().counter("diag.contexts");
+  obs::Counter& solo_lookups = obs::registry().counter("diag.solo_lookups");
+  obs::Counter& solo_computes =
+      obs::registry().counter("diag.solo_computes");
+  /// Candidates a cancelled warm left cold (they fill lazily later).
+  obs::Counter& warm_dropped = obs::registry().counter("diag.warm_dropped");
+};
+
+DiagMetrics& diag_metrics() {
+  static DiagMetrics m;
+  return m;
+}
+
 }  // namespace
 
 DiagnosisContext::DiagnosisContext(
     const Netlist& netlist, const PatternSet& patterns,
     const Datalog& datalog, const CandidateOptions& candidate_options,
     const PatternSet* precomputed_good,
-    std::shared_ptr<const PropagatorBaseline> baseline)
+    std::shared_ptr<const PropagatorBaseline> baseline, obs::Trace* trace)
     : netlist_(&netlist),
       datalog_(&datalog),
       window_(make_window(patterns, datalog.n_patterns_applied)),
       observed_(restrict_signature(datalog.observed,
                                    datalog.n_patterns_applied)),
-      masked_(restrict_signature(datalog.masked, datalog.n_patterns_applied)),
-      pool_(extract_candidates(netlist, window_, datalog, candidate_options)),
-      solo_cache_(pool_.faults.size()) {
-  // The shared baseline was built for the full pattern set; it is only
-  // valid when the window is the full set (no truncation).
-  if (baseline != nullptr &&
-      baseline->values.size() == window_.n_blocks() &&
-      baseline->good.n_patterns() == window_.n_patterns())
-    baseline_ = std::move(baseline);
-  if (baseline_ != nullptr)
-    propagator_.emplace(netlist, window_, baseline_);
-  else
-    propagator_.emplace(netlist, window_);
-  if (precomputed_good != nullptr &&
-      precomputed_good->n_patterns() >= window_.n_patterns())
-    fsim_.emplace(netlist, window_,
-                  make_window(*precomputed_good, window_.n_patterns()));
-  else
-    fsim_.emplace(netlist, window_);
+      masked_(restrict_signature(datalog.masked,
+                                 datalog.n_patterns_applied)) {
+  diag_metrics().contexts.inc();
+  {
+    std::optional<obs::Trace::Span> span;
+    if (trace != nullptr) span.emplace(trace->span("extract"));
+    pool_ = extract_candidates(netlist, window_, datalog, candidate_options);
+  }
+  for (std::size_t i = 0; i < pool_.faults.size(); ++i)
+    solo_cache_.emplace_back();
+  {
+    std::optional<obs::Trace::Span> span;
+    if (trace != nullptr) span.emplace(trace->span("baseline"));
+    // The shared baseline was built for the full pattern set; it is only
+    // valid when the window is the full set (no truncation).
+    if (baseline != nullptr &&
+        baseline->values.size() == window_.n_blocks() &&
+        baseline->good.n_patterns() == window_.n_patterns())
+      baseline_ = std::move(baseline);
+    if (baseline_ != nullptr)
+      propagator_.emplace(netlist, window_, baseline_);
+    else
+      propagator_.emplace(netlist, window_);
+    if (precomputed_good != nullptr &&
+        precomputed_good->n_patterns() >= window_.n_patterns())
+      fsim_.emplace(netlist, window_,
+                    make_window(*precomputed_good, window_.n_patterns()));
+    else
+      fsim_.emplace(netlist, window_);
+  }
   store_usable_ = datalog.n_patterns_applied >= patterns.n_patterns() &&
                   masked_.empty();
 }
@@ -78,11 +107,14 @@ void DiagnosisContext::fill_solo(SoloSlot& slot, SingleFaultPropagator& prop,
     if (!masked_.empty()) sig = signature_difference(sig, masked_);
     slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
+    diag_metrics().solo_computes.inc();
     if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
   });
 }
 
 const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
+  // Lookups minus computes (both exported) is the solo-cache hit count.
+  diag_metrics().solo_lookups.inc();
   SoloSlot& slot = solo_cache_[i];
   // The shared propagator's scratch state needs exclusive access; the
   // once_flag still guarantees a single compute per slot when readers
@@ -99,6 +131,7 @@ const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
     if (!masked_.empty()) sig = signature_difference(sig, masked_);
     slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
+    diag_metrics().solo_computes.inc();
     if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
   });
   return *slot.sig;
@@ -110,7 +143,10 @@ void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy,
   if (policy.is_serial()) {
     CancelCheckpoint cp(cancel, 8);
     for (std::size_t i = 0; i < n; ++i) {
-      if (cp()) return;
+      if (cp()) {
+        diag_metrics().warm_dropped.inc(n - i);
+        return;
+      }
       solo_signature(i);
     }
     return;
@@ -131,7 +167,10 @@ void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy,
                                 : SingleFaultPropagator(*netlist_, window_);
                         CancelCheckpoint cp(cancel, 8);
                         for (std::size_t i = begin; i < end; ++i) {
-                          if (cp()) return;
+                          if (cp()) {
+                            diag_metrics().warm_dropped.inc(end - i);
+                            return;
+                          }
                           fill_solo(solo_cache_[i], prop, i);
                         }
                       });

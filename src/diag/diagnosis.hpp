@@ -20,6 +20,7 @@
 #include "diag/datalog.hpp"
 #include "fsim/fsim.hpp"
 #include "fsim/propagate.hpp"
+#include "obs/trace.hpp"
 
 namespace mdd {
 
@@ -98,12 +99,16 @@ class DiagnosisContext {
   /// given, must be SingleFaultPropagator::make_baseline(netlist,
   /// patterns) — it is used (shared, not copied) whenever the datalog's
   /// window spans the full pattern set, sparing each context the
-  /// full-circuit good simulation; otherwise it is ignored.
+  /// full-circuit good simulation; otherwise it is ignored. `trace`, if
+  /// non-null, receives nested "extract" / "baseline" spans covering
+  /// candidate extraction and simulation-engine setup (the serving layer
+  /// threads its per-request trace through here).
   DiagnosisContext(
       const Netlist& netlist, const PatternSet& patterns,
       const Datalog& datalog, const CandidateOptions& candidate_options = {},
       const PatternSet* precomputed_good = nullptr,
-      std::shared_ptr<const PropagatorBaseline> baseline = nullptr);
+      std::shared_ptr<const PropagatorBaseline> baseline = nullptr,
+      obs::Trace* trace = nullptr);
 
   /// Pair-test context (launch/capture pairs, transition-fault capable).
   /// Candidate extraction adds slow-to-rise/fall candidates and every

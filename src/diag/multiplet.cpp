@@ -4,7 +4,20 @@
 #include <bit>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace mdd {
+
+namespace {
+
+/// Candidates a tripped deadline left unscored (partial-result telemetry).
+void count_rank_dropped(std::size_t n) {
+  static obs::Counter& dropped =
+      obs::registry().counter("diag.rank_dropped");
+  dropped.inc(n);
+}
+
+}  // namespace
 
 namespace {
 
@@ -45,6 +58,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
       if (cp()) {
         timed_out = true;
+        count_rank_dropped(ctx.n_candidates() - i);
         break;
       }
       solo_bits[i] = ctx.solo_signature(i).n_error_bits();
@@ -84,6 +98,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
     for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
       if (cp()) {
         timed_out = true;
+        count_rank_dropped(ctx.n_candidates() - i);
         break;
       }
       const ErrorSignature& sig = ctx.solo_signature(i);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace mdd {
 
 DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
@@ -25,6 +27,9 @@ DiagnosisReport diagnose_single_fault(DiagnosisContext& ctx,
     for (std::size_t i = 0; i < ctx.n_candidates(); ++i) {
       if (cp()) {
         timed_out = true;
+        static obs::Counter& dropped =
+            obs::registry().counter("diag.rank_dropped");
+        dropped.inc(ctx.n_candidates() - i);
         break;
       }
       const MatchCounts mc = matcher.match(ctx.solo_signature(i));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace mdd {
 
 DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
@@ -24,6 +26,10 @@ DiagnosisReport diagnose_slat(DiagnosisContext& ctx,
   for (std::size_t c = 0; c < n_cand; ++c) {
     if (cp()) {
       timed_out = true;
+      // `obs` names the observed signature here; qualify from the root.
+      static ::mdd::obs::Counter& dropped =
+          ::mdd::obs::registry().counter("diag.rank_dropped");
+      dropped.inc(n_cand - c);
       break;
     }
     const ErrorSignature& sig = ctx.solo_signature(c);

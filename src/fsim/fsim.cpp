@@ -6,6 +6,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mdd {
 
 ErrorSignature::ErrorSignature(std::size_t n_patterns, std::size_t n_outputs)
@@ -172,12 +174,30 @@ ErrorSignature restrict_signature(const ErrorSignature& sig,
 
 namespace {
 
+/// Whole-machine simulation volume, for the obs layer: every signature /
+/// detection kernel call lands here. Relaxed atomic adds on cached
+/// handles — safe and cheap from any worker thread.
+struct FsimMetrics {
+  obs::Counter& signatures = obs::registry().counter("fsim.signatures");
+  obs::Counter& detect_queries =
+      obs::registry().counter("fsim.detect_queries");
+  obs::Counter& patterns_simulated =
+      obs::registry().counter("fsim.patterns_simulated");
+};
+
+FsimMetrics& fsim_metrics() {
+  static FsimMetrics m;
+  return m;
+}
+
 /// Single-frame signature kernel on an explicit machine — shared by the
 /// serial member and the fault-parallel batch (one machine per worker).
 ErrorSignature signature_on(FaultyMachine& machine, const Netlist& netlist,
                             const PatternSet& patterns,
                             const PatternSet& good,
                             std::span<const Fault> multiplet) {
+  fsim_metrics().signatures.inc();
+  fsim_metrics().patterns_simulated.inc(patterns.n_patterns());
   machine.set_faults(multiplet);
   ErrorSignature sig(patterns.n_patterns(), netlist.n_outputs());
   std::vector<Word> mask(sig.n_po_words());
@@ -207,6 +227,7 @@ ErrorSignature signature_on(FaultyMachine& machine, const Netlist& netlist,
 bool detects_on(FaultyMachine& machine, const Netlist& netlist,
                 const PatternSet& patterns, const PatternSet& good,
                 const Fault& fault) {
+  fsim_metrics().detect_queries.inc();
   machine.set_faults({&fault, 1});
   const auto& pos = netlist.outputs();
   for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
@@ -225,6 +246,8 @@ ErrorSignature pair_signature_on(FaultyMachine& machine,
                                  const PatternSet& capture,
                                  const PatternSet& good,
                                  std::span<const Fault> multiplet) {
+  fsim_metrics().signatures.inc();
+  fsim_metrics().patterns_simulated.inc(capture.n_patterns());
   machine.set_faults(multiplet);
   ErrorSignature sig(capture.n_patterns(), netlist.n_outputs());
   std::vector<Word> mask(sig.n_po_words());
@@ -253,6 +276,7 @@ ErrorSignature pair_signature_on(FaultyMachine& machine,
 bool pair_detects_on(FaultyMachine& machine, const Netlist& netlist,
                      const PatternSet& launch, const PatternSet& capture,
                      const PatternSet& good, const Fault& fault) {
+  fsim_metrics().detect_queries.inc();
   machine.set_faults({&fault, 1});
   const auto& pos = netlist.outputs();
   for (std::size_t b = 0; b < capture.n_blocks(); ++b) {

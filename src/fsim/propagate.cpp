@@ -4,9 +4,27 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "sim/sim2.hpp"
 
 namespace mdd {
+
+namespace {
+
+struct PropagateMetrics {
+  obs::Counter& queries = obs::registry().counter("propagate.queries");
+  obs::Counter& patterns_simulated =
+      obs::registry().counter("propagate.patterns_simulated");
+  /// Feedback bridges that fell back to the exact fixpoint machine.
+  obs::Counter& fallbacks = obs::registry().counter("propagate.fallbacks");
+};
+
+PropagateMetrics& propagate_metrics() {
+  static PropagateMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::shared_ptr<const PropagatorBaseline>
 SingleFaultPropagator::make_baseline(const Netlist& netlist,
@@ -209,6 +227,8 @@ bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
 
 ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
   validate_fault(fault, *netlist_);
+  propagate_metrics().queries.inc();
+  propagate_metrics().patterns_simulated.inc(patterns_->n_patterns());
   ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
 
   // Dominant bridges are propagated optimistically assuming the aggressor
@@ -232,6 +252,7 @@ ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
         propagate(b, sig, watch) ||
         (watch == fault.net && fault.kind != FaultKind::BridgeDom);
     if (feedback) {
+      propagate_metrics().fallbacks.inc();
       fallback_.set_faults({&fault, 1});
       const PatternSet faulty =
           launch_ ? fallback_.simulate_pair(*launch_, *patterns_)

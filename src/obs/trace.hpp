@@ -1,0 +1,99 @@
+// openmdd — per-request wall-time trace.
+//
+// A `Trace` is a request-scoped stack of named spans recording where one
+// diagnosis spent its wall time (parse → session lookup → baseline →
+// candidate extraction → ranking → serialize). It is deliberately NOT
+// thread-safe: one trace belongs to the one worker executing the
+// request, costs two steady_clock reads per span, and is collected for
+// every request — attachment to the JSON response (`"trace": true`) and
+// the slow-request log are the only conditional parts. Spans may nest;
+// `depth` preserves the structure in the flat span list.
+//
+//     obs::Trace trace;
+//     { auto s = trace.span("session"); ... }
+//     { auto s = trace.span("rank:multiplet"); ... }
+//     trace.spans();  // [{session, 1.2ms, depth 0}, ...]
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdd::obs {
+
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct SpanRecord {
+    std::string stage;
+    int depth = 0;         ///< nesting level (0 = top)
+    double start_ms = 0;   ///< offset from trace creation
+    double ms = 0;         ///< wall time inside the span
+  };
+
+  /// RAII span: closes (records the elapsed time) on destruction, or
+  /// earlier via close().
+  class Span {
+   public:
+    Span(Span&& other) noexcept
+        : trace_(std::exchange(other.trace_, nullptr)), index_(other.index_) {}
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    ~Span() { close(); }
+
+    void close() {
+      if (trace_ != nullptr) std::exchange(trace_, nullptr)->close(index_);
+    }
+
+   private:
+    friend class Trace;
+    Span(Trace* trace, std::size_t index) : trace_(trace), index_(index) {}
+    Trace* trace_;
+    std::size_t index_;
+  };
+
+  Trace() : t0_(Clock::now()) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a nested span; close order must be LIFO (RAII enforces it).
+  [[nodiscard]] Span span(std::string stage) {
+    const std::size_t index = spans_.size();
+    spans_.push_back({std::move(stage), depth_, ms_since(t0_), 0.0});
+    ++depth_;
+    return Span(this, index);
+  }
+
+  /// All spans in open order (closed spans carry their duration).
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Sum of top-level (depth 0) span durations — the coverage figure the
+  /// trace acceptance check compares against end-to-end latency.
+  double top_level_ms() const {
+    double total = 0;
+    for (const SpanRecord& s : spans_)
+      if (s.depth == 0) total += s.ms;
+    return total;
+  }
+
+  double ms_since_start() const { return ms_since(t0_); }
+
+ private:
+  static double ms_since(Clock::time_point t) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t)
+        .count();
+  }
+
+  void close(std::size_t index) {
+    spans_[index].ms = ms_since(t0_) - spans_[index].start_ms;
+    --depth_;
+  }
+
+  Clock::time_point t0_;
+  std::vector<SpanRecord> spans_;
+  int depth_ = 0;
+};
+
+}  // namespace mdd::obs

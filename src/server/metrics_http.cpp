@@ -1,0 +1,104 @@
+#include "server/metrics_http.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mdd::server {
+
+namespace {
+
+void send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // scraper went away; nothing to salvage
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(
+    std::uint16_t port, std::ostream& log,
+    const std::function<void(std::uint16_t)>& on_listening)
+    : log_(log) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("metrics socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("metrics bind/listen: " + what);
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  log_ << "openmdd_serve: metrics on http://127.0.0.1:" << port_
+       << "/metrics\n";
+  log_.flush();
+  if (on_listening) on_listening(port_);
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::run() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    // Read (and discard) the request head so the client sees its request
+    // consumed; one read is plenty for a scraper's GET line + headers.
+    char head[2048];
+    const ssize_t r = ::recv(fd, head, sizeof head, 0);
+    (void)r;
+    const std::string body =
+        obs::render_prometheus(obs::registry().snapshot());
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n"
+        "\r\n" +
+        body;
+    send_all(fd, response.data(), response.size());
+    ::close(fd);
+  }
+}
+
+}  // namespace mdd::server

@@ -17,9 +17,26 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mdd::server {
 
 namespace {
+
+struct ServeMetrics {
+  obs::Counter& connections =
+      obs::registry().counter("server.connections");
+  /// Failed response writes (client hung up mid-request). These used to
+  /// be swallowed silently; now each one is counted and logged.
+  obs::Counter& connection_errors =
+      obs::registry().counter("server.connection_errors");
+  obs::Counter& parse_errors = obs::registry().counter("server.parse_errors");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
 
 bool blank(const std::string& line) {
   for (const char c : line)
@@ -60,9 +77,11 @@ Json parse_error_response(const std::string& what) {
   return r;
 }
 
+// MSG_NOSIGNAL: a client that disconnects mid-response must surface as
+// EPIPE here, not as a process-killing SIGPIPE.
 void write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("write: ") + std::strerror(errno));
@@ -91,6 +110,7 @@ int serve_stdio(DiagnosisService& service, std::istream& in,
     try {
       request = Json::parse(line);
     } catch (const std::exception& e) {
+      serve_metrics().parse_errors.inc();
       respond(parse_error_response(e.what()));
       continue;
     }
@@ -144,17 +164,33 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
   std::atomic<bool> stop{false};
   std::mutex threads_mutex;
   std::vector<std::thread> threads;
+  std::mutex log_mutex;  // connection threads share `log`
 
   const auto connection_main = [&](int fd) {
+    serve_metrics().connections.inc();
     std::mutex write_mutex;
     Outstanding outstanding;
+    // One log line per connection, not per failed write: once the client
+    // is gone every queued response for it fails the same way.
+    bool write_failed = false;
     const auto respond = [&](const Json& response) {
       const std::string line = response.dump() + "\n";
       std::lock_guard<std::mutex> lock(write_mutex);
+      if (write_failed) return;
       try {
         write_all(fd, line.data(), line.size());
-      } catch (const std::exception&) {
-        // Client went away; outstanding work still drains harmlessly.
+      } catch (const std::exception& e) {
+        // Client went away; outstanding work still drains harmlessly —
+        // but the event is counted and logged, not swallowed.
+        write_failed = true;
+        serve_metrics().connection_errors.inc();
+        Json record;
+        record.set("event", "connection_error");
+        record.set("fd", fd);
+        record.set("error", e.what());
+        std::lock_guard<std::mutex> log_lock(log_mutex);
+        log << record.dump() << "\n";
+        log.flush();
       }
     };
 
@@ -175,6 +211,7 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
         try {
           request = Json::parse(line);
         } catch (const std::exception& e) {
+          serve_metrics().parse_errors.inc();
           respond(parse_error_response(e.what()));
           continue;
         }
@@ -215,7 +252,25 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
       break;
     }
     std::lock_guard<std::mutex> lock(threads_mutex);
-    threads.emplace_back(connection_main, fd);
+    // An exception escaping a thread entry would std::terminate the whole
+    // daemon; downgrade to one logged, counted connection error.
+    threads.emplace_back(
+        [&](int cfd) {
+          try {
+            connection_main(cfd);
+          } catch (const std::exception& e) {
+            serve_metrics().connection_errors.inc();
+            Json record;
+            record.set("event", "connection_thread_error");
+            record.set("fd", cfd);
+            record.set("error", e.what());
+            std::lock_guard<std::mutex> log_lock(log_mutex);
+            log << record.dump() << "\n";
+            log.flush();
+            ::close(cfd);
+          }
+        },
+        fd);
   }
   ::close(listen_fd);
   {

@@ -1,6 +1,8 @@
 #include "server/service.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
+#include "obs/metrics.hpp"
 #include "server/result_json.hpp"
 #include "workload/textio.hpp"
 
@@ -36,7 +39,89 @@ Json error_response(const Json& request, const std::string& what) {
   return r;
 }
 
+/// Server-side registry handles, resolved once per process.
+struct ServiceMetrics {
+  obs::Counter& ok = obs::registry().counter("server.requests.ok");
+  obs::Counter& error = obs::registry().counter("server.requests.error");
+  obs::Counter& timeout = obs::registry().counter("server.requests.timeout");
+  obs::Counter& overloaded =
+      obs::registry().counter("server.requests.overloaded");
+  /// Requests answered `timeout` before running (expired while queued).
+  obs::Counter& queue_expired =
+      obs::registry().counter("server.deadline_queue_expired");
+  /// Timed-out diagnoses that still returned a partial ranking.
+  obs::Counter& partials = obs::registry().counter("server.partial_results");
+  obs::Counter& queue_rejects =
+      obs::registry().counter("server.queue_rejects");
+  obs::Counter& slow_requests =
+      obs::registry().counter("server.slow_requests");
+  obs::Gauge& queue_depth = obs::registry().gauge("server.queue_depth");
+  obs::Histogram& request_ms = obs::registry().latency("server.request_ms");
+  obs::Histogram& queue_wait_ms =
+      obs::registry().latency("server.queue_wait_ms");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
+Json trace_to_json(const obs::Trace& trace) {
+  JsonArray stages;
+  for (const obs::Trace::SpanRecord& s : trace.spans()) {
+    Json stage;
+    stage.set("stage", s.stage);
+    if (s.depth > 0) stage.set("depth", s.depth);
+    stage.set("ms", s.ms);
+    stages.push_back(std::move(stage));
+  }
+  return Json(std::move(stages));
+}
+
+Json snapshot_to_json(const obs::Snapshot& snap) {
+  Json counters;
+  for (const obs::CounterSample& c : snap.counters)
+    counters.set(c.name, c.value);
+  Json gauges;
+  for (const obs::GaugeSample& g : snap.gauges) gauges.set(g.name, g.value);
+  Json histograms;
+  for (const obs::HistogramSample& h : snap.histograms) {
+    Json hist;
+    JsonArray bounds, bins;
+    for (double b : h.bounds) bounds.push_back(b);
+    for (std::uint64_t v : h.bins) bins.push_back(v);
+    hist.set("le", Json(std::move(bounds)));
+    hist.set("bins", Json(std::move(bins)));
+    hist.set("count", h.count);
+    hist.set("sum", h.sum);
+    histograms.set(h.name, std::move(hist));
+  }
+  Json out;
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
 }  // namespace
+
+std::optional<std::chrono::steady_clock::duration> deadline_budget(
+    const Json& request, std::chrono::milliseconds default_deadline) {
+  double ms = 0.0;
+  if (const Json* v = request.find("deadline_ms")) {
+    if (!v->is_number())
+      throw std::invalid_argument("deadline_ms must be a number");
+    ms = v->as_number();
+    if (std::isnan(ms) || std::isinf(ms) || ms < 0.0)
+      throw std::invalid_argument(
+          "deadline_ms must be a finite non-negative number");
+  }
+  if (ms <= 0.0 && default_deadline.count() > 0)
+    ms = static_cast<double>(default_deadline.count());
+  if (ms <= 0.0) return std::nullopt;
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
 
 DiagnosisService::DiagnosisService(const ServiceOptions& options)
     : options_(options),
@@ -61,42 +146,51 @@ void DiagnosisService::shutdown() {
 
 void DiagnosisService::drain() {
   while (auto job = queue_.pop()) {
+    service_metrics().queue_depth.set(
+        static_cast<std::int64_t>(queue_.size()));
+    service_metrics().queue_wait_ms.observe(ms_since(job->admitted));
+    obs::Trace trace;
     Json response;
     try {
       if (job->has_deadline && Clock::now() >= job->deadline) {
         // Expired while queued: answer without burning a worker on it.
+        service_metrics().queue_expired.inc();
         response = make_response(job->request, "timeout");
         response.set("where", "queue");
       } else if (job->has_deadline) {
         CancelToken token(job->deadline);
-        response = dispatch(job->request, &token);
+        response = dispatch(job->request, &token, trace);
       } else {
-        response = dispatch(job->request, nullptr);
+        response = dispatch(job->request, nullptr, trace);
       }
     } catch (const std::exception& e) {
       response = error_response(job->request, e.what());
     }
-    count_status(response);
+    finish_request(job->request, response, trace, ms_since(job->admitted));
     job->done(std::move(response));
   }
 }
 
 void DiagnosisService::submit(Json request, std::function<void(Json)> done) {
   Job job;
-  job.has_deadline = false;
-  double deadline_ms = request.get_number("deadline_ms", 0.0);
-  if (deadline_ms <= 0.0 && options_.default_deadline.count() > 0)
-    deadline_ms = static_cast<double>(options_.default_deadline.count());
-  if (deadline_ms > 0.0) {
-    job.has_deadline = true;
-    job.deadline = Clock::now() + std::chrono::microseconds(static_cast<
-                                      std::int64_t>(deadline_ms * 1000.0));
+  job.admitted = Clock::now();
+  try {
+    if (auto budget = deadline_budget(request, options_.default_deadline)) {
+      job.has_deadline = true;
+      job.deadline = job.admitted + *budget;
+    }
+  } catch (const std::exception& e) {
+    Json response = error_response(request, e.what());
+    count_status(response);
+    done(std::move(response));
+    return;
   }
   job.request = std::move(request);
   job.done = std::move(done);
   if (!queue_.try_push(std::move(job))) {
     // try_push moves from the job only on success; on rejection it is
     // intact and carries the reject reply.
+    service_metrics().queue_rejects.inc();
     Json response = make_response(job.request, "overloaded");
     count_status(response);
     job.done(std::move(response));
@@ -104,33 +198,32 @@ void DiagnosisService::submit(Json request, std::function<void(Json)> done) {
 }
 
 Json DiagnosisService::handle(const Json& request, const CancelToken* cancel) {
+  const auto t0 = Clock::now();
+  obs::Trace trace;
+  Json r;
   try {
+    std::optional<CancelToken> own_token;
     if (cancel == nullptr) {
-      const double deadline_ms = request.get_number("deadline_ms", 0.0);
-      if (deadline_ms > 0.0) {
-        CancelToken token = CancelToken::after(
-            std::chrono::milliseconds(static_cast<long>(deadline_ms)));
-        Json r = dispatch(request, &token);
-        count_status(r);
-        return r;
+      if (auto budget = deadline_budget(request)) {
+        own_token.emplace(t0 + *budget);
+        cancel = &*own_token;
       }
     }
-    Json r = dispatch(request, cancel);
-    count_status(r);
-    return r;
+    r = dispatch(request, cancel, trace);
   } catch (const std::exception& e) {
-    Json r = error_response(request, e.what());
-    count_status(r);
-    return r;
+    r = error_response(request, e.what());
   }
+  finish_request(request, r, trace, ms_since(t0));
+  return r;
 }
 
 Json DiagnosisService::dispatch(const Json& request,
-                                const CancelToken* cancel) {
+                                const CancelToken* cancel,
+                                obs::Trace& trace) {
   if (!request.is_object())
     return error_response(request, "request must be a JSON object");
   const std::string op = request.get_string("op", "diagnose");
-  if (op == "diagnose") return handle_diagnose(request, cancel);
+  if (op == "diagnose") return handle_diagnose(request, cancel, trace);
   if (op == "sleep") return handle_sleep(request, cancel);
   if (op == "ping") {
     Json r = make_response(request, "ok");
@@ -144,12 +237,20 @@ Json DiagnosisService::dispatch(const Json& request,
     r.set("stats", stats_json());
     return r;
   }
+  if (op == "metrics") {
+    Json r = make_response(request, "ok");
+    r.set("op", "metrics");
+    r.set("metrics", snapshot_to_json(obs::registry().snapshot()));
+    return r;
+  }
   return error_response(request, "unknown op '" + op + "'");
 }
 
 Json DiagnosisService::handle_diagnose(const Json& request,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       obs::Trace& trace) {
   const auto t0 = Clock::now();
+  auto parse_span = trace.span("parse");
   const std::string netlist_path = request.get_string("netlist");
   const std::string patterns_path = request.get_string("patterns");
   if (netlist_path.empty() || patterns_path.empty())
@@ -162,7 +263,9 @@ Json DiagnosisService::handle_diagnose(const Json& request,
         request, "diagnose needs exactly one of 'datalog' (inline text) or "
                  "'datalog_file' (path)");
   const std::string method = request.get_string("method", "multiplet");
+  parse_span.close();
 
+  auto session_span = trace.span("session");
   bool cache_hit = false;
   std::shared_ptr<const Session> session;
   try {
@@ -170,9 +273,11 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   } catch (const std::exception& e) {
     return error_response(request, e.what());
   }
+  session_span.close();
   const double t_session = ms_since(t0);
 
   const auto t1 = Clock::now();
+  auto datalog_span = trace.span("datalog");
   Datalog log;
   try {
     if (inline_log != nullptr) {
@@ -184,29 +289,38 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   } catch (const std::exception& e) {
     return error_response(request, e.what());
   }
+  datalog_span.close();
 
+  auto context_span = trace.span("context");
   CandidateOptions candidate_options;
   candidate_options.trace_store = session->traces.get();
   DiagnosisContext ctx(session->netlist, session->patterns, log,
-                       candidate_options, &session->good, session->baseline);
+                       candidate_options, &session->good, session->baseline,
+                       &trace);
   if (session->memo) ctx.attach_solo_store(session->memo.get());
-  if (!options_.exec.is_serial())
+  context_span.close();
+  if (!options_.exec.is_serial()) {
+    auto warm_span = trace.span("warm");
     ctx.warm_solo_signatures(options_.exec, cancel);
+  }
   const double t_context = ms_since(t1);
 
   const auto t2 = Clock::now();
   std::vector<DiagnosisReport> reports;
   if (method == "multiplet" || method == "all") {
+    auto span = trace.span("rank:multiplet");
     MultipletOptions opt;
     opt.cancel = cancel;
     reports.push_back(diagnose_multiplet(ctx, opt));
   }
   if (method == "slat" || method == "all") {
+    auto span = trace.span("rank:slat");
     SlatOptions opt;
     opt.cancel = cancel;
     reports.push_back(diagnose_slat(ctx, opt));
   }
   if (method == "single" || method == "all") {
+    auto span = trace.span("rank:single");
     SingleFaultOptions opt;
     opt.cancel = cancel;
     reports.push_back(diagnose_single_fault(ctx, opt));
@@ -218,6 +332,7 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   bool timed_out = cancel != nullptr && cancel->cancelled();
   for (const DiagnosisReport& r : reports) timed_out |= r.timed_out;
 
+  auto serialize_span = trace.span("serialize");
   Json response = make_response(request, timed_out ? "timeout" : "ok");
   response.set("op", "diagnose");
   response.set("method", method);
@@ -230,6 +345,7 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   timings.set("diagnose", t_diagnose);
   timings.set("total", ms_since(t0));
   response.set("timings_ms", std::move(timings));
+  serialize_span.close();
   return response;
 }
 
@@ -254,10 +370,49 @@ Json DiagnosisService::handle_sleep(const Json& request,
 
 void DiagnosisService::count_status(const Json& response) {
   const std::string status = response.get_string("status");
-  if (status == "ok") ++n_ok_;
-  else if (status == "timeout") ++n_timeout_;
-  else if (status == "overloaded") ++n_overloaded_;
-  else ++n_error_;
+  if (status == "ok") {
+    ++n_ok_;
+    service_metrics().ok.inc();
+  } else if (status == "timeout") {
+    ++n_timeout_;
+    service_metrics().timeout.inc();
+  } else if (status == "overloaded") {
+    ++n_overloaded_;
+    service_metrics().overloaded.inc();
+  } else {
+    ++n_error_;
+    service_metrics().error.inc();
+  }
+}
+
+void DiagnosisService::finish_request(const Json& request, Json& response,
+                                      const obs::Trace& trace,
+                                      double total_ms) {
+  count_status(response);
+  service_metrics().request_ms.observe(total_ms);
+  if (response.get_bool("partial")) service_metrics().partials.inc();
+  if (request.is_object() && request.get_bool("trace"))
+    response.set("trace", trace_to_json(trace));
+  if (options_.slow_ms > 0.0 && total_ms >= options_.slow_ms) {
+    service_metrics().slow_requests.inc();
+    Json record;
+    record.set("event", "slow_request");
+    if (const Json* id = request.find("id")) record.set("id", *id);
+    record.set("op", request.get_string("op", "diagnose"));
+    const std::string method = request.get_string("method");
+    if (!method.empty()) record.set("method", method);
+    record.set("status", response.get_string("status"));
+    record.set("total_ms", total_ms);
+    Json stages;
+    for (const obs::Trace::SpanRecord& s : trace.spans())
+      if (s.depth == 0) stages.set(s.stage, s.ms);
+    record.set("stages_ms", std::move(stages));
+    std::ostream& out =
+        options_.slow_log != nullptr ? *options_.slow_log : std::cerr;
+    std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    out << record.dump() << "\n";
+    out.flush();
+  }
 }
 
 Json DiagnosisService::stats_json() const {

@@ -17,25 +17,44 @@
 //    "method":"multiplet","deadline_ms":2000}
 //   -> {"id":7,"status":"ok","cache":"hit","reports":[...],
 //       "timings_ms":{...}}
-// Other ops: ping, stats, sleep (test/load-shaping aid). Responses carry
-// status ok | timeout | overloaded | error.
+// Other ops: ping, stats, metrics (obs-registry snapshot as JSON), sleep
+// (test/load-shaping aid). Responses carry status ok | timeout |
+// overloaded | error. A request with `"trace": true` gets a per-stage
+// wall-time breakdown attached to its response (see obs/trace.hpp);
+// requests slower than ServiceOptions::slow_ms additionally emit one
+// structured JSON line to the slow log.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/cancel.hpp"
 #include "core/exec.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "server/job_queue.hpp"
 #include "server/json.hpp"
 #include "server/session_cache.hpp"
 
 namespace mdd::server {
+
+/// Deadline budget of a request, shared by every admission path so a
+/// given `deadline_ms` means the same instant on stdio, TCP, and direct
+/// handle() calls (microsecond resolution; the old handle() path
+/// truncated to whole milliseconds, turning 0.5 into "no deadline").
+/// Absent or 0 falls back to `default_deadline` (0 = none → nullopt).
+/// Negative, NaN, infinite, or non-numeric values throw
+/// std::invalid_argument.
+std::optional<std::chrono::steady_clock::duration> deadline_budget(
+    const Json& request,
+    std::chrono::milliseconds default_deadline = std::chrono::milliseconds{
+        0});
 
 struct ServiceOptions {
   /// Worker threads executing queued requests (one request per worker at
@@ -53,6 +72,13 @@ struct ServiceOptions {
   ExecPolicy exec{};
   /// Applied when a request carries no deadline_ms; zero = no deadline.
   std::chrono::milliseconds default_deadline{0};
+  /// Requests slower than this (end-to-end, queue wait included) emit one
+  /// structured JSON line to `slow_log`; 0 disables.
+  double slow_ms = 0.0;
+  /// Destination for slow-request records; null means std::cerr. The
+  /// stream must outlive the service and tolerate worker-thread writes
+  /// (the service serializes them internally).
+  std::ostream* slow_log = nullptr;
 };
 
 class DiagnosisService {
@@ -88,15 +114,23 @@ class DiagnosisService {
   struct Job {
     Json request;
     std::function<void(Json)> done;
+    Clock::time_point admitted{};  ///< for the queue-wait histogram
     Clock::time_point deadline{};
     bool has_deadline = false;
   };
 
   void drain();  ///< worker loop: pop → execute → done(response)
-  Json dispatch(const Json& request, const CancelToken* cancel);
-  Json handle_diagnose(const Json& request, const CancelToken* cancel);
+  Json dispatch(const Json& request, const CancelToken* cancel,
+                obs::Trace& trace);
+  Json handle_diagnose(const Json& request, const CancelToken* cancel,
+                       obs::Trace& trace);
   Json handle_sleep(const Json& request, const CancelToken* cancel);
   void count_status(const Json& response);
+  /// Post-dispatch bookkeeping shared by drain() and handle(): status
+  /// counters, the end-to-end latency histogram, trace attachment
+  /// ("trace": true), and the slow-request log.
+  void finish_request(const Json& request, Json& response,
+                      const obs::Trace& trace, double total_ms);
 
   ServiceOptions options_;
   SessionCache cache_;
@@ -109,6 +143,7 @@ class DiagnosisService {
   std::atomic<std::uint64_t> n_error_{0};
   std::atomic<std::uint64_t> n_timeout_{0};
   std::atomic<std::uint64_t> n_overloaded_{0};
+  std::mutex slow_log_mutex_;  ///< one slow-request record per line
 };
 
 }  // namespace mdd::server

@@ -5,12 +5,28 @@
 
 #include "netlist/bench_parser.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim2.hpp"
 #include "workload/textio.hpp"
 
 namespace mdd::server {
 
 namespace {
+
+struct SessionMetrics {
+  obs::Counter& hits = obs::registry().counter("sessions.hits");
+  obs::Counter& misses = obs::registry().counter("sessions.misses");
+  obs::Counter& evictions = obs::registry().counter("sessions.evictions");
+  obs::Counter& load_failures =
+      obs::registry().counter("sessions.load_failures");
+  obs::Gauge& bytes = obs::registry().gauge("sessions.bytes");
+  obs::Gauge& entries = obs::registry().gauge("sessions.entries");
+};
+
+SessionMetrics& session_metrics() {
+  static SessionMetrics m;
+  return m;
+}
 
 bool ends_with(const std::string& s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
@@ -81,7 +97,10 @@ void SessionCache::evict_over_budget_locked() {
       entries_.erase(it);
     }
     ++evictions_;
+    session_metrics().evictions.inc();
   }
+  session_metrics().bytes.set(static_cast<std::int64_t>(bytes_));
+  session_metrics().entries.set(static_cast<std::int64_t>(lru_.size()));
 }
 
 std::shared_ptr<const Session> SessionCache::get(
@@ -108,6 +127,7 @@ std::shared_ptr<const Session> SessionCache::get(
     if (entry->session) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++hits_;
+      session_metrics().hits.inc();
       auto pos = lru_pos_.find(key);
       if (pos != lru_pos_.end())
         lru_.splice(lru_.begin(), lru_, pos->second);
@@ -126,6 +146,7 @@ std::shared_ptr<const Session> SessionCache::get(
     try {
       entry->session = load_session(netlist_path, patterns_path, memo_bytes_);
     } catch (...) {
+      session_metrics().load_failures.inc();
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second == entry) entries_.erase(it);
@@ -134,6 +155,7 @@ std::shared_ptr<const Session> SessionCache::get(
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
+    session_metrics().misses.inc();
     bytes_ += entry->session->approx_bytes;
     lru_.push_front(key);
     lru_pos_[key] = lru_.begin();

@@ -1,5 +1,7 @@
 #include "server/signature_memo.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mdd::server {
 
 namespace {
@@ -10,6 +12,21 @@ std::size_t approx_signature_bytes(const ErrorSignature& sig) {
              (sizeof(std::uint32_t) + sig.n_po_words() * sizeof(Word));
 }
 
+struct MemoMetrics {
+  obs::Counter& hits = obs::registry().counter("memo.signature.hits");
+  obs::Counter& misses = obs::registry().counter("memo.signature.misses");
+  obs::Counter& evictions =
+      obs::registry().counter("memo.signature.evictions");
+  obs::Counter& inserts = obs::registry().counter("memo.signature.inserts");
+  obs::Counter& declined = obs::registry().counter(
+      "memo.signature.declined");  ///< single entry over the whole budget
+};
+
+MemoMetrics& memo_metrics() {
+  static MemoMetrics m;
+  return m;
+}
+
 }  // namespace
 
 std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
@@ -17,19 +34,52 @@ std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
   auto it = entries_.find(f);
   if (it == entries_.end()) {
     ++misses_;
+    memo_metrics().misses.inc();
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  memo_metrics().hits.inc();
+  it->second.referenced = true;
+  return it->second.sig;
+}
+
+void SignatureMemo::make_room(std::size_t need) {
+  // Second chance: a referenced entry survives one hand pass (its bit is
+  // cleared); an unreferenced one is evicted. Every full lap either
+  // evicts something or clears at least one bit, so the sweep terminates.
+  while (bytes_ + need > max_bytes_ && !ring_.empty()) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    auto it = entries_.find(ring_[hand_]);
+    if (it != entries_.end() && it->second.referenced) {
+      it->second.referenced = false;
+      ++hand_;
+      continue;
+    }
+    if (it != entries_.end()) {
+      bytes_ -= it->second.cost;
+      entries_.erase(it);
+      ++evictions_;
+      memo_metrics().evictions.inc();
+    }
+    ring_[hand_] = ring_.back();
+    ring_.pop_back();
+  }
 }
 
 void SignatureMemo::store(const Fault& f,
                           std::shared_ptr<const ErrorSignature> sig) {
   const std::size_t cost = approx_signature_bytes(*sig);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (bytes_ + cost > max_bytes_) return;
-  auto [it, inserted] = entries_.emplace(f, std::move(sig));
-  if (inserted) bytes_ += cost;
+  if (cost > max_bytes_) {
+    memo_metrics().declined.inc();
+    return;
+  }
+  if (entries_.count(f) != 0) return;  // racing computes of the same fault
+  make_room(cost);
+  entries_.emplace(f, Entry{std::move(sig), cost, false});
+  ring_.push_back(f);
+  bytes_ += cost;
+  memo_metrics().inserts.inc();
 }
 
 SignatureMemoStats SignatureMemo::stats() const {
@@ -37,6 +87,7 @@ SignatureMemoStats SignatureMemo::stats() const {
   SignatureMemoStats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.evictions = evictions_;
   s.entries = entries_.size();
   s.approx_bytes = bytes_;
   return s;

@@ -11,12 +11,21 @@
 // simulations. Contexts for truncated datalogs never attach it (see
 // DiagnosisContext::attach_solo_store), so it can never serve a stale
 // window.
+//
+// Admission under pressure is second-chance (clock) eviction: lookups
+// mark an entry referenced, and a store that would exceed the budget
+// sweeps the clock hand — clearing referenced bits, evicting cold
+// entries — until the newcomer fits. Hot faults that first appear after
+// warm-up therefore still get memoized; a fixed first-come set can no
+// longer squat the budget forever. Byte accounting is exact against the
+// per-entry cost function.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "diag/diagnosis.hpp"
 
@@ -25,16 +34,16 @@ namespace mdd::server {
 struct SignatureMemoStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t approx_bytes = 0;
 };
 
 class SignatureMemo final : public SoloSignatureStore {
  public:
-  /// `max_bytes` bounds the memo's approximate footprint; once full, new
-  /// signatures are declined (existing entries keep serving hits) — the
-  /// popular cones of a corpus are cached early, so a simple high-water
-  /// cap captures nearly all of an LRU's benefit without its bookkeeping.
+  /// `max_bytes` bounds the memo's approximate footprint; stores beyond
+  /// it evict cold (second-chance) entries to make room. A single
+  /// signature larger than the whole budget is declined outright.
   explicit SignatureMemo(std::size_t max_bytes = 256ull << 20)
       : max_bytes_(max_bytes) {}
 
@@ -45,13 +54,24 @@ class SignatureMemo final : public SoloSignatureStore {
   SignatureMemoStats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const ErrorSignature> sig;
+    std::size_t cost = 0;
+    bool referenced = false;  ///< set on hit, cleared by the clock hand
+  };
+
+  /// Evicts until `need` more bytes fit (caller holds the lock).
+  void make_room(std::size_t need);
+
   const std::size_t max_bytes_;
   mutable std::mutex mutex_;
-  std::unordered_map<Fault, std::shared_ptr<const ErrorSignature>, FaultHash>
-      entries_;
+  std::unordered_map<Fault, Entry, FaultHash> entries_;
+  std::vector<Fault> ring_;  ///< clock order (swap-with-back on evict)
+  std::size_t hand_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace mdd::server

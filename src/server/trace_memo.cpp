@@ -1,6 +1,22 @@
 #include "server/trace_memo.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mdd::server {
+
+namespace {
+
+struct TraceMemoMetrics {
+  obs::Counter& hits = obs::registry().counter("memo.trace.hits");
+  obs::Counter& misses = obs::registry().counter("memo.trace.misses");
+};
+
+TraceMemoMetrics& trace_memo_metrics() {
+  static TraceMemoMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::shared_ptr<const std::vector<Fault>> TraceMemo::lookup(
     std::uint32_t pattern, std::uint32_t po) {
@@ -8,9 +24,11 @@ std::shared_ptr<const std::vector<Fault>> TraceMemo::lookup(
   auto it = entries_.find(key(pattern, po));
   if (it == entries_.end()) {
     ++misses_;
+    trace_memo_metrics().misses.inc();
     return nullptr;
   }
   ++hits_;
+  trace_memo_metrics().hits.inc();
   return it->second;
 }
 

@@ -1,0 +1,152 @@
+// Transport-layer tests: a client that disconnects mid-request must leave
+// a counted, logged connection error (the original code swallowed the
+// failed write in an empty catch — and worse, an unhandled SIGPIPE on the
+// raw ::write could kill the whole daemon), malformed request lines move
+// the parse-error counter, and the Prometheus endpoint serves a parseable
+// exposition over plain HTTP. Builds into the tsan-labelled binary.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "server/metrics_http.hpp"
+#include "server/serve.hpp"
+#include "server/service.hpp"
+
+namespace mdd::server {
+namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::registry().counter(name).value();
+}
+
+/// serve_tcp on an ephemeral port in a background thread; joins on scope
+/// exit (the test sends {"op":"shutdown"} to unblock it).
+struct TcpServerFixture {
+  DiagnosisService service;
+  std::ostringstream log;
+  std::uint16_t port = 0;
+  std::thread thread;
+
+  TcpServerFixture() {
+    std::promise<std::uint16_t> bound;
+    auto bound_future = bound.get_future();
+    thread = std::thread([this, &bound] {
+      serve_tcp(service, 0, log,
+                [&bound](std::uint16_t p) { bound.set_value(p); });
+    });
+    port = bound_future.get();
+  }
+
+  ~TcpServerFixture() {
+    if (thread.joinable()) thread.join();
+  }
+
+  void shutdown() {
+    TcpLineClient client("127.0.0.1", port);
+    client.roundtrip("{\"op\":\"shutdown\"}");
+  }
+};
+
+TEST(ServeTcp, ClientGoneMidRequestIsCountedAndLogged) {
+  TcpServerFixture server;
+  const std::uint64_t errors_before =
+      counter_value("server.connection_errors");
+
+  {
+    // Raw client: submit a slow request, then close with SO_LINGER{1,0}
+    // so the kernel sends RST — by the time the worker finishes and
+    // writes the response, the connection is dead and the write fails.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    const std::string request = "{\"op\":\"sleep\",\"ms\":300}\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const linger hard_close{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof hard_close);
+    ::close(fd);
+  }
+
+  // The worker is still sleeping; wait for it to finish, fail the write,
+  // and count the error.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (counter_value("server.connection_errors") == errors_before &&
+         std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GT(counter_value("server.connection_errors"), errors_before)
+      << "a failed response write must be counted, not swallowed";
+
+  server.shutdown();
+  server.thread.join();  // log is single-owner again after the join
+  EXPECT_NE(server.log.str().find("connection_error"), std::string::npos)
+      << "log was:\n"
+      << server.log.str();
+}
+
+TEST(ServeTcp, MalformedLineAnswersErrorAndCountsParseError) {
+  TcpServerFixture server;
+  const std::uint64_t parse_before = counter_value("server.parse_errors");
+  {
+    TcpLineClient client("127.0.0.1", server.port);
+    const std::string response = client.roundtrip("this is not json");
+    EXPECT_NE(response.find("\"error\""), std::string::npos);
+  }
+  EXPECT_GT(counter_value("server.parse_errors"), parse_before);
+  server.shutdown();
+}
+
+TEST(MetricsHttp, ServesPrometheusExposition) {
+  obs::registry().counter("obs_test.http_probe").inc(41);
+  std::ostringstream log;
+  MetricsHttpServer server(0, log);
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+    if (r <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  server.stop();
+
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  // Dotted registry names arrive underscored, with a TYPE line each.
+  EXPECT_NE(response.find("# TYPE obs_test_http_probe counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("obs_test_http_probe 41"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdd::server

@@ -6,9 +6,13 @@
 // file builds into the tsan-labelled binary).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <fstream>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -274,6 +278,159 @@ TEST(ServiceProtocol, MalformedRequestsAnswerErrorNotCrash) {
     EXPECT_EQ(response.get_string("status"), "error");
     EXPECT_FALSE(response.get_string("error").empty());
   }
+}
+
+TEST(ServiceDeadline, FractionalDeadlineMeansTheSameOnEveryPath) {
+  // Regression: handle() used to truncate deadline_ms with
+  // static_cast<long>, so 0.5 became 0 = "no deadline" and a long sleep
+  // ran to completion — while the same request through submit() (which
+  // converted at microsecond resolution) timed out. Both paths now share
+  // deadline_budget().
+  DiagnosisService service;
+  Json request;
+  request.set("op", "sleep");
+  request.set("ms", 2000.0);
+  request.set("deadline_ms", 0.5);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Json direct = service.handle(request);
+  EXPECT_EQ(direct.get_string("status"), "timeout")
+      << "handle() must honor a sub-millisecond deadline";
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(1));
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::optional<Json> submitted;
+  service.submit(request, [&](Json response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    submitted = std::move(response);
+    done_cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return submitted.has_value(); });
+  }
+  EXPECT_EQ(submitted->get_string("status"), direct.get_string("status"));
+}
+
+TEST(ServiceDeadline, InvalidDeadlineIsRejectedNotIgnored) {
+  DiagnosisService service;
+  for (const Json bad :
+       {Json(-1.0), Json(std::nan("")),
+        Json(std::numeric_limits<double>::infinity()), Json("soon")}) {
+    Json request;
+    request.set("op", "ping");
+    request.set("deadline_ms", bad);
+    EXPECT_EQ(service.handle(request).get_string("status"), "error")
+        << bad.dump();
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::optional<Json> submitted;
+    service.submit(request, [&](Json response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      submitted = std::move(response);
+      done_cv.notify_one();
+    });
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return submitted.has_value(); });
+    }
+    EXPECT_EQ(submitted->get_string("status"), "error") << bad.dump();
+  }
+}
+
+TEST(ServiceTrace, OptInTraceReportsStagesCoveringTheRequest) {
+  const ServiceFixture f = ServiceFixture::make("trace");
+  DiagnosisService service;
+  Json request = f.diagnose_request("single");
+
+  // Without the opt-in field no trace is attached.
+  EXPECT_EQ(service.handle(request).find("trace"), nullptr);
+
+  request.set("trace", true);
+  const Json response = service.handle(request);
+  ASSERT_EQ(response.get_string("status"), "ok");
+  const Json* trace = response.find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->is_array());
+
+  double stage_sum = 0.0;
+  bool saw_session = false, saw_rank = false, saw_serialize = false;
+  for (const Json& span : trace->as_array()) {
+    const std::string stage = span.get_string("stage");
+    if (span.get_number("depth", 0.0) == 0.0)
+      stage_sum += span.get_number("ms");
+    saw_session |= stage == "session";
+    saw_rank |= stage == "rank:single";
+    saw_serialize |= stage == "serialize";
+  }
+  EXPECT_TRUE(saw_session);
+  EXPECT_TRUE(saw_rank);
+  EXPECT_TRUE(saw_serialize);
+
+  // The stages must account for (most of) the reported end-to-end time:
+  // the acceptance bound is stage-sum within 20% of total.
+  const Json* timings = response.find("timings_ms");
+  ASSERT_NE(timings, nullptr);
+  const double total = timings->get_number("total");
+  EXPECT_GT(stage_sum, 0.0);
+  EXPECT_LE(stage_sum, total * 1.001 + 0.1);
+  EXPECT_GE(stage_sum, total * 0.8 - 0.1)
+      << "per-stage spans cover too little of the request";
+}
+
+TEST(ServiceMetrics, MetricsOpReturnsRegistrySnapshot) {
+  const ServiceFixture f = ServiceFixture::make("metrics");
+  DiagnosisService service;
+  EXPECT_EQ(service.handle(f.diagnose_request("single")).get_string("status"),
+            "ok");
+
+  Json request;
+  request.set("op", "metrics");
+  const Json response = service.handle(request);
+  EXPECT_EQ(response.get_string("status"), "ok");
+  const Json* metrics = response.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Json* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The diagnose above must have moved the core serving counters.
+  EXPECT_GE(counters->get_number("server.requests.ok"), 1.0);
+  EXPECT_GE(counters->get_number("sessions.misses"), 1.0);
+  EXPECT_GE(counters->get_number("diag.contexts"), 1.0);
+  const Json* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* request_ms = histograms->find("server.request_ms");
+  ASSERT_NE(request_ms, nullptr);
+  EXPECT_GE(request_ms->get_number("count"), 1.0);
+}
+
+TEST(ServiceSlowLog, SlowRequestsEmitOneStructuredLine) {
+  ServiceOptions options;
+  std::ostringstream slow_log;
+  options.slow_ms = 1.0;
+  options.slow_log = &slow_log;
+  DiagnosisService service(options);
+
+  Json fast;
+  fast.set("op", "ping");
+  EXPECT_EQ(service.handle(fast).get_string("status"), "ok");
+  EXPECT_TRUE(slow_log.str().empty());
+
+  Json slow;
+  slow.set("op", "sleep");
+  slow.set("ms", 20.0);
+  slow.set("id", "slowpoke");
+  EXPECT_EQ(service.handle(slow).get_string("status"), "ok");
+  ASSERT_FALSE(slow_log.str().empty());
+
+  const Json record = Json::parse(
+      slow_log.str().substr(0, slow_log.str().find('\n')));
+  EXPECT_EQ(record.get_string("event"), "slow_request");
+  EXPECT_EQ(record.get_string("id"), "slowpoke");
+  EXPECT_EQ(record.get_string("op"), "sleep");
+  EXPECT_GE(record.get_number("total_ms"), 1.0);
+  EXPECT_NE(record.find("stages_ms"), nullptr);
 }
 
 TEST(ServiceProtocol, PingEchoesIdAndVersion) {

@@ -29,7 +29,9 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -87,6 +89,8 @@ int usage() {
          "  --emit-corpus DIR     also write the datalogs to DIR\n"
          "  --shutdown            send {\"op\":\"shutdown\"} after the runs"
          " (--connect only)\n"
+         "  --trace               request per-stage traces and print a"
+         " stage breakdown table\n"
          "  --csv                 CSV instead of the aligned table\n";
   return 2;
 }
@@ -139,6 +143,7 @@ struct RunConfig {
   std::string patterns_path;
   std::string method = "multiplet";
   double deadline_ms = 0.0;
+  bool trace = false;
 };
 
 server::Json make_request(const RunConfig& cfg, const LoadgenCase& lc,
@@ -151,8 +156,44 @@ server::Json make_request(const RunConfig& cfg, const LoadgenCase& lc,
   r.set("datalog", lc.datalog_text);
   r.set("method", cfg.method);
   if (cfg.deadline_ms > 0.0) r.set("deadline_ms", cfg.deadline_ms);
+  if (cfg.trace) r.set("trace", true);
   return r;
 }
+
+/// Accumulates the top-level stages of `"trace"` arrays across responses
+/// (any worker thread) and prints mean/quantile rows per stage.
+class StageStats {
+ public:
+  void add(const server::Json& response) {
+    const server::Json* trace = response.find("trace");
+    if (trace == nullptr || !trace->is_array()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const server::Json& span : trace->as_array()) {
+      if (span.get_number("depth", 0.0) != 0.0) continue;
+      samples_[span.get_string("stage")].push_back(span.get_number("ms"));
+    }
+  }
+
+  void print(std::ostream& os, bool csv) {
+    TextTable table(
+        {"stage", "n", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"});
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [stage, samples] : samples_) {
+      const LatencySummary s = summarize_latencies(samples);
+      table.add_row({stage, std::to_string(s.n), fmt(s.mean_ms, 3),
+                     fmt(s.p50_ms, 3), fmt(s.p95_ms, 3), fmt(s.p99_ms, 3),
+                     fmt(s.max_ms, 3)});
+    }
+    if (csv)
+      table.print_csv(os);
+    else
+      table.print(os);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::vector<double>> samples_;
+};
 
 struct RunStats {
   std::size_t n_ok = 0;
@@ -315,6 +356,7 @@ int main(int argc, char** argv) {
         service_opts.memo_bytes = parse_count(value(), a) << 20;
       } else if (a == "--emit-corpus") emit_corpus = value();
       else if (a == "--shutdown") send_shutdown = true;
+      else if (a == "--trace") cfg.trace = true;
       else if (a == "--csv") csv = true;
       else if (a == "--help" || a == "-h") return usage();
       else {
@@ -328,6 +370,9 @@ int main(int argc, char** argv) {
           "need exactly one of --circuit or --netlist/--patterns");
     if (coldstart && !connect.empty())
       throw std::runtime_error("--coldstart and --connect are exclusive");
+    if (coldstart && cfg.trace)
+      throw std::runtime_error(
+          "--trace needs a serving response (inproc or --connect)");
 
     const std::vector<std::size_t> concurrencies =
         parse_concurrency(concurrency_list);
@@ -412,6 +457,7 @@ int main(int argc, char** argv) {
     TextTable table({"mode", "conc", "reqs", "ok", "timeout", "overld",
                      "err", "wall_s", "req/s", "p50_ms", "p95_ms", "p99_ms",
                      "max_ms"});
+    StageStats stage_stats;
     bool any_error = false;
     for (const std::size_t conc : concurrencies) {
       RunStats stats;
@@ -434,6 +480,7 @@ int main(int argc, char** argv) {
             [&](std::size_t w, server::Json request) {
               const server::Json response = server::Json::parse(
                   clients[w]->roundtrip(request.dump()));
+              if (cfg.trace) stage_stats.add(response);
               return response.get_string("status", "error");
             });
       } else {
@@ -444,6 +491,7 @@ int main(int argc, char** argv) {
               std::promise<std::string> done;
               auto got = done.get_future();
               service->submit(std::move(request), [&](server::Json r) {
+                if (cfg.trace) stage_stats.add(r);
                 done.set_value(r.get_string("status", "error"));
               });
               return got.get();
@@ -464,6 +512,10 @@ int main(int argc, char** argv) {
       table.print_csv(std::cout);
     else
       table.print(std::cout);
+    if (cfg.trace) {
+      std::cout << "\n";
+      stage_stats.print(std::cout, csv);
+    }
 
     if (send_shutdown && mode == "tcp") {
       server::TcpLineClient client(host, port);

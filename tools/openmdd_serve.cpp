@@ -2,7 +2,8 @@
 //
 //   openmdd_serve [--stdio] [--port N] [--workers N] [--queue N]
 //                 [--cache-mb N] [--memo-mb N] [--exec-threads N]
-//                 [--default-deadline-ms N]
+//                 [--default-deadline-ms N] [--metrics-port N]
+//                 [--slow-ms N]
 //
 // Speaks line-delimited JSON (one request object per line, one response
 // per line; protocol in src/server/service.hpp and DESIGN.md §7) either
@@ -10,15 +11,20 @@
 // (--port N; N=0 binds an ephemeral port and prints it on stderr).
 // Circuits are parsed and good-simulated once per (netlist, patterns)
 // pair and kept in an LRU session cache, so steady-state requests skip
-// straight to diagnosis.
+// straight to diagnosis. --metrics-port serves the Prometheus text
+// exposition of the obs registry on a second loopback socket; --slow-ms
+// writes one structured JSON line to stderr per slow request.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/exec.hpp"
 #include "core/version.hpp"
+#include "server/metrics_http.hpp"
 #include "server/serve.hpp"
 #include "server/service.hpp"
 
@@ -43,7 +49,11 @@ int usage() {
          "  --exec-threads N       intra-request threads for the signature"
          " warm (default 0 = serial)\n"
          "  --default-deadline-ms N  deadline for requests without one"
-         " (default 0 = none)\n";
+         " (default 0 = none)\n"
+         "  --metrics-port N       Prometheus text exposition on"
+         " 127.0.0.1:N (0 = ephemeral)\n"
+         "  --slow-ms N            log slow requests (>= N ms end-to-end)"
+         " as JSON on stderr\n";
   return 2;
 }
 
@@ -69,6 +79,7 @@ int main(int argc, char** argv) {
   bool use_tcp = false;
   std::uint16_t port = 0;
   std::size_t exec_threads = 0;
+  std::optional<std::uint16_t> metrics_port;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
@@ -101,6 +112,12 @@ int main(int argc, char** argv) {
       } else if (a == "--default-deadline-ms") {
         options.default_deadline =
             std::chrono::milliseconds(parse_count(value(), a));
+      } else if (a == "--metrics-port") {
+        const std::size_t p = parse_count(value(), a);
+        if (p > 65535) throw std::runtime_error("--metrics-port out of range");
+        metrics_port = static_cast<std::uint16_t>(p);
+      } else if (a == "--slow-ms") {
+        options.slow_ms = static_cast<double>(parse_count(value(), a));
       } else if (a == "--help" || a == "-h") {
         return usage();
       } else {
@@ -118,6 +135,16 @@ int main(int argc, char** argv) {
   std::cerr << "openmdd_serve " << kVersion << ": " << options.n_workers
             << " workers, queue " << options.queue_depth << ", cache "
             << (options.cache_bytes >> 20) << " MiB\n";
+  std::unique_ptr<server::MetricsHttpServer> metrics;
+  if (metrics_port) {
+    try {
+      metrics =
+          std::make_unique<server::MetricsHttpServer>(*metrics_port, std::cerr);
+    } catch (const std::exception& e) {
+      std::cerr << "openmdd_serve: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (use_tcp) return server::serve_tcp(service, port, std::cerr);
   return server::serve_stdio(service, std::cin, std::cout);
 }
