@@ -1,0 +1,161 @@
+// Perf C — multiplet-diagnosis micro-benchmarks (google-benchmark).
+//
+// Isolates the tentpole of the multiplet search: composite (multi-fault)
+// signature evaluation. Three rungs, each over a multiplicity axis on
+// g1k:
+//   * one composite evaluation, reference full-circuit simulator vs the
+//     event-driven composite propagator;
+//   * diagnose_multiplet end to end, reference composites vs the engine
+//     (per-request memo only) vs the engine with a warm session memo —
+//     the serving configuration, where repeat requests for a circuit
+//     replay composites out of the shared CompositeMemo.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "diag/composite_memo.hpp"
+#include "diag/multiplet.hpp"
+#include "server/signature_memo.hpp"
+#include "server/trace_memo.hpp"
+#include "workload/campaign.hpp"
+#include "workload/circuits.hpp"
+
+namespace {
+
+using namespace mdd;
+
+struct Fixture {
+  BenchCircuit bc = load_bench_circuit("g1k");
+  FaultSimulator fsim{bc.netlist, bc.patterns};
+  std::shared_ptr<const PropagatorBaseline> baseline =
+      SingleFaultPropagator::make_baseline(bc.netlist, bc.patterns);
+
+  // Session-style solo-signature store shared by every end-to-end
+  // context below: all three diagnosis variants then pay the same
+  // (amortized) solo cost and differ only in how composites are
+  // evaluated — which is what this bench isolates, and how the serving
+  // layer actually runs.
+  server::SignatureMemo solos{256ull << 20};
+  server::TraceMemo traces;
+
+  CandidateOptions candidate_options() {
+    CandidateOptions opt;
+    opt.trace_store = &traces;
+    return opt;
+  }
+
+  struct DefectCase {
+    std::vector<Fault> defect;
+    Datalog log;
+  };
+  std::map<std::size_t, DefectCase> cases;
+
+  const DefectCase& at(std::size_t multiplicity) {
+    auto it = cases.find(multiplicity);
+    if (it != cases.end()) return it->second;
+    std::mt19937_64 rng(0xC0DE + multiplicity);
+    DefectSampleConfig cfg;
+    cfg.multiplicity = multiplicity;
+    DefectCase dc;
+    dc.defect = *sample_defect(bc.netlist, fsim, cfg, rng);
+    dc.log = datalog_from_defect(bc.netlist, dc.defect, bc.patterns,
+                                 fsim.good_response());
+    return cases.emplace(multiplicity, std::move(dc)).first->second;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+// ---- one composite evaluation ----------------------------------------------
+
+void BM_CompositeEvalReference(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& dc = f.at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        f.fsim.signature(std::span<const Fault>(dc.defect)));
+}
+BENCHMARK(BM_CompositeEvalReference)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_CompositeEvalEngine(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& dc = f.at(static_cast<std::size_t>(state.range(0)));
+  SingleFaultPropagator prop(f.bc.netlist, f.bc.patterns, f.baseline);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        prop.signature(std::span<const Fault>(dc.defect)));
+}
+BENCHMARK(BM_CompositeEvalEngine)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+// ---- diagnose_multiplet end to end -----------------------------------------
+
+void BM_DiagnoseMultipletReference(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& dc = f.at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, dc.log, f.candidate_options(),
+                         &f.fsim.good_response(), f.baseline);
+    ctx.attach_solo_store(&f.solos);
+    ctx.use_reference_composites(true);
+    benchmark::DoNotOptimize(diagnose_multiplet(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseMultipletReference)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiagnoseMultipletEngine(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& dc = f.at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, dc.log, f.candidate_options(),
+                         &f.fsim.good_response(), f.baseline);
+    ctx.attach_solo_store(&f.solos);
+    benchmark::DoNotOptimize(diagnose_multiplet(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseMultipletEngine)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+// The serving shape: every request builds a fresh context, but the
+// session's CompositeMemo persists — after the first request the search
+// replays its composites from the memo.
+void BM_DiagnoseMultipletEngineSessionMemo(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& dc = f.at(static_cast<std::size_t>(state.range(0)));
+  CompositeMemo memo(64ull << 20);
+  {
+    // Warm request (not timed).
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, dc.log, f.candidate_options(),
+                         &f.fsim.good_response(), f.baseline);
+    ctx.attach_solo_store(&f.solos);
+    ctx.attach_composite_memo(&memo);
+    benchmark::DoNotOptimize(diagnose_multiplet(ctx));
+  }
+  for (auto _ : state) {
+    DiagnosisContext ctx(f.bc.netlist, f.bc.patterns, dc.log, f.candidate_options(),
+                         &f.fsim.good_response(), f.baseline);
+    ctx.attach_solo_store(&f.solos);
+    ctx.attach_composite_memo(&memo);
+    benchmark::DoNotOptimize(diagnose_multiplet(ctx));
+  }
+}
+BENCHMARK(BM_DiagnoseMultipletEngineSessionMemo)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+#include "diag/composite_memo.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mdd {
+
+namespace {
+
+/// Exact against the accounting tests: the key lives twice (index + clock
+/// ring), the signature payload is its sparse entries.
+std::size_t approx_entry_bytes(const CompositeKey& key,
+                               const ErrorSignature& sig) {
+  return 2 * key.members().size() * sizeof(Fault) + sizeof(ErrorSignature) +
+         sig.n_failing_patterns() *
+             (sizeof(std::uint32_t) + sig.n_po_words() * sizeof(Word));
+}
+
+struct CompositeMemoMetrics {
+  obs::Counter& hits = obs::registry().counter("memo.composite.hits");
+  obs::Counter& misses = obs::registry().counter("memo.composite.misses");
+  obs::Counter& evictions =
+      obs::registry().counter("memo.composite.evictions");
+  obs::Counter& inserts = obs::registry().counter("memo.composite.inserts");
+  obs::Counter& declined = obs::registry().counter(
+      "memo.composite.declined");  ///< single entry over the whole budget
+};
+
+CompositeMemoMetrics& composite_memo_metrics() {
+  static CompositeMemoMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const ErrorSignature> CompositeMemo::lookup(
+    const CompositeKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    composite_memo_metrics().misses.inc();
+    return nullptr;
+  }
+  ++hits_;
+  composite_memo_metrics().hits.inc();
+  it->second.referenced = true;
+  return it->second.sig;
+}
+
+void CompositeMemo::make_room(std::size_t need) {
+  // Second chance: a referenced entry survives one hand pass (its bit is
+  // cleared); an unreferenced one is evicted. Every full lap either
+  // evicts something or clears at least one bit, so the sweep terminates.
+  while (bytes_ + need > max_bytes_ && !ring_.empty()) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    auto it = entries_.find(ring_[hand_]);
+    if (it != entries_.end() && it->second.referenced) {
+      it->second.referenced = false;
+      ++hand_;
+      continue;
+    }
+    if (it != entries_.end()) {
+      bytes_ -= it->second.cost;
+      entries_.erase(it);
+      ++evictions_;
+      composite_memo_metrics().evictions.inc();
+    }
+    ring_[hand_] = std::move(ring_.back());
+    ring_.pop_back();
+  }
+}
+
+void CompositeMemo::store(const CompositeKey& key,
+                          std::shared_ptr<const ErrorSignature> sig) {
+  const std::size_t cost = approx_entry_bytes(key, *sig);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cost > max_bytes_) {
+    composite_memo_metrics().declined.inc();
+    return;
+  }
+  if (entries_.count(key) != 0) return;  // racing computes, same multiplet
+  make_room(cost);
+  entries_.emplace(key, Entry{std::move(sig), cost, false});
+  ring_.push_back(key);
+  bytes_ += cost;
+  composite_memo_metrics().inserts.inc();
+}
+
+CompositeMemoStats CompositeMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompositeMemoStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.approx_bytes = bytes_;
+  return s;
+}
+
+}  // namespace mdd

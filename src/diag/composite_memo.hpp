@@ -1,0 +1,103 @@
+// openmdd — bounded composite-signature memo for the multiplet search.
+//
+// The greedy multiplet diagnoser re-evaluates many identical composites:
+// restarts replay shared prefixes, the drop pass computes every
+// leave-one-out subset the marginal-gain report needs again, and repeated
+// requests for the same datalog (or datalogs with overlapping defects)
+// walk the same candidate sets. `CompositeMemo` is a bounded
+// multiplet→signature map keyed by the *sorted member set* — stable
+// across contexts and requests, unlike candidate-pool indexes — so each
+// distinct composite is propagated once.
+//
+// Signatures are stored pre-masking (full-window truth); callers subtract
+// their context's masked bits after lookup. Eviction is second-chance
+// (clock), mirroring the serving layer's SignatureMemo: hot composites
+// that first appear after warm-up still get memoized, and byte accounting
+// is exact against the per-entry cost function. Thread-safe.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fsim/fsim.hpp"
+
+namespace mdd {
+
+/// Canonical memo key for a composite: the multiplet's member faults,
+/// sorted. Two spans listing the same members in any order map to the
+/// same entry.
+class CompositeKey {
+ public:
+  explicit CompositeKey(std::span<const Fault> multiplet)
+      : members_(multiplet.begin(), multiplet.end()) {
+    std::sort(members_.begin(), members_.end());
+  }
+
+  const std::vector<Fault>& members() const { return members_; }
+  bool operator==(const CompositeKey&) const = default;
+
+ private:
+  std::vector<Fault> members_;
+};
+
+struct CompositeKeyHash {
+  std::size_t operator()(const CompositeKey& key) const {
+    // FNV-style fold over the per-member hashes (members are sorted, so
+    // the fold order is canonical).
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (const Fault& f : key.members())
+      h = (h ^ FaultHash{}(f)) * 0x100000001b3ull;
+    return h;
+  }
+};
+
+struct CompositeMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t approx_bytes = 0;
+};
+
+class CompositeMemo {
+ public:
+  /// `max_bytes` bounds the memo's approximate footprint; stores beyond
+  /// it evict cold (second-chance) entries to make room. A single entry
+  /// larger than the whole budget is declined outright.
+  explicit CompositeMemo(std::size_t max_bytes = 64ull << 20)
+      : max_bytes_(max_bytes) {}
+
+  std::shared_ptr<const ErrorSignature> lookup(const CompositeKey& key);
+  void store(const CompositeKey& key,
+             std::shared_ptr<const ErrorSignature> sig);
+
+  CompositeMemoStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ErrorSignature> sig;
+    std::size_t cost = 0;
+    bool referenced = false;  ///< set on hit, cleared by the clock hand
+  };
+
+  /// Evicts until `need` more bytes fit (caller holds the lock).
+  void make_room(std::size_t need);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<CompositeKey, Entry, CompositeKeyHash> entries_;
+  std::vector<CompositeKey> ring_;  ///< clock order (swap-with-back)
+  std::size_t hand_ = 0;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mdd

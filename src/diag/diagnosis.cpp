@@ -1,5 +1,6 @@
 #include "diag/diagnosis.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -23,6 +24,15 @@ struct DiagMetrics {
       obs::registry().counter("diag.solo_computes");
   /// Candidates a cancelled warm left cold (they fill lazily later).
   obs::Counter& warm_dropped = obs::registry().counter("diag.warm_dropped");
+  /// Composite (multiplet) signatures actually evaluated...
+  obs::Counter& composite_evals =
+      obs::registry().counter("diag.composite_evals");
+  /// ...and the ones the composite memo answered instead.
+  obs::Counter& composite_memo_hits =
+      obs::registry().counter("diag.composite_memo_hits");
+  /// Wall time of one composite propagation (the multiplet search's
+  /// dominant stage).
+  obs::Histogram& composite_ms = obs::registry().latency("diag.composite_ms");
 };
 
 DiagMetrics& diag_metrics() {
@@ -178,10 +188,35 @@ void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy,
 
 ErrorSignature DiagnosisContext::multiplet_signature(
     std::span<const Fault> multiplet) {
-  ErrorSignature sig = pair_mode() ? pair_fsim_->signature(multiplet)
-                                   : fsim_->signature(multiplet);
-  if (!masked_.empty()) sig = signature_difference(sig, masked_);
-  return sig;
+  if (reference_composites_) {
+    diag_metrics().composite_evals.inc();
+    ErrorSignature sig = pair_mode() ? pair_fsim_->signature(multiplet)
+                                     : fsim_->signature(multiplet);
+    if (!masked_.empty()) sig = signature_difference(sig, masked_);
+    return sig;
+  }
+  // Entries are stored pre-masking: the full-window truth is what is
+  // shareable across contexts; this context's masked bits come off after.
+  const CompositeKey key(multiplet);
+  std::shared_ptr<const ErrorSignature> sig = composites_->lookup(key);
+  if (sig != nullptr) {
+    diag_metrics().composite_memo_hits.inc();
+  } else {
+    diag_metrics().composite_evals.inc();
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(propagator_mutex_);
+      sig = std::make_shared<const ErrorSignature>(
+          propagator_->signature(multiplet));
+    }
+    diag_metrics().composite_ms.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    composites_->store(key, sig);
+  }
+  if (masked_.empty()) return *sig;
+  return signature_difference(*sig, masked_);
 }
 
 std::vector<Fault> DiagnosisContext::indistinguishable_from(std::size_t i) {

@@ -17,6 +17,7 @@
 
 #include "core/exec.hpp"
 #include "diag/candidates.hpp"
+#include "diag/composite_memo.hpp"
 #include "diag/datalog.hpp"
 #include "fsim/fsim.hpp"
 #include "fsim/propagate.hpp"
@@ -168,8 +169,27 @@ class DiagnosisContext {
   bool solo_store_attached() const { return solo_store_ != nullptr; }
 
   /// Signature of an arbitrary multiplet over the applied window
-  /// (uncached; composite evaluation).
+  /// (composite evaluation). Served from the composite memo when this
+  /// exact member set was evaluated before (restarts, the drop/swap
+  /// refinement, the marginal-gain report, and repeat requests all replay
+  /// composites); computed by the event-driven composite propagator
+  /// otherwise. Bit-identical to the reference simulators either way.
   ErrorSignature multiplet_signature(std::span<const Fault> multiplet);
+
+  /// Attaches a cross-request composite-signature memo (the serving
+  /// session cache owns one per circuit). Like attach_solo_store, only
+  /// honored for full-window static contexts with no masked bits —
+  /// entries are keyed by member set alone, so they must mean the same
+  /// thing in every attaching context. Otherwise the context keeps its
+  /// private per-request memo.
+  void attach_composite_memo(CompositeMemo* memo) {
+    if (store_usable_ && memo != nullptr) composites_ = memo;
+  }
+
+  /// Routes multiplet_signature through the reference full-circuit
+  /// simulator instead of the event engine + memo (A/B benchmarking and
+  /// differential tests).
+  void use_reference_composites(bool on) { reference_composites_ = on; }
 
   /// Candidates (other than `i`) with a solo signature identical to
   /// candidate `i`'s — its indistinguishability class.
@@ -206,6 +226,11 @@ class DiagnosisContext {
   std::atomic<std::size_t> solo_computes_{0};
   SoloSignatureStore* solo_store_ = nullptr;
   bool store_usable_ = false;  ///< full window, nothing masked
+  /// Per-context composite memo (intra-request reuse across restarts and
+  /// refinement); replaced by the session-wide memo when one is attached.
+  CompositeMemo local_composites_{32ull << 20};
+  CompositeMemo* composites_ = &local_composites_;
+  bool reference_composites_ = false;
   /// Shared good-machine state for the propagators (full-window static
   /// contexts only; null means each propagator computes its own).
   std::shared_ptr<const PropagatorBaseline> baseline_;

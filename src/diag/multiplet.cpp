@@ -32,7 +32,6 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
   const auto t0 = std::chrono::steady_clock::now();
   DiagnosisReport report;
   report.method = "multiplet";
-  report.n_candidates_scored = ctx.n_candidates();
 
   const ErrorSignature& observed = ctx.observed();
   // One observed signature scored against many composites/solos: expand it
@@ -62,6 +61,7 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
         break;
       }
       solo_bits[i] = ctx.solo_signature(i).n_error_bits();
+      ++report.n_candidates_scored;
     }
   }
 
@@ -221,8 +221,14 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
       if (s > empty_score + options.min_improvement)
         seeds.push_back({h.index, s, std::move(sig)});
     }
+    // Score ties are common (indistinguishable candidates score the same
+    // signature); break them by fault identity so the restart set does not
+    // depend on std::sort's whims.
     std::sort(seeds.begin(), seeds.end(),
-              [](const Seed& a, const Seed& b) { return a.score > b.score; });
+              [&](const Seed& a, const Seed& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return ctx.candidate(a.index) < ctx.candidate(b.index);
+              });
     if (seeds.size() > options.restarts) seeds.resize(options.restarts);
 
     for (Seed& seed : seeds) {
@@ -291,6 +297,9 @@ DiagnosisReport diagnose_multiplet(DiagnosisContext& ctx,
         const ErrorSignature residual =
             signature_difference(observed, base_sig);
         for (const H& h : shortlist(residual, in_multiplet, swap_shortlist)) {
+          // Each trial is a full composite evaluation; without this poll a
+          // late deadline overshoots by up to a whole shortlist sweep.
+          if (expired()) break;
           base.push_back(ctx.candidate(h.index));
           ErrorSignature sig = ctx.multiplet_signature(base);
           base.pop_back();

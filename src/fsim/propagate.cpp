@@ -17,6 +17,12 @@ struct PropagateMetrics {
       obs::registry().counter("propagate.patterns_simulated");
   /// Feedback bridges that fell back to the exact fixpoint machine.
   obs::Counter& fallbacks = obs::registry().counter("propagate.fallbacks");
+  obs::Counter& composite_queries =
+      obs::registry().counter("propagate.composite_queries");
+  /// Composite queries whose bridge couplings could cycle (or whose sweep
+  /// cap tripped) and ran on the exact fixpoint machine instead.
+  obs::Counter& composite_fallbacks =
+      obs::registry().counter("propagate.composite_fallbacks");
 };
 
 PropagateMetrics& propagate_metrics() {
@@ -259,6 +265,323 @@ ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
                   : fallback_.simulate(*patterns_);
       return ErrorSignature::diff(baseline_->good, faulty);
     }
+  }
+  return sig;
+}
+
+bool SingleFaultPropagator::reaches(NetId from, NetId to) {
+  if (from == to) return false;
+  if (netlist_->level(from) >= netlist_->level(to)) return false;
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  if (auto it = reach_cache_.find(key); it != reach_cache_.end())
+    return it->second;
+  // Level-pruned DFS over fanouts (the is_feedback_pair approach, made
+  // directional); memoized — the netlist never changes under a propagator.
+  const std::uint32_t limit = netlist_->level(to);
+  std::vector<bool> seen(netlist_->n_nets(), false);
+  std::vector<NetId> stack{from};
+  seen[from] = true;
+  bool found = false;
+  while (!stack.empty() && !found) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    for (NetId s : netlist_->fanouts(n)) {
+      if (s == to) {
+        found = true;
+        break;
+      }
+      if (!seen[s] && netlist_->level(s) < limit) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  reach_cache_.emplace(key, found);
+  return found;
+}
+
+bool SingleFaultPropagator::prepare_composite(
+    std::span<const Fault> multiplet) {
+  comp_stems_.clear();
+  comp_pins_.clear();
+  comp_bridges_.clear();
+  comp_transitions_.clear();
+  for (const Fault& f : multiplet) {
+    validate_fault(f, *netlist_);
+    if (f.is_stuck_at()) {
+      if (f.pin == kStemPin)
+        comp_stems_.push_back({f.net, f.stuck_value()});
+      else
+        comp_pins_.push_back({f.net, f.pin, f.stuck_value()});
+    } else if (f.is_transition()) {
+      comp_transitions_.push_back({f.net, f.kind == FaultKind::SlowToRise});
+    } else {
+      comp_bridges_.push_back({f.kind, f.net, f.bridge_net});
+    }
+  }
+  const std::size_t nb = comp_bridges_.size();
+  if (nb == 0) return true;
+  if (raw_scratch_.size() != netlist_->n_nets()) {
+    raw_scratch_.assign(netlist_->n_nets(), kAllZero);
+    raw_touched_.assign(netlist_->n_nets(), false);
+  }
+
+  // A bridge reads inputs (dom: the aggressor's final net value; wired:
+  // both raw driver values) and writes outputs (dom: the victim; wired:
+  // both nets). If any bridge output can feed one of its own inputs —
+  // through the netlist or through a chain of other bridges — the
+  // fixpoint is schedule-dependent and only the exact machine's pass
+  // discipline reproduces the reference bits: detect any cycle over the
+  // bridge influence graph and report it to the caller (conservative —
+  // influence is over-approximated, a cycle is never missed).
+  auto put_nets = [](const CompBridge& br, bool outputs, NetId out[2]) {
+    out[0] = br.a;
+    out[1] = br.kind == FaultKind::BridgeDom ? (outputs ? kNoNet : br.b)
+                                             : br.b;
+    if (br.kind == FaultKind::BridgeDom && !outputs) out[0] = kNoNet;
+  };
+  std::vector<char> edge(nb * nb, 0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    NetId outs[2];
+    put_nets(comp_bridges_[i], /*outputs=*/true, outs);
+    for (std::size_t j = 0; j < nb; ++j) {
+      NetId ins[2];
+      put_nets(comp_bridges_[j], /*outputs=*/false, ins);
+      for (NetId out : outs) {
+        if (out == kNoNet) continue;
+        for (NetId in : ins) {
+          if (in == kNoNet) continue;
+          if ((i != j && out == in) || reaches(out, in)) edge[i * nb + j] = 1;
+        }
+      }
+    }
+  }
+  for (std::size_t k = 0; k < nb; ++k)
+    for (std::size_t i = 0; i < nb; ++i)
+      for (std::size_t j = 0; j < nb; ++j)
+        if (edge[i * nb + k] && edge[k * nb + j]) edge[i * nb + j] = 1;
+  for (std::size_t i = 0; i < nb; ++i)
+    if (edge[i * nb + i]) return false;
+  return true;
+}
+
+void SingleFaultPropagator::enqueue_net(NetId n) {
+  if (queued_[n]) return;
+  queued_[n] = true;
+  level_queue_[netlist_->level(n)].push_back(n);
+  ++pending_;
+}
+
+void SingleFaultPropagator::seed_composite(bool apply_transitions) {
+  // Seeds are just "re-evaluate this net": eval_composite decides whether
+  // the fault set actually changes anything for this block.
+  for (const CompStem& s : comp_stems_) enqueue_net(s.net);
+  for (const CompPin& p : comp_pins_) enqueue_net(p.gate);
+  for (const CompBridge& br : comp_bridges_) {
+    enqueue_net(br.a);
+    if (br.kind != FaultKind::BridgeDom) enqueue_net(br.b);
+  }
+  if (apply_transitions)
+    for (const CompTransition& t : comp_transitions_) enqueue_net(t.net);
+}
+
+bool SingleFaultPropagator::is_wired_member(NetId g) const {
+  for (const CompBridge& br : comp_bridges_)
+    if (br.kind != FaultKind::BridgeDom && (br.a == g || br.b == g))
+      return true;
+  return false;
+}
+
+Word SingleFaultPropagator::eval_composite(NetId g,
+                                           const std::vector<Word>& good,
+                                           bool apply_transitions,
+                                           Word& raw) {
+  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+  if (netlist_->kind(g) == GateKind::Input) {
+    raw = good[g];  // the stimulus word; nothing upstream to fault
+  } else {
+    const auto fi = netlist_->fanins(g);
+    for (std::size_t j = 0; j < fi.size(); ++j) fanin_buf_[j] = read(fi[j]);
+    for (const CompPin& po : comp_pins_)
+      if (po.gate == g) fanin_buf_[po.pin] = po.value ? kAllOne : kAllZero;
+    raw = eval_gate_word(netlist_->kind(g), fanin_buf_.data(), fi.size());
+  }
+  // Identical transform order to FaultyMachine::run_frame: bridges in
+  // declaration order (dom copies the aggressor's *net* value, wired
+  // resolves the two *driver* values), then the transition hold, then
+  // stem overrides (a hard stuck-at wins over coupling).
+  Word v = raw;
+  for (const CompBridge& br : comp_bridges_) {
+    if (br.kind == FaultKind::BridgeDom) {
+      if (br.a == g) v = read(br.b);
+    } else if (br.a == g || br.b == g) {
+      const NetId other = (br.a == g) ? br.b : br.a;
+      const Word other_raw =
+          raw_touched_[other] ? raw_scratch_[other] : good[other];
+      v = (br.kind == FaultKind::BridgeWAnd) ? (raw & other_raw)
+                                             : (raw | other_raw);
+    }
+  }
+  if (apply_transitions) {
+    for (const CompTransition& t : comp_transitions_) {
+      if (t.net != g) continue;
+      Word f1 = kAllZero;
+      for (const auto& [net, word] : launch_faulty_) {
+        if (net == g) {
+          f1 = word;
+          break;
+        }
+      }
+      const Word moved = t.rise ? (~f1 & v) : (f1 & ~v);
+      v = (v & ~moved) | (f1 & moved);
+    }
+  }
+  for (const CompStem& so : comp_stems_)
+    if (so.net == g) v = so.value ? kAllOne : kAllZero;
+  return v;
+}
+
+bool SingleFaultPropagator::propagate_composite(const std::vector<Word>& good,
+                                                bool apply_transitions) {
+  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+  // Bridge couplings can enqueue backwards in level order; those events
+  // survive into the next sweep. Any acyclic coupling chain settles
+  // within n_bridges+1 sweeps, so the cap is pure safety (callers fall
+  // back to the exact machine if it ever trips).
+  const std::size_t max_sweeps = comp_bridges_.size() + 2;
+  for (std::size_t sweep = 0; pending_ > 0; ++sweep) {
+    if (sweep >= max_sweeps) return false;
+    for (std::uint32_t lv = 0; lv < level_queue_.size(); ++lv) {
+      auto& bucket = level_queue_[lv];
+      for (std::size_t idx = 0; idx < bucket.size(); ++idx) {
+        const NetId g = bucket[idx];
+        queued_[g] = false;
+        --pending_;
+        Word raw = kAllZero;
+        const Word v = eval_composite(g, good, apply_transitions, raw);
+        if (is_wired_member(g)) {
+          const Word prev_raw = raw_touched_[g] ? raw_scratch_[g] : good[g];
+          if (raw != prev_raw) {
+            raw_scratch_[g] = raw;
+            if (!raw_touched_[g]) {
+              raw_touched_[g] = true;
+              raw_touched_list_.push_back(g);
+            }
+            // The partner resolves against this driver value: re-resolve
+            // it even if this net's own final value did not move.
+            for (const CompBridge& br : comp_bridges_)
+              if (br.kind != FaultKind::BridgeDom &&
+                  (br.a == g || br.b == g))
+                enqueue_net(br.a == g ? br.b : br.a);
+          }
+        }
+        if (v != read(g)) {
+          scratch_[g] = v;
+          if (!touched_[g]) {
+            touched_[g] = true;
+            touched_list_.push_back(g);
+          }
+          for (NetId s : netlist_->fanouts(g)) enqueue_net(s);
+          // A dominant bridge's victim copies this net's final value.
+          for (const CompBridge& br : comp_bridges_)
+            if (br.kind == FaultKind::BridgeDom && br.b == g)
+              enqueue_net(br.a);
+        }
+      }
+      bucket.clear();
+    }
+  }
+  return true;
+}
+
+void SingleFaultPropagator::collect_composite(std::size_t b,
+                                              ErrorSignature& sig) {
+  const auto& good = baseline_->values[b];
+  const Word valid = patterns_->valid_mask(b);
+  Word any = kAllZero;
+  struct PoDiff {
+    std::uint32_t po;
+    Word diff;
+  };
+  std::vector<PoDiff> po_diffs;
+  for (NetId t : touched_list_) {
+    if (auto idx = netlist_->output_index(t)) {
+      const Word diff = (scratch_[t] ^ good[t]) & valid;
+      if (diff) {
+        po_diffs.push_back({*idx, diff});
+        any |= diff;
+      }
+    }
+  }
+  while (any) {
+    const int bit = std::countr_zero(any);
+    any &= any - 1;
+    std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
+    for (const PoDiff& pd : po_diffs) {
+      if ((pd.diff >> bit) & 1u)
+        po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+    }
+    sig.append(
+        static_cast<std::uint32_t>(b * 64 + static_cast<std::size_t>(bit)),
+        po_mask_buf_);
+  }
+}
+
+void SingleFaultPropagator::reset_composite() {
+  for (NetId t : touched_list_) touched_[t] = false;
+  touched_list_.clear();
+  for (NetId t : raw_touched_list_) raw_touched_[t] = false;
+  raw_touched_list_.clear();
+  for (auto& bucket : level_queue_) {
+    for (NetId g : bucket) queued_[g] = false;
+    bucket.clear();
+  }
+  pending_ = 0;
+}
+
+ErrorSignature SingleFaultPropagator::composite_fallback(
+    std::span<const Fault> multiplet) {
+  propagate_metrics().composite_fallbacks.inc();
+  fallback_.set_faults(multiplet);
+  const PatternSet faulty =
+      launch_ ? fallback_.simulate_pair(*launch_, *patterns_)
+              : fallback_.simulate(*patterns_);
+  return ErrorSignature::diff(baseline_->good, faulty);
+}
+
+ErrorSignature SingleFaultPropagator::signature(
+    std::span<const Fault> multiplet) {
+  propagate_metrics().composite_queries.inc();
+  if (!prepare_composite(multiplet)) return composite_fallback(multiplet);
+  propagate_metrics().patterns_simulated.inc(patterns_->n_patterns());
+  ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
+  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+    if (launch_ != nullptr && !comp_transitions_.empty()) {
+      // Frame 1 (launch) under the static members only — run purely to
+      // harvest the faulty launch words the transition hold consumes in
+      // frame 2 (the capture frame reads no other frame-1 state).
+      seed_composite(/*apply_transitions=*/false);
+      if (!propagate_composite(launch_values_[b],
+                               /*apply_transitions=*/false)) {
+        reset_composite();
+        return composite_fallback(multiplet);
+      }
+      launch_faulty_.clear();
+      for (const CompTransition& t : comp_transitions_) {
+        const Word f1 =
+            touched_[t.net] ? scratch_[t.net] : launch_values_[b][t.net];
+        launch_faulty_.push_back({t.net, f1});
+      }
+      reset_composite();
+    }
+    seed_composite(/*apply_transitions=*/launch_ != nullptr);
+    if (!propagate_composite(baseline_->values[b],
+                             /*apply_transitions=*/launch_ != nullptr)) {
+      reset_composite();
+      return composite_fallback(multiplet);
+    }
+    collect_composite(b, sig);
+    reset_composite();
   }
   return sig;
 }

@@ -1,20 +1,33 @@
-// openmdd — event-driven single-fault signature extraction (PPSFP).
+// openmdd — event-driven fault signature extraction (PPSFP).
 //
 // `SingleFaultPropagator` precomputes the good-machine value of every net
-// for every 64-pattern block, then answers signature queries for a single
-// fault by seeding the fault site's faulty word and propagating only
-// through the affected cone with a levelized event queue — the classic
-// parallel-pattern single-fault propagation that makes per-candidate
-// simulation proportional to the fault's influence cone instead of the
-// whole netlist. Results are bit-identical to FaultyMachine for every
-// non-feedback single fault (verified by property tests).
+// for every 64-pattern block, then answers signature queries by seeding
+// the fault sites' faulty words and propagating only through the affected
+// cone with a levelized event queue — the classic parallel-pattern fault
+// propagation that makes per-candidate simulation proportional to the
+// fault's influence cone instead of the whole netlist.
 //
-// Used by DiagnosisContext for candidate solo signatures, where thousands
-// of queries per case make full re-simulation the dominant cost.
+// Two query shapes share the machinery:
+//  * signature(const Fault&) — single-fault queries (solo signatures);
+//  * signature(span<const Fault>) — an entire multiplet injected at once
+//    (composite evaluation), propagating through the union of the
+//    members' fan-out cones with the same bridge-fixpoint and two-frame
+//    transition semantics as FaultyMachine. Multiplets whose bridge
+//    couplings could interact cyclically (feedback pairs, bridge chains
+//    that close a loop through the netlist) fall back to the exact
+//    fixpoint machine, so results are bit-identical to the reference
+//    simulators in every case (verified by property tests).
+//
+// Used by DiagnosisContext for candidate solo signatures and for the
+// greedy multiplet search's composite scores, where thousands of queries
+// per case make full re-simulation the dominant cost.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fault/inject.hpp"
@@ -57,6 +70,13 @@ class SingleFaultPropagator {
   /// fixpoint machine.
   ErrorSignature signature(const Fault& fault);
 
+  /// Error signature of an entire multiplet injected simultaneously
+  /// (composite evaluation). Bit-identical to
+  /// FaultSimulator/PairFaultSimulator::signature(multiplet) for any fault
+  /// mix: multiplets whose bridges could couple cyclically are detected up
+  /// front and run on the exact fixpoint machine instead.
+  ErrorSignature signature(std::span<const Fault> multiplet);
+
   const Netlist& netlist() const { return *netlist_; }
   const PatternSet& good_response() const { return baseline_->good; }
 
@@ -66,6 +86,55 @@ class SingleFaultPropagator {
   /// (feedback-bridge detection — the optimistic result is then invalid).
   bool propagate(std::size_t b, ErrorSignature& sig, NetId watch);
   void seed_site(NetId net, Word value, Word good);
+
+  // Composite (multi-fault) machinery. The multiplet is partitioned like
+  // FaultyMachine::set_faults; every dequeued net is re-evaluated through
+  // the identical per-net transform stack (pin overrides -> gate -> bridge
+  // couplings -> transition hold -> stem overrides), so the converged
+  // overlay matches the exact machine's fixpoint bit for bit.
+  struct CompStem {
+    NetId net;
+    bool value;
+  };
+  struct CompPin {
+    NetId gate;
+    std::uint32_t pin;
+    bool value;
+  };
+  struct CompBridge {
+    FaultKind kind;
+    NetId a;  ///< victim (dom) / first net (wired)
+    NetId b;  ///< aggressor (dom) / second net (wired)
+  };
+  struct CompTransition {
+    NetId net;
+    bool rise;
+  };
+
+  /// Partitions the multiplet; false when the bridge couplings could form
+  /// a cycle (the event fixpoint would be schedule-dependent there — use
+  /// the exact machine).
+  bool prepare_composite(std::span<const Fault> multiplet);
+  /// True if `to` lies in the strict fan-out cone of `from` (cached; the
+  /// netlist is fixed for the propagator's lifetime).
+  bool reaches(NetId from, NetId to);
+  void enqueue_net(NetId n);
+  void seed_composite(bool apply_transitions);
+  /// Re-evaluates net `g` under the composite fault set against the
+  /// frame's committed `good` values; `raw` receives the pre-transform
+  /// driver value (wired-bridge input).
+  Word eval_composite(NetId g, const std::vector<Word>& good,
+                      bool apply_transitions, Word& raw);
+  /// Runs the seeded wave to quiescence (multi-sweep: bridge couplings may
+  /// enqueue backwards in level order). False if the sweep cap was hit.
+  bool propagate_composite(const std::vector<Word>& good,
+                           bool apply_transitions);
+  /// Appends this block's PO differences to `sig` and clears the overlay.
+  void collect_composite(std::size_t b, ErrorSignature& sig);
+  void reset_composite();
+  /// Exact-machine path (cyclic couplings / sweep-cap safety).
+  ErrorSignature composite_fallback(std::span<const Fault> multiplet);
+  bool is_wired_member(NetId g) const;
 
   const Netlist* netlist_;
   const PatternSet* patterns_;  // capture frame in pair mode
@@ -84,6 +153,20 @@ class SingleFaultPropagator {
   std::vector<bool> queued_;
   std::vector<Word> fanin_buf_;
   std::vector<Word> po_mask_buf_;
+
+  // Composite-query scratch (allocated on first composite query).
+  std::vector<CompStem> comp_stems_;
+  std::vector<CompPin> comp_pins_;
+  std::vector<CompBridge> comp_bridges_;
+  std::vector<CompTransition> comp_transitions_;
+  std::vector<Word> raw_scratch_;  ///< pre-transform values, wired members
+  std::vector<bool> raw_touched_;
+  std::vector<NetId> raw_touched_list_;
+  /// Faulty launch-frame words at the transition nets (pair mode; the only
+  /// frame-1 state the capture frame consumes).
+  std::vector<std::pair<NetId, Word>> launch_faulty_;
+  std::size_t pending_ = 0;  ///< enqueued, not yet re-evaluated
+  std::unordered_map<std::uint64_t, bool> reach_cache_;
 
   FaultyMachine fallback_;
 };

@@ -125,7 +125,8 @@ std::optional<std::chrono::steady_clock::duration> deadline_budget(
 
 DiagnosisService::DiagnosisService(const ServiceOptions& options)
     : options_(options),
-      cache_(options.cache_bytes, options.memo_bytes),
+      cache_(options.cache_bytes, options.memo_bytes,
+             options.composite_bytes),
       queue_(options.queue_depth),
       pool_(std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, options.n_workers))) {
@@ -298,6 +299,8 @@ Json DiagnosisService::handle_diagnose(const Json& request,
                        candidate_options, &session->good, session->baseline,
                        &trace);
   if (session->memo) ctx.attach_solo_store(session->memo.get());
+  if (session->composites)
+    ctx.attach_composite_memo(session->composites.get());
   context_span.close();
   if (!options_.exec.is_serial()) {
     auto warm_span = trace.span("warm");

@@ -66,6 +66,8 @@ struct ServiceOptions {
   std::size_t cache_bytes = 256ull << 20;
   /// Per-session solo-signature memo budget (cross-request amortization).
   std::size_t memo_bytes = 256ull << 20;
+  /// Per-session composite-signature memo budget (multiplet search).
+  std::size_t composite_bytes = 64ull << 20;
   /// Intra-request parallelism for the solo-signature warm. Serial by
   /// default: with many concurrent requests, request-level parallelism
   /// is the better use of the cores.

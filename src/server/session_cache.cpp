@@ -45,7 +45,8 @@ Netlist load_netlist_file(const std::string& path) {
 
 std::shared_ptr<const Session> load_session(const std::string& netlist_path,
                                             const std::string& patterns_path,
-                                            std::size_t memo_bytes) {
+                                            std::size_t memo_bytes,
+                                            std::size_t composite_bytes) {
   auto session = std::make_shared<Session>();
   session->netlist = load_netlist_file(netlist_path);
   session->patterns = read_patterns_file(patterns_path);
@@ -59,6 +60,7 @@ std::shared_ptr<const Session> load_session(const std::string& netlist_path,
                                                            session->patterns);
   session->memo = std::make_unique<SignatureMemo>(memo_bytes);
   session->traces = std::make_unique<TraceMemo>();
+  session->composites = std::make_unique<CompositeMemo>(composite_bytes);
   session->approx_bytes = approx_session_bytes(*session);
   return session;
 }
@@ -80,8 +82,11 @@ std::size_t approx_session_bytes(const Session& session) {
          baseline_bytes + session.netlist.n_nets() * 160;
 }
 
-SessionCache::SessionCache(std::size_t max_bytes, std::size_t memo_bytes)
-    : max_bytes_(max_bytes), memo_bytes_(memo_bytes) {}
+SessionCache::SessionCache(std::size_t max_bytes, std::size_t memo_bytes,
+                           std::size_t composite_bytes)
+    : max_bytes_(max_bytes),
+      memo_bytes_(memo_bytes),
+      composite_bytes_(composite_bytes) {}
 
 void SessionCache::evict_over_budget_locked() {
   // Never evict the just-admitted MRU head: an over-budget single session
@@ -144,7 +149,8 @@ std::shared_ptr<const Session> SessionCache::get(
     }
 
     try {
-      entry->session = load_session(netlist_path, patterns_path, memo_bytes_);
+      entry->session = load_session(netlist_path, patterns_path, memo_bytes_,
+                                    composite_bytes_);
     } catch (...) {
       session_metrics().load_failures.inc();
       std::lock_guard<std::mutex> lock(mutex_);

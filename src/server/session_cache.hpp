@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "diag/composite_memo.hpp"
 #include "fsim/propagate.hpp"
 #include "netlist/netlist.hpp"
 #include "server/signature_memo.hpp"
@@ -40,6 +41,9 @@ struct Session {
   std::unique_ptr<SignatureMemo> memo;
   /// Cross-request critical-path-trace memo (thread-safe, like `memo`).
   std::unique_ptr<TraceMemo> traces;
+  /// Cross-request composite-signature memo for the multiplet search
+  /// (full-window datalogs only; thread-safe, like `memo`).
+  std::unique_ptr<CompositeMemo> composites;
   /// Shared propagator good-machine state ([block][net] values + PO
   /// response); read-only after load, reused by every full-window context
   /// so requests skip the per-request whole-circuit good simulation.
@@ -64,9 +68,11 @@ class SessionCache {
  public:
   /// `max_bytes` bounds resident sessions; a single session larger than
   /// the budget is still admitted (then evicted by the next load).
-  /// `memo_bytes` is the per-session solo-signature memo budget.
+  /// `memo_bytes` is the per-session solo-signature memo budget;
+  /// `composite_bytes` the per-session composite-signature memo budget.
   explicit SessionCache(std::size_t max_bytes,
-                        std::size_t memo_bytes = 256ull << 20);
+                        std::size_t memo_bytes = 256ull << 20,
+                        std::size_t composite_bytes = 64ull << 20);
 
   SessionCache(const SessionCache&) = delete;
   SessionCache& operator=(const SessionCache&) = delete;
@@ -92,6 +98,7 @@ class SessionCache {
 
   const std::size_t max_bytes_;
   const std::size_t memo_bytes_;
+  const std::size_t composite_bytes_;
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
   std::list<Key> lru_;  ///< front = most recent; loaded entries only

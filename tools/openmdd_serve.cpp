@@ -1,9 +1,9 @@
 // openmdd_serve — long-lived diagnosis daemon.
 //
 //   openmdd_serve [--stdio] [--port N] [--workers N] [--queue N]
-//                 [--cache-mb N] [--memo-mb N] [--exec-threads N]
-//                 [--default-deadline-ms N] [--metrics-port N]
-//                 [--slow-ms N]
+//                 [--cache-mb N] [--memo-mb N] [--composite-mb N]
+//                 [--exec-threads N] [--default-deadline-ms N]
+//                 [--metrics-port N] [--slow-ms N]
 //
 // Speaks line-delimited JSON (one request object per line, one response
 // per line; protocol in src/server/service.hpp and DESIGN.md §7) either
@@ -46,6 +46,8 @@ int usage() {
          " (default 256)\n"
          "  --memo-mb N            per-session signature-memo budget in"
          " MiB (default 256)\n"
+         "  --composite-mb N       per-session composite-memo budget in"
+         " MiB (default 64)\n"
          "  --exec-threads N       intra-request threads for the signature"
          " warm (default 0 = serial)\n"
          "  --default-deadline-ms N  deadline for requests without one"
@@ -107,6 +109,8 @@ int main(int argc, char** argv) {
         options.cache_bytes = parse_count(value(), a) << 20;
       } else if (a == "--memo-mb") {
         options.memo_bytes = parse_count(value(), a) << 20;
+      } else if (a == "--composite-mb") {
+        options.composite_bytes = parse_count(value(), a) << 20;
       } else if (a == "--exec-threads") {
         exec_threads = parse_count(value(), a);
       } else if (a == "--default-deadline-ms") {
