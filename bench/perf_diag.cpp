@@ -5,6 +5,8 @@
 // the diagnosers), and each diagnoser end-to-end.
 #include <benchmark/benchmark.h>
 
+#include "sim/kernel.hpp"
+
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
@@ -134,4 +136,13 @@ BENCHMARK(BM_CampaignThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("fsim.kernel",
+                              std::string(mdd::current_kernel().name));
+  benchmark::AddCustomContext("fsim.kernels_available", mdd::kernel_names());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,12 +3,27 @@
 // Measures the bit-parallel good machine, the composite faulty machine,
 // signature extraction and critical path tracing: the kernels whose
 // throughput bounds every diagnosis experiment.
+//
+// The kernel-sweep benchmarks below are registered once per available
+// simulation kernel (scalar / avx2 / avx512 as CPUID allows), so one run
+// produces the words/s comparison table in EXPERIMENTS.md directly. All
+// setup — circuit construction, pattern generation, simulator/baseline
+// construction — happens before the timed loop; the loop body is pure
+// kernel work. Each sweep reports two rate counters:
+//   patterns/s  — full-circuit pattern evaluations per second
+//   words/s     — gate-word evaluations per second (n_gates x pattern
+//                 words per sweep), the kernel-throughput figure of merit
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
 
 #include "fsim/cpt.hpp"
 #include "fsim/fsim.hpp"
 #include "netlist/generator.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/kernel.hpp"
 
 namespace {
 
@@ -22,48 +37,78 @@ const Netlist& circuit(const std::string& name) {
   return it->second;
 }
 
-void BM_GoodMachineBlock(benchmark::State& state) {
-  const Netlist& nl = circuit(state.range(0) == 0 ? "g1k" : "g5k");
-  const PatternSet stimuli = PatternSet::random(64, nl.n_inputs(), 1);
-  BlockSim sim(nl);
+void set_sweep_counters(benchmark::State& state, const Netlist& nl,
+                        std::size_t n_patterns, std::size_t n_blocks) {
+  const double sweeps = static_cast<double>(state.iterations());
+  state.counters["patterns/s"] = benchmark::Counter(
+      sweeps * static_cast<double>(n_patterns), benchmark::Counter::kIsRate);
+  state.counters["words/s"] = benchmark::Counter(
+      sweeps * static_cast<double>(nl.n_gates()) *
+          static_cast<double>(n_blocks),
+      benchmark::Counter::kIsRate);
+}
+
+// ---- per-kernel sweeps (registered in main for each available kernel) ----
+
+void BM_GoodMachineSweep(benchmark::State& state, const std::string& nl_name,
+                         const SimKernel* kernel) {
+  const Netlist& nl = circuit(nl_name);
+  const PatternSet stimuli = PatternSet::random(512, nl.n_inputs(), 1);
+  BlockSim sim(nl, *kernel);
   for (auto _ : state) {
-    sim.run(stimuli, 0);
+    for (std::size_t b = 0; b < stimuli.n_blocks();)
+      b += sim.run_wide(stimuli, b);
     benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(nl.n_gates()) * 64);
+  set_sweep_counters(state, nl, stimuli.n_patterns(), stimuli.n_blocks());
 }
-BENCHMARK(BM_GoodMachineBlock)->Arg(0)->Arg(1);
 
-void BM_FaultyMachineBlock(benchmark::State& state) {
+void BM_FaultyMachineSweep(benchmark::State& state, const SimKernel* kernel) {
   const Netlist& nl = circuit("g1k");
-  const PatternSet stimuli = PatternSet::random(64, nl.n_inputs(), 1);
-  FaultyMachine fm(nl);
+  const PatternSet stimuli = PatternSet::random(512, nl.n_inputs(), 1);
+  FaultyMachine fm(nl, *kernel);
   const std::vector<Fault> faults{
       Fault::stem_sa(nl.n_nets() / 2, true),
       Fault::bridge_dom(nl.n_nets() / 3, nl.n_nets() / 2 + 7)};
   fm.set_faults(faults);
   for (auto _ : state) {
-    fm.run(stimuli, 0);
+    for (std::size_t b = 0; b < stimuli.n_blocks();)
+      b += fm.run_wide(stimuli, b);
     benchmark::DoNotOptimize(fm.value(nl.outputs()[0]));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(nl.n_gates()) * 64);
+  set_sweep_counters(state, nl, stimuli.n_patterns(), stimuli.n_blocks());
 }
-BENCHMARK(BM_FaultyMachineBlock);
 
-void BM_SignatureExtraction(benchmark::State& state) {
+void BM_SignatureExtraction(benchmark::State& state, std::size_t n_patterns,
+                            const SimKernel* kernel) {
   const Netlist& nl = circuit("g1k");
-  const PatternSet stimuli =
-      PatternSet::random(static_cast<std::size_t>(state.range(0)),
-                         nl.n_inputs(), 1);
-  FaultSimulator fsim(nl, stimuli);
+  const PatternSet stimuli = PatternSet::random(n_patterns, nl.n_inputs(), 1);
+  FaultSimulator fsim(nl, stimuli, *kernel);  // good response precomputed here
   const Fault f = Fault::stem_sa(nl.n_nets() / 2, false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fsim.signature(f));
   }
+  set_sweep_counters(state, nl, stimuli.n_patterns(), stimuli.n_blocks());
 }
-BENCHMARK(BM_SignatureExtraction)->Arg(128)->Arg(512);
+
+void register_kernel_sweeps() {
+  for (const SimKernel* k : available_kernels()) {
+    const std::string suffix = std::string("/") + k->name;
+    for (const std::string nl_name : {"g1k", "g5k"})
+      benchmark::RegisterBenchmark(
+          ("BM_GoodMachineSweep/" + nl_name + suffix).c_str(),
+          BM_GoodMachineSweep, nl_name, k);
+    benchmark::RegisterBenchmark(("BM_FaultyMachineSweep/g1k" + suffix).c_str(),
+                                 BM_FaultyMachineSweep, k);
+    for (const std::size_t n_patterns : {128, 512})
+      benchmark::RegisterBenchmark(
+          ("BM_SignatureExtraction/" + std::to_string(n_patterns) + suffix)
+              .c_str(),
+          BM_SignatureExtraction, n_patterns, k);
+  }
+}
+
+// ---- thread-axis batches (process-default kernel; MDD_KERNEL overrides) ----
 
 // Threads axis: fault-parallel signature batch on the large generated
 // circuit — the hot path of every diagnosis campaign. Arg = thread count;
@@ -121,6 +166,8 @@ BENCHMARK(BM_DetectedBatchThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ---- event-driven single-pattern paths (kernel-independent) ----
+
 void BM_CriticalPathTrace(benchmark::State& state) {
   const Netlist& nl = circuit("g1k");
   const PatternSet stimuli = PatternSet::random(8, nl.n_inputs(), 1);
@@ -150,4 +197,14 @@ BENCHMARK(BM_EventFlip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("fsim.kernel",
+                              std::string(mdd::current_kernel().name));
+  benchmark::AddCustomContext("fsim.kernels_available", mdd::kernel_names());
+  register_kernel_sweeps();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,8 @@
 //     replay composites out of the shared CompositeMemo.
 #include <benchmark/benchmark.h>
 
+#include "sim/kernel.hpp"
+
 #include <map>
 
 #include "diag/composite_memo.hpp"
@@ -158,4 +160,13 @@ BENCHMARK(BM_DiagnoseMultipletEngineSessionMemo)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("fsim.kernel",
+                              std::string(mdd::current_kernel().name));
+  benchmark::AddCustomContext("fsim.kernels_available", mdd::kernel_names());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,6 @@
 
 namespace mdd {
 
-inline constexpr std::string_view kVersion = "0.2.0";
+inline constexpr std::string_view kVersion = "0.3.0";
 
 }  // namespace mdd

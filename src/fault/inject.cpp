@@ -6,16 +6,32 @@
 
 namespace mdd {
 
+namespace {
+
+// Constant operand rows for pin overrides: an overridden fanin pointer is
+// redirected here instead of at the driving net's lanes.
+constexpr Word kZeroLanes[kMaxKernelLanes] = {};
+constexpr Word kOneLanes[kMaxKernelLanes] = {kAllOne, kAllOne, kAllOne,
+                                             kAllOne, kAllOne, kAllOne,
+                                             kAllOne, kAllOne};
+
+}  // namespace
+
 FaultyMachine::FaultyMachine(const Netlist& netlist)
+    : FaultyMachine(netlist, current_kernel()) {}
+
+FaultyMachine::FaultyMachine(const Netlist& netlist, const SimKernel& kernel)
     : netlist_(&netlist),
-      values_(netlist.n_nets(), kAllZero),
-      raw_values_(netlist.n_nets(), kAllZero) {
+      kernel_(&kernel),
+      lanes_(kernel.lanes),
+      values_(netlist.n_nets() * kernel.lanes, kAllZero),
+      raw_values_(netlist.n_nets() * kernel.lanes, kAllZero) {
   if (!netlist.finalized())
     throw std::logic_error("FaultyMachine: netlist not finalized");
   std::size_t max_fanin = 0;
   for (NetId n = 0; n < netlist.n_nets(); ++n)
     max_fanin = std::max(max_fanin, netlist.fanins(n).size());
-  fanin_buf_.resize(max_fanin);
+  fanin_ptrs_.resize(max_fanin);
   pi_index_.assign(netlist.n_nets(), UINT32_MAX);
   for (std::uint32_t i = 0; i < netlist.inputs().size(); ++i)
     pi_index_[netlist.inputs()[i]] = i;
@@ -43,54 +59,73 @@ void FaultyMachine::set_faults(std::span<const Fault> faults) {
   }
 }
 
-void FaultyMachine::run(const PatternSet& stimuli, std::size_t block) {
-  run_frame(stimuli, block, /*apply_transitions=*/false);
+std::size_t FaultyMachine::run_wide(const PatternSet& stimuli,
+                                    std::size_t block) {
+  return run_frame(stimuli, block, /*apply_transitions=*/false);
 }
 
-void FaultyMachine::run_pair(const PatternSet& launch,
-                             const PatternSet& capture, std::size_t block) {
+std::size_t FaultyMachine::run_pair_wide(const PatternSet& launch,
+                                         const PatternSet& capture,
+                                         std::size_t block) {
   run_frame(launch, block, /*apply_transitions=*/false);
   if (frame1_.size() != values_.size()) frame1_.resize(values_.size());
   std::copy(values_.begin(), values_.end(), frame1_.begin());
-  run_frame(capture, block, /*apply_transitions=*/true);
+  return run_frame(capture, block, /*apply_transitions=*/true);
 }
 
-void FaultyMachine::run_frame(const PatternSet& stimuli, std::size_t block,
-                              bool apply_transitions) {
+std::size_t FaultyMachine::run_frame(const PatternSet& stimuli,
+                                     std::size_t block,
+                                     bool apply_transitions) {
   assert(stimuli.n_signals() == netlist_->n_inputs());
+  assert(block < stimuli.n_blocks());
+  const std::size_t L = lanes_;
+  const std::size_t m = std::min(L, stimuli.n_blocks() - block);
 
   // Pass 0 evaluates everything; later passes re-evaluate to propagate
   // bridge couplings that jump backwards in topological order.
   const std::size_t max_passes = bridges_.size() + 2;
   converged_ = false;
 
+  Word vbuf[kMaxKernelLanes];
+
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
     bool changed = false;
     for (NetId g : netlist_->topo_order()) {
       const GateKind k = netlist_->kind(g);
-      Word v;
       if (k == GateKind::Input) {
-        v = stimuli.word(block, pi_index_[g]);
+        // Padding lanes replicate the last valid block, matching BlockSim.
+        for (std::size_t l = 0; l < L; ++l)
+          vbuf[l] = stimuli.word(block + std::min(l, m - 1), pi_index_[g]);
       } else {
         const auto fi = netlist_->fanins(g);
         for (std::size_t j = 0; j < fi.size(); ++j)
-          fanin_buf_[j] = values_[fi[j]];
+          fanin_ptrs_[j] = values_.data() + fi[j] * L;
         for (const PinOverride& po : pin_overrides_)
-          if (po.gate == g) fanin_buf_[po.pin] = po.value ? kAllOne : kAllZero;
-        v = eval_gate_word(k, fanin_buf_.data(), fi.size());
+          if (po.gate == g)
+            fanin_ptrs_[po.pin] = po.value ? kOneLanes : kZeroLanes;
+        kernel_->eval_gate(k, fanin_ptrs_.data(), fi.size(), vbuf);
       }
-      raw_values_[g] = v;
+      std::copy(vbuf, vbuf + L, raw_values_.begin() + g * L);
       // Bridges first, stuck-at last (a hard stuck-at wins over coupling).
       // Dominant bridges copy the aggressor's *net* value; wired bridges
       // resolve the fight between the two *driver* (raw) values.
       for (const Bridge& br : bridges_) {
         if (br.kind == FaultKind::BridgeDom) {
-          if (br.a == g) v = values_[br.b];
+          if (br.a == g) {
+            const Word* other = values_.data() + br.b * L;
+            std::copy(other, other + L, vbuf);
+          }
         } else if (br.a == g || br.b == g) {
           const NetId other = (br.a == g) ? br.b : br.a;
-          v = (br.kind == FaultKind::BridgeWAnd)
-                  ? (raw_values_[g] & raw_values_[other])
-                  : (raw_values_[g] | raw_values_[other]);
+          const Word* self_raw = raw_values_.data() + g * L;
+          const Word* other_raw = raw_values_.data() + other * L;
+          if (br.kind == FaultKind::BridgeWAnd) {
+            for (std::size_t l = 0; l < L; ++l)
+              vbuf[l] = self_raw[l] & other_raw[l];
+          } else {
+            for (std::size_t l = 0; l < L; ++l)
+              vbuf[l] = self_raw[l] | other_raw[l];
+          }
         }
       }
       if (apply_transitions) {
@@ -98,14 +133,20 @@ void FaultyMachine::run_frame(const PatternSet& stimuli, std::size_t block,
         // the slow direction hold the launch-frame value through capture.
         for (const Transition& t : transitions_) {
           if (t.net != g) continue;
-          const Word moved = t.rise ? (~frame1_[g] & v) : (frame1_[g] & ~v);
-          v = (v & ~moved) | (frame1_[g] & moved);
+          const Word* f1 = frame1_.data() + g * L;
+          for (std::size_t l = 0; l < L; ++l) {
+            const Word moved =
+                t.rise ? (~f1[l] & vbuf[l]) : (f1[l] & ~vbuf[l]);
+            vbuf[l] = (vbuf[l] & ~moved) | (f1[l] & moved);
+          }
         }
       }
       for (const StemOverride& so : stem_overrides_)
-        if (so.net == g) v = so.value ? kAllOne : kAllZero;
-      if (v != values_[g]) {
-        values_[g] = v;
+        if (so.net == g)
+          std::fill(vbuf, vbuf + L, so.value ? kAllOne : kAllZero);
+      Word* dst = values_.data() + g * L;
+      if (!std::equal(vbuf, vbuf + L, dst)) {
+        std::copy(vbuf, vbuf + L, dst);
         changed = true;
       }
     }
@@ -119,28 +160,35 @@ void FaultyMachine::run_frame(const PatternSet& stimuli, std::size_t block,
       break;
     }
   }
+  return m;
 }
 
 PatternSet FaultyMachine::simulate_pair(const PatternSet& launch,
                                         const PatternSet& capture) {
   assert(launch.n_patterns() == capture.n_patterns());
   PatternSet responses(capture.n_patterns(), netlist_->n_outputs());
-  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
-    run_pair(launch, capture, b);
-    const Word mask = capture.valid_mask(b);
-    for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
-      responses.word(b, o) = values_[netlist_->outputs()[o]] & mask;
+  for (std::size_t b = 0; b < capture.n_blocks();) {
+    const std::size_t m = run_pair_wide(launch, capture, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word mask = capture.valid_mask(b + l);
+      for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
+        responses.word(b + l, o) = value(netlist_->outputs()[o], l) & mask;
+    }
+    b += m;
   }
   return responses;
 }
 
 PatternSet FaultyMachine::simulate(const PatternSet& stimuli) {
   PatternSet responses(stimuli.n_patterns(), netlist_->n_outputs());
-  for (std::size_t b = 0; b < stimuli.n_blocks(); ++b) {
-    run(stimuli, b);
-    const Word mask = stimuli.valid_mask(b);
-    for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
-      responses.word(b, o) = values_[netlist_->outputs()[o]] & mask;
+  for (std::size_t b = 0; b < stimuli.n_blocks();) {
+    const std::size_t m = run_wide(stimuli, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word mask = stimuli.valid_mask(b + l);
+      for (std::size_t o = 0; o < netlist_->n_outputs(); ++o)
+        responses.word(b + l, o) = value(netlist_->outputs()[o], l) & mask;
+    }
+    b += m;
   }
   return responses;
 }

@@ -22,16 +22,23 @@ ErrorSignature ErrorSignature::diff(const PatternSet& good,
     throw std::invalid_argument("ErrorSignature::diff: shape mismatch");
   ErrorSignature sig(good.n_patterns(), good.n_signals());
   std::vector<Word> mask(sig.n_po_words_);
-  for (std::size_t p = 0; p < good.n_patterns(); ++p) {
-    bool any = false;
-    std::fill(mask.begin(), mask.end(), kAllZero);
-    for (std::size_t o = 0; o < good.n_signals(); ++o) {
-      if (good.get(p, o) != faulty.get(p, o)) {
-        mask[o / 64] |= Word{1} << (o % 64);
-        any = true;
+  // Word-wise: one XOR sweep finds the failing patterns of each block,
+  // then only those extract per-output masks.
+  for (std::size_t b = 0; b < good.n_blocks(); ++b) {
+    const Word valid = good.valid_mask(b);
+    Word any_diff = kAllZero;
+    for (std::size_t o = 0; o < good.n_signals(); ++o)
+      any_diff |= (good.word(b, o) ^ faulty.word(b, o)) & valid;
+    while (any_diff) {
+      const int bit = std::countr_zero(any_diff);
+      any_diff &= any_diff - 1;
+      std::fill(mask.begin(), mask.end(), kAllZero);
+      for (std::size_t o = 0; o < good.n_signals(); ++o) {
+        const Word d = good.word(b, o) ^ faulty.word(b, o);
+        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
       }
+      sig.append(static_cast<std::uint32_t>(b * 64 + bit), mask);
     }
-    if (any) sig.append(static_cast<std::uint32_t>(p), mask);
   }
   return sig;
 }
@@ -108,7 +115,12 @@ MatchCounts match(const ErrorSignature& observed, const ErrorSignature& sim) {
 }
 
 SignatureMatcher::SignatureMatcher(const ErrorSignature& observed)
-    : n_po_words_(observed.n_po_words()),
+    : SignatureMatcher(observed, current_kernel()) {}
+
+SignatureMatcher::SignatureMatcher(const ErrorSignature& observed,
+                                   const SimKernel& kernel)
+    : kernel_(&kernel),
+      n_po_words_(observed.n_po_words()),
       dense_(observed.n_patterns() * observed.n_po_words(), kAllZero) {
   for (std::size_t i = 0; i < observed.n_failing_patterns(); ++i) {
     const std::uint32_t p = observed.failing_patterns()[i];
@@ -130,10 +142,8 @@ MatchCounts SignatureMatcher::match(const ErrorSignature& sim) const {
   for (std::size_t j = 0; j < sp.size(); ++j) {
     const Word* obs = dense_.data() + std::size_t{sp[j]} * n_po_words_;
     const auto m = sim.mask(j);
-    for (std::size_t w = 0; w < n_po_words_; ++w) {
-      tfsf += static_cast<std::size_t>(std::popcount(obs[w] & m[w]));
-      sim_bits += static_cast<std::size_t>(std::popcount(m[w]));
-    }
+    tfsf += kernel_->popcount_and(obs, m.data(), n_po_words_);
+    sim_bits += kernel_->popcount(m.data(), n_po_words_);
   }
   MatchCounts mc;
   mc.tfsf = tfsf;
@@ -202,24 +212,27 @@ ErrorSignature signature_on(FaultyMachine& machine, const Netlist& netlist,
   ErrorSignature sig(patterns.n_patterns(), netlist.n_outputs());
   std::vector<Word> mask(sig.n_po_words());
   const auto& pos = netlist.outputs();
-  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
-    machine.run(patterns, b);
-    const Word valid = patterns.valid_mask(b);
-    // Which patterns in this block show any PO difference?
-    Word any_diff = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any_diff |= (machine.value(pos[o]) ^ good.word(b, o)) & valid;
-    while (any_diff) {
-      const int bit = std::countr_zero(any_diff);
-      any_diff &= any_diff - 1;
-      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
-      std::fill(mask.begin(), mask.end(), kAllZero);
-      for (std::size_t o = 0; o < pos.size(); ++o) {
-        const Word d = machine.value(pos[o]) ^ good.word(b, o);
-        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+  for (std::size_t b = 0; b < patterns.n_blocks();) {
+    const std::size_t m = machine.run_wide(patterns, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = patterns.valid_mask(b + l);
+      // Which patterns in this block show any PO difference?
+      Word any_diff = kAllZero;
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        any_diff |= (machine.value(pos[o], l) ^ good.word(b + l, o)) & valid;
+      while (any_diff) {
+        const int bit = std::countr_zero(any_diff);
+        any_diff &= any_diff - 1;
+        const std::size_t p = (b + l) * 64 + static_cast<std::size_t>(bit);
+        std::fill(mask.begin(), mask.end(), kAllZero);
+        for (std::size_t o = 0; o < pos.size(); ++o) {
+          const Word d = machine.value(pos[o], l) ^ good.word(b + l, o);
+          if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+        }
+        sig.append(static_cast<std::uint32_t>(p), mask);
       }
-      sig.append(static_cast<std::uint32_t>(p), mask);
     }
+    b += m;
   }
   return sig;
 }
@@ -230,11 +243,15 @@ bool detects_on(FaultyMachine& machine, const Netlist& netlist,
   fsim_metrics().detect_queries.inc();
   machine.set_faults({&fault, 1});
   const auto& pos = netlist.outputs();
-  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
-    machine.run(patterns, b);
-    const Word valid = patterns.valid_mask(b);
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      if ((machine.value(pos[o]) ^ good.word(b, o)) & valid) return true;
+  for (std::size_t b = 0; b < patterns.n_blocks();) {
+    const std::size_t m = machine.run_wide(patterns, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = patterns.valid_mask(b + l);
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        if ((machine.value(pos[o], l) ^ good.word(b + l, o)) & valid)
+          return true;
+    }
+    b += m;
   }
   return false;
 }
@@ -252,23 +269,26 @@ ErrorSignature pair_signature_on(FaultyMachine& machine,
   ErrorSignature sig(capture.n_patterns(), netlist.n_outputs());
   std::vector<Word> mask(sig.n_po_words());
   const auto& pos = netlist.outputs();
-  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
-    machine.run_pair(launch, capture, b);
-    const Word valid = capture.valid_mask(b);
-    Word any_diff = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any_diff |= (machine.value(pos[o]) ^ good.word(b, o)) & valid;
-    while (any_diff) {
-      const int bit = std::countr_zero(any_diff);
-      any_diff &= any_diff - 1;
-      const std::size_t p = b * 64 + static_cast<std::size_t>(bit);
-      std::fill(mask.begin(), mask.end(), kAllZero);
-      for (std::size_t o = 0; o < pos.size(); ++o) {
-        const Word d = machine.value(pos[o]) ^ good.word(b, o);
-        if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+  for (std::size_t b = 0; b < capture.n_blocks();) {
+    const std::size_t m = machine.run_pair_wide(launch, capture, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = capture.valid_mask(b + l);
+      Word any_diff = kAllZero;
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        any_diff |= (machine.value(pos[o], l) ^ good.word(b + l, o)) & valid;
+      while (any_diff) {
+        const int bit = std::countr_zero(any_diff);
+        any_diff &= any_diff - 1;
+        const std::size_t p = (b + l) * 64 + static_cast<std::size_t>(bit);
+        std::fill(mask.begin(), mask.end(), kAllZero);
+        for (std::size_t o = 0; o < pos.size(); ++o) {
+          const Word d = machine.value(pos[o], l) ^ good.word(b + l, o);
+          if ((d >> bit) & 1u) mask[o / 64] |= Word{1} << (o % 64);
+        }
+        sig.append(static_cast<std::uint32_t>(p), mask);
       }
-      sig.append(static_cast<std::uint32_t>(p), mask);
     }
+    b += m;
   }
   return sig;
 }
@@ -279,11 +299,15 @@ bool pair_detects_on(FaultyMachine& machine, const Netlist& netlist,
   fsim_metrics().detect_queries.inc();
   machine.set_faults({&fault, 1});
   const auto& pos = netlist.outputs();
-  for (std::size_t b = 0; b < capture.n_blocks(); ++b) {
-    machine.run_pair(launch, capture, b);
-    const Word valid = capture.valid_mask(b);
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      if ((machine.value(pos[o]) ^ good.word(b, o)) & valid) return true;
+  for (std::size_t b = 0; b < capture.n_blocks();) {
+    const std::size_t m = machine.run_pair_wide(launch, capture, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = capture.valid_mask(b + l);
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        if ((machine.value(pos[o], l) ^ good.word(b + l, o)) & valid)
+          return true;
+    }
+    b += m;
   }
   return false;
 }
@@ -292,17 +316,27 @@ bool pair_detects_on(FaultyMachine& machine, const Netlist& netlist,
 
 FaultSimulator::FaultSimulator(const Netlist& netlist,
                                const PatternSet& patterns)
+    : FaultSimulator(netlist, patterns, current_kernel()) {}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist,
+                               const PatternSet& patterns,
+                               const SimKernel& kernel)
     : netlist_(&netlist),
       patterns_(&patterns),
-      good_(simulate(netlist, patterns)),
-      machine_(netlist) {}
+      good_(simulate(netlist, patterns, kernel)),
+      machine_(netlist, kernel) {}
 
 FaultSimulator::FaultSimulator(const Netlist& netlist,
                                const PatternSet& patterns, PatternSet good)
+    : FaultSimulator(netlist, patterns, std::move(good), current_kernel()) {}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist,
+                               const PatternSet& patterns, PatternSet good,
+                               const SimKernel& kernel)
     : netlist_(&netlist),
       patterns_(&patterns),
       good_(std::move(good)),
-      machine_(netlist) {
+      machine_(netlist, kernel) {
   if (good_.n_patterns() != patterns.n_patterns() ||
       good_.n_signals() != netlist.n_outputs())
     throw std::invalid_argument(
@@ -325,15 +359,18 @@ std::optional<std::uint32_t> FaultSimulator::first_detecting_pattern(
     const Fault& fault) {
   machine_.set_faults({&fault, 1});
   const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
-    machine_.run(*patterns_, b);
-    const Word valid = patterns_->valid_mask(b);
-    Word any = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
-    if (any)
-      return static_cast<std::uint32_t>(b * 64 +
-                                        std::countr_zero(any));
+  for (std::size_t b = 0; b < patterns_->n_blocks();) {
+    const std::size_t m = machine_.run_wide(*patterns_, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = patterns_->valid_mask(b + l);
+      Word any = kAllZero;
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        any |= (machine_.value(pos[o], l) ^ good_.word(b + l, o)) & valid;
+      if (any)
+        return static_cast<std::uint32_t>((b + l) * 64 +
+                                          std::countr_zero(any));
+    }
+    b += m;
   }
   return std::nullopt;
 }
@@ -357,7 +394,7 @@ std::vector<ErrorSignature> FaultSimulator::signatures(
   std::vector<ErrorSignature> out(faults.size());
   parallel_for_ranges(policy, faults.size(),
                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                        FaultyMachine machine(*netlist_);
+                        FaultyMachine machine(*netlist_, machine_.kernel());
                         for (std::size_t i = begin; i < end; ++i)
                           out[i] = signature_on(machine, *netlist_,
                                                 *patterns_, good_,
@@ -378,7 +415,7 @@ std::vector<bool> FaultSimulator::detected(std::span<const Fault> faults,
   parallel_for_ranges(
       policy, faults.size(),
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        FaultyMachine machine(*netlist_);
+        FaultyMachine machine(*netlist_, machine_.kernel());
         std::vector<bool> part(end - begin);
         for (std::size_t i = begin; i < end; ++i)
           part[i - begin] =
@@ -405,10 +442,16 @@ double FaultSimulator::coverage(std::span<const Fault> faults,
 PairFaultSimulator::PairFaultSimulator(const Netlist& netlist,
                                        const PatternSet& launch,
                                        const PatternSet& capture)
+    : PairFaultSimulator(netlist, launch, capture, current_kernel()) {}
+
+PairFaultSimulator::PairFaultSimulator(const Netlist& netlist,
+                                       const PatternSet& launch,
+                                       const PatternSet& capture,
+                                       const SimKernel& kernel)
     : netlist_(&netlist),
       launch_(&launch),
       capture_(&capture),
-      machine_(netlist) {
+      machine_(netlist, kernel) {
   if (launch.n_patterns() != capture.n_patterns())
     throw std::invalid_argument("PairFaultSimulator: pair count mismatch");
   machine_.set_faults({});
@@ -433,14 +476,18 @@ std::optional<std::uint32_t> PairFaultSimulator::first_detecting_pair(
     const Fault& fault) {
   machine_.set_faults({&fault, 1});
   const auto& pos = netlist_->outputs();
-  for (std::size_t b = 0; b < capture_->n_blocks(); ++b) {
-    machine_.run_pair(*launch_, *capture_, b);
-    const Word valid = capture_->valid_mask(b);
-    Word any = kAllZero;
-    for (std::size_t o = 0; o < pos.size(); ++o)
-      any |= (machine_.value(pos[o]) ^ good_.word(b, o)) & valid;
-    if (any)
-      return static_cast<std::uint32_t>(b * 64 + std::countr_zero(any));
+  for (std::size_t b = 0; b < capture_->n_blocks();) {
+    const std::size_t m = machine_.run_pair_wide(*launch_, *capture_, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word valid = capture_->valid_mask(b + l);
+      Word any = kAllZero;
+      for (std::size_t o = 0; o < pos.size(); ++o)
+        any |= (machine_.value(pos[o], l) ^ good_.word(b + l, o)) & valid;
+      if (any)
+        return static_cast<std::uint32_t>((b + l) * 64 +
+                                          std::countr_zero(any));
+    }
+    b += m;
   }
   return std::nullopt;
 }
@@ -457,7 +504,7 @@ std::vector<ErrorSignature> PairFaultSimulator::signatures(
   std::vector<ErrorSignature> out(faults.size());
   parallel_for_ranges(policy, faults.size(),
                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                        FaultyMachine machine(*netlist_);
+                        FaultyMachine machine(*netlist_, machine_.kernel());
                         for (std::size_t i = begin; i < end; ++i)
                           out[i] = pair_signature_on(machine, *netlist_,
                                                      *launch_, *capture_,
@@ -475,7 +522,7 @@ std::vector<bool> PairFaultSimulator::detected(
   parallel_for_ranges(
       policy, faults.size(),
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        FaultyMachine machine(*netlist_);
+        FaultyMachine machine(*netlist_, machine_.kernel());
         std::vector<bool> part(end - begin);
         for (std::size_t i = begin; i < end; ++i)
           part[i - begin] = pair_detects_on(machine, *netlist_, *launch_,

@@ -3,7 +3,9 @@
 // `ErrorSignature` is the sparse set of (pattern, output) *error bits* a
 // fault (or fault multiplet) produces relative to the good machine — the
 // currency of the diagnosis core. `FaultSimulator` computes signatures and
-// detection/coverage, evaluating 64 patterns per pass via FaultyMachine.
+// detection/coverage via FaultyMachine, evaluating one kernel lane group
+// (kernel.lanes x 64 patterns) per pass; results are bit-identical for
+// every kernel (tests/test_kernel_equiv.cpp).
 #pragma once
 
 #include <cstdint>
@@ -82,10 +84,12 @@ MatchCounts match(const ErrorSignature& observed, const ErrorSignature& sim);
 class SignatureMatcher {
  public:
   explicit SignatureMatcher(const ErrorSignature& observed);
+  SignatureMatcher(const ErrorSignature& observed, const SimKernel& kernel);
 
   MatchCounts match(const ErrorSignature& sim) const;
 
  private:
+  const SimKernel* kernel_;
   std::size_t n_po_words_ = 0;
   std::size_t observed_bits_ = 0;
   std::vector<Word> dense_;  // n_patterns * n_po_words
@@ -103,8 +107,12 @@ ErrorSignature restrict_signature(const ErrorSignature& sig,
 
 class FaultSimulator {
  public:
-  /// Precomputes the good-machine response for `patterns`.
+  /// Precomputes the good-machine response for `patterns`. The kernel
+  /// (default: the process-wide current kernel) is snapshotted for the
+  /// simulator's lifetime, including batch workers.
   FaultSimulator(const Netlist& netlist, const PatternSet& patterns);
+  FaultSimulator(const Netlist& netlist, const PatternSet& patterns,
+                 const SimKernel& kernel);
 
   /// Reuses an already-simulated good response instead of recomputing it
   /// (the serving session cache amortizes one good simulation across many
@@ -112,7 +120,10 @@ class FaultSimulator {
   /// mismatches throw std::invalid_argument.
   FaultSimulator(const Netlist& netlist, const PatternSet& patterns,
                  PatternSet good);
+  FaultSimulator(const Netlist& netlist, const PatternSet& patterns,
+                 PatternSet good, const SimKernel& kernel);
 
+  const SimKernel& kernel() const { return machine_.kernel(); }
   const Netlist& netlist() const { return *netlist_; }
   const PatternSet& patterns() const { return *patterns_; }
   const PatternSet& good_response() const { return good_; }
@@ -167,7 +178,10 @@ class PairFaultSimulator {
  public:
   PairFaultSimulator(const Netlist& netlist, const PatternSet& launch,
                      const PatternSet& capture);
+  PairFaultSimulator(const Netlist& netlist, const PatternSet& launch,
+                     const PatternSet& capture, const SimKernel& kernel);
 
+  const SimKernel& kernel() const { return machine_.kernel(); }
   const Netlist& netlist() const { return *netlist_; }
   const PatternSet& launch() const { return *launch_; }
   const PatternSet& capture() const { return *capture_; }

@@ -30,6 +30,12 @@ PropagateMetrics& propagate_metrics() {
   return m;
 }
 
+// Constant operand rows for pin overrides (see FaultyMachine).
+constexpr Word kZeroLanes[kMaxKernelLanes] = {};
+constexpr Word kOneLanes[kMaxKernelLanes] = {kAllOne, kAllOne, kAllOne,
+                                             kAllOne, kAllOne, kAllOne,
+                                             kAllOne, kAllOne};
+
 }  // namespace
 
 std::shared_ptr<const PropagatorBaseline>
@@ -39,62 +45,95 @@ SingleFaultPropagator::make_baseline(const Netlist& netlist,
   BlockSim sim(netlist);
   baseline->values.resize(patterns.n_blocks());
   baseline->good = PatternSet(patterns.n_patterns(), netlist.n_outputs());
-  for (std::size_t b = 0; b < patterns.n_blocks(); ++b) {
-    sim.run(patterns, b);
-    baseline->values[b].assign(sim.values().begin(), sim.values().end());
-    const Word mask = patterns.valid_mask(b);
-    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
-      baseline->good.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
+  for (std::size_t b = 0; b < patterns.n_blocks();) {
+    const std::size_t m = sim.run_wide(patterns, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      auto& blk = baseline->values[b + l];
+      blk.resize(netlist.n_nets());
+      for (NetId n = 0; n < netlist.n_nets(); ++n) blk[n] = sim.value(n, l);
+      const Word mask = patterns.valid_mask(b + l);
+      for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
+        baseline->good.word(b + l, o) =
+            sim.value(netlist.outputs()[o], l) & mask;
+    }
+    b += m;
   }
   return baseline;
 }
 
 SingleFaultPropagator::SingleFaultPropagator(
     const Netlist& netlist, const PatternSet& patterns,
-    std::shared_ptr<const PropagatorBaseline> baseline)
+    std::shared_ptr<const PropagatorBaseline> baseline,
+    const SimKernel& kernel)
     : netlist_(&netlist),
+      kernel_(&kernel),
+      lanes_(kernel.lanes),
       patterns_(&patterns),
       baseline_(std::move(baseline)),
-      scratch_(netlist.n_nets(), kAllZero),
+      scratch_(netlist.n_nets() * kernel.lanes, kAllZero),
       touched_(netlist.n_nets(), false),
       level_queue_(netlist.depth() + 1),
       queued_(netlist.n_nets(), false),
       po_mask_buf_((netlist.n_outputs() + 63) / 64, kAllZero),
-      fallback_(netlist) {
+      fallback_(netlist, kernel) {
   assert(baseline_ != nullptr &&
          baseline_->values.size() == patterns.n_blocks() &&
          baseline_->good.n_patterns() == patterns.n_patterns());
   std::size_t max_fanin = 0;
   for (NetId n = 0; n < netlist.n_nets(); ++n)
     max_fanin = std::max(max_fanin, netlist.fanins(n).size());
-  fanin_buf_.resize(max_fanin);
+  fanin_lanes_.resize(max_fanin * kMaxKernelLanes);
+  fanin_ptrs_.resize(max_fanin);
 }
 
 SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
-                                             const PatternSet& patterns)
+                                             const PatternSet& patterns,
+                                             const SimKernel& kernel)
     : SingleFaultPropagator(netlist, patterns,
-                            make_baseline(netlist, patterns)) {}
+                            make_baseline(netlist, patterns), kernel) {}
 
 SingleFaultPropagator::SingleFaultPropagator(const Netlist& netlist,
                                              const PatternSet& launch,
-                                             const PatternSet& capture)
-    : SingleFaultPropagator(netlist, capture) {
+                                             const PatternSet& capture,
+                                             const SimKernel& kernel)
+    : SingleFaultPropagator(netlist, capture, kernel) {
   launch_ = &launch;
-  BlockSim sim(netlist);
+  BlockSim sim(netlist, kernel);
   launch_values_.resize(launch.n_blocks());
-  for (std::size_t b = 0; b < launch.n_blocks(); ++b) {
-    sim.run(launch, b);
-    launch_values_[b].assign(sim.values().begin(), sim.values().end());
+  for (std::size_t b = 0; b < launch.n_blocks();) {
+    const std::size_t m = sim.run_wide(launch, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      auto& blk = launch_values_[b + l];
+      blk.resize(netlist.n_nets());
+      for (NetId n = 0; n < netlist.n_nets(); ++n) blk[n] = sim.value(n, l);
+    }
+    b += m;
   }
 }
 
-void SingleFaultPropagator::seed_site(NetId net, Word value, Word good) {
-  if (value == good && !touched_[net]) return;  // fault not excited here
-  if (touched_[net]) {
-    scratch_[net] = value;
-    return;
-  }
-  scratch_[net] = value;
+void SingleFaultPropagator::gather_row(const Frames& vals, NetId n,
+                                       std::size_t b0, std::size_t m,
+                                       Word* out) const {
+  // Padding lanes replicate the last valid block, matching BlockSim /
+  // FaultyMachine; only lanes < m are ever read out.
+  for (std::size_t l = 0; l < lanes_; ++l)
+    out[l] = vals[b0 + std::min(l, m - 1)][n];
+}
+
+const Word* SingleFaultPropagator::read_row(const Frames& vals, NetId n,
+                                            std::size_t b0, std::size_t m,
+                                            Word* buf) const {
+  if (touched_[n]) return scratch_.data() + n * lanes_;
+  gather_row(vals, n, b0, m, buf);
+  return buf;
+}
+
+void SingleFaultPropagator::seed_site(NetId net, const Word* value,
+                                      const Word* good) {
+  if (!touched_[net] && std::equal(value, value + lanes_, good))
+    return;  // fault not excited here
+  std::copy(value, value + lanes_, scratch_.begin() + net * lanes_);
+  if (touched_[net]) return;
   touched_[net] = true;
   touched_list_.push_back(net);
   for (NetId s : netlist_->fanouts(net)) {
@@ -105,24 +144,32 @@ void SingleFaultPropagator::seed_site(NetId net, Word value, Word good) {
   }
 }
 
-void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b) {
-  const auto& good = baseline_->values[b];
+void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b0,
+                                       std::size_t m) {
+  const Frames& vals = baseline_->values;
+  Word good_row[kMaxKernelLanes];
+  Word val_row[kMaxKernelLanes];
+  Word other_row[kMaxKernelLanes];
   switch (fault.kind) {
     case FaultKind::StuckAt0:
     case FaultKind::StuckAt1: {
       const Word forced = fault.stuck_value() ? kAllOne : kAllZero;
+      gather_row(vals, fault.net, b0, m, good_row);
       if (fault.pin == kStemPin) {
-        seed_site(fault.net, forced, good[fault.net]);
+        std::fill(val_row, val_row + lanes_, forced);
+        seed_site(fault.net, val_row, good_row);
       } else {
         // Branch fault: recompute the gate with the forced pin.
         const auto fi = netlist_->fanins(fault.net);
-        for (std::size_t j = 0; j < fi.size(); ++j)
-          fanin_buf_[j] = good[fi[j]];
-        fanin_buf_[fault.pin] = forced;
-        seed_site(fault.net,
-                  eval_gate_word(netlist_->kind(fault.net),
-                                 fanin_buf_.data(), fi.size()),
-                  good[fault.net]);
+        for (std::size_t j = 0; j < fi.size(); ++j) {
+          Word* row = fanin_lanes_.data() + j * kMaxKernelLanes;
+          gather_row(vals, fi[j], b0, m, row);
+          fanin_ptrs_[j] = row;
+        }
+        fanin_ptrs_[fault.pin] = fault.stuck_value() ? kOneLanes : kZeroLanes;
+        kernel_->eval_gate(netlist_->kind(fault.net), fanin_ptrs_.data(),
+                           fi.size(), val_row);
+        seed_site(fault.net, val_row, good_row);
       }
       return;
     }
@@ -131,35 +178,46 @@ void SingleFaultPropagator::seed_fault(const Fault& fault, std::size_t b) {
       // so the victim simply takes the aggressor's good value. propagate()
       // watches the aggressor and triggers the fixpoint fallback if the
       // wave ever reaches it.
-      seed_site(fault.net, good[fault.bridge_net], good[fault.net]);
+      gather_row(vals, fault.net, b0, m, good_row);
+      gather_row(vals, fault.bridge_net, b0, m, other_row);
+      seed_site(fault.net, other_row, good_row);
       return;
     }
     case FaultKind::BridgeWAnd:
     case FaultKind::BridgeWOr: {
-      const Word resolved = fault.kind == FaultKind::BridgeWAnd
-                                ? (good[fault.net] & good[fault.bridge_net])
-                                : (good[fault.net] | good[fault.bridge_net]);
-      seed_site(fault.net, resolved, good[fault.net]);
-      seed_site(fault.bridge_net, resolved, good[fault.bridge_net]);
+      gather_row(vals, fault.net, b0, m, good_row);
+      gather_row(vals, fault.bridge_net, b0, m, other_row);
+      for (std::size_t l = 0; l < lanes_; ++l)
+        val_row[l] = fault.kind == FaultKind::BridgeWAnd
+                         ? (good_row[l] & other_row[l])
+                         : (good_row[l] | other_row[l]);
+      seed_site(fault.net, val_row, good_row);
+      seed_site(fault.bridge_net, val_row, other_row);
       return;
     }
     case FaultKind::SlowToRise:
     case FaultKind::SlowToFall: {
       if (launch_ == nullptr) return;  // inert in single-frame mode
-      const Word l = launch_values_[b][fault.net];
-      const Word c = good[fault.net];
-      const Word moved =
-          fault.kind == FaultKind::SlowToRise ? (~l & c) : (l & ~c);
-      seed_site(fault.net, (c & ~moved) | (l & moved), c);
+      gather_row(launch_values_, fault.net, b0, m, other_row);
+      gather_row(vals, fault.net, b0, m, good_row);
+      for (std::size_t l = 0; l < lanes_; ++l) {
+        const Word moved = fault.kind == FaultKind::SlowToRise
+                               ? (~other_row[l] & good_row[l])
+                               : (other_row[l] & ~good_row[l]);
+        val_row[l] =
+            (good_row[l] & ~moved) | (other_row[l] & moved);
+      }
+      seed_site(fault.net, val_row, good_row);
       return;
     }
   }
 }
 
-bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
-                                      NetId watch) {
-  const auto& good = baseline_->values[b];
-  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+bool SingleFaultPropagator::propagate(std::size_t b0, std::size_t m,
+                                      ErrorSignature& sig, NetId watch) {
+  const Frames& vals = baseline_->values;
+  Word vbuf[kMaxKernelLanes];
+  Word cur_buf[kMaxKernelLanes];
 
   for (std::uint32_t lv = 0; lv < level_queue_.size(); ++lv) {
     for (std::size_t idx = 0; idx < level_queue_[lv].size(); ++idx) {
@@ -167,11 +225,13 @@ bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
       queued_[g] = false;
       const auto fi = netlist_->fanins(g);
       for (std::size_t j = 0; j < fi.size(); ++j)
-        fanin_buf_[j] = read(fi[j]);
-      const Word v =
-          eval_gate_word(netlist_->kind(g), fanin_buf_.data(), fi.size());
-      if (v != read(g)) {
-        scratch_[g] = v;
+        fanin_ptrs_[j] = read_row(vals, fi[j], b0, m,
+                                  fanin_lanes_.data() + j * kMaxKernelLanes);
+      kernel_->eval_gate(netlist_->kind(g), fanin_ptrs_.data(), fi.size(),
+                         vbuf);
+      const Word* cur = read_row(vals, g, b0, m, cur_buf);
+      if (!std::equal(vbuf, vbuf + lanes_, cur)) {
+        std::copy(vbuf, vbuf + lanes_, scratch_.begin() + g * lanes_);
         if (!touched_[g]) {
           touched_[g] = true;
           touched_list_.push_back(g);
@@ -187,35 +247,39 @@ bool SingleFaultPropagator::propagate(std::size_t b, ErrorSignature& sig,
     level_queue_[lv].clear();
   }
 
-  // Collect PO differences for this block (touched POs gathered once; the
-  // per-failing-bit loop then only walks that short list).
-  const Word valid = patterns_->valid_mask(b);
-  Word any = kAllZero;
+  // Collect PO differences lane by lane (touched POs gathered once per
+  // lane; the per-failing-bit loop then only walks that short list).
   struct PoDiff {
     std::uint32_t po;
     Word diff;
   };
   std::vector<PoDiff> po_diffs;
-  for (NetId t : touched_list_) {
-    if (auto idx = netlist_->output_index(t)) {
-      const Word diff = (scratch_[t] ^ good[t]) & valid;
-      if (diff) {
-        po_diffs.push_back({*idx, diff});
-        any |= diff;
+  for (std::size_t l = 0; l < m; ++l) {
+    const Word valid = patterns_->valid_mask(b0 + l);
+    Word any = kAllZero;
+    po_diffs.clear();
+    for (NetId t : touched_list_) {
+      if (auto idx = netlist_->output_index(t)) {
+        const Word diff =
+            (scratch_[t * lanes_ + l] ^ vals[b0 + l][t]) & valid;
+        if (diff) {
+          po_diffs.push_back({*idx, diff});
+          any |= diff;
+        }
       }
     }
-  }
-  while (any) {
-    const int bit = std::countr_zero(any);
-    any &= any - 1;
-    std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
-    for (const PoDiff& pd : po_diffs) {
-      if ((pd.diff >> bit) & 1u)
-        po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+    while (any) {
+      const int bit = std::countr_zero(any);
+      any &= any - 1;
+      std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
+      for (const PoDiff& pd : po_diffs) {
+        if ((pd.diff >> bit) & 1u)
+          po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+      }
+      sig.append(static_cast<std::uint32_t>((b0 + l) * 64 +
+                                            static_cast<std::size_t>(bit)),
+                 po_mask_buf_);
     }
-    sig.append(
-        static_cast<std::uint32_t>(b * 64 + static_cast<std::size_t>(bit)),
-        po_mask_buf_);
   }
 
   bool watch_touched = false;
@@ -249,13 +313,14 @@ ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
   } else if (fault.kind == FaultKind::BridgeWAnd ||
              fault.kind == FaultKind::BridgeWOr) {
     if (is_feedback_pair(*netlist_, fault.net, fault.bridge_net))
-      watch = fault.net;  // force the fallback below via first block
+      watch = fault.net;  // force the fallback below via first group
   }
 
-  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
-    seed_fault(fault, b);
+  for (std::size_t b = 0; b < patterns_->n_blocks();) {
+    const std::size_t m = std::min(lanes_, patterns_->n_blocks() - b);
+    seed_fault(fault, b, m);
     const bool feedback =
-        propagate(b, sig, watch) ||
+        propagate(b, m, sig, watch) ||
         (watch == fault.net && fault.kind != FaultKind::BridgeDom);
     if (feedback) {
       propagate_metrics().fallbacks.inc();
@@ -265,6 +330,7 @@ ErrorSignature SingleFaultPropagator::signature(const Fault& fault) {
                   : fallback_.simulate(*patterns_);
       return ErrorSignature::diff(baseline_->good, faulty);
     }
+    b += m;
   }
   return sig;
 }
@@ -321,8 +387,8 @@ bool SingleFaultPropagator::prepare_composite(
   }
   const std::size_t nb = comp_bridges_.size();
   if (nb == 0) return true;
-  if (raw_scratch_.size() != netlist_->n_nets()) {
-    raw_scratch_.assign(netlist_->n_nets(), kAllZero);
+  if (raw_scratch_.size() != netlist_->n_nets() * lanes_) {
+    raw_scratch_.assign(netlist_->n_nets() * lanes_, kAllZero);
     raw_touched_.assign(netlist_->n_nets(), false);
   }
 
@@ -374,7 +440,7 @@ void SingleFaultPropagator::enqueue_net(NetId n) {
 
 void SingleFaultPropagator::seed_composite(bool apply_transitions) {
   // Seeds are just "re-evaluate this net": eval_composite decides whether
-  // the fault set actually changes anything for this block.
+  // the fault set actually changes anything for this group.
   for (const CompStem& s : comp_stems_) enqueue_net(s.net);
   for (const CompPin& p : comp_pins_) enqueue_net(p.gate);
   for (const CompBridge& br : comp_bridges_) {
@@ -392,58 +458,82 @@ bool SingleFaultPropagator::is_wired_member(NetId g) const {
   return false;
 }
 
-Word SingleFaultPropagator::eval_composite(NetId g,
-                                           const std::vector<Word>& good,
-                                           bool apply_transitions,
-                                           Word& raw) {
-  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+void SingleFaultPropagator::eval_composite(NetId g, const Frames& vals,
+                                           std::size_t b0, std::size_t m,
+                                           bool apply_transitions, Word* out,
+                                           Word* raw) {
   if (netlist_->kind(g) == GateKind::Input) {
-    raw = good[g];  // the stimulus word; nothing upstream to fault
+    gather_row(vals, g, b0, m, raw);  // the stimulus row; nothing
+                                      // upstream to fault
   } else {
     const auto fi = netlist_->fanins(g);
-    for (std::size_t j = 0; j < fi.size(); ++j) fanin_buf_[j] = read(fi[j]);
+    for (std::size_t j = 0; j < fi.size(); ++j)
+      fanin_ptrs_[j] = read_row(vals, fi[j], b0, m,
+                                fanin_lanes_.data() + j * kMaxKernelLanes);
     for (const CompPin& po : comp_pins_)
-      if (po.gate == g) fanin_buf_[po.pin] = po.value ? kAllOne : kAllZero;
-    raw = eval_gate_word(netlist_->kind(g), fanin_buf_.data(), fi.size());
+      if (po.gate == g) fanin_ptrs_[po.pin] = po.value ? kOneLanes : kZeroLanes;
+    kernel_->eval_gate(netlist_->kind(g), fanin_ptrs_.data(), fi.size(),
+                       raw);
   }
   // Identical transform order to FaultyMachine::run_frame: bridges in
   // declaration order (dom copies the aggressor's *net* value, wired
   // resolves the two *driver* values), then the transition hold, then
   // stem overrides (a hard stuck-at wins over coupling).
-  Word v = raw;
+  std::copy(raw, raw + lanes_, out);
+  Word row_buf[kMaxKernelLanes];
   for (const CompBridge& br : comp_bridges_) {
     if (br.kind == FaultKind::BridgeDom) {
-      if (br.a == g) v = read(br.b);
+      if (br.a == g) {
+        const Word* other = read_row(vals, br.b, b0, m, row_buf);
+        std::copy(other, other + lanes_, out);
+      }
     } else if (br.a == g || br.b == g) {
       const NetId other = (br.a == g) ? br.b : br.a;
-      const Word other_raw =
-          raw_touched_[other] ? raw_scratch_[other] : good[other];
-      v = (br.kind == FaultKind::BridgeWAnd) ? (raw & other_raw)
-                                             : (raw | other_raw);
+      const Word* other_raw;
+      if (raw_touched_[other]) {
+        other_raw = raw_scratch_.data() + other * lanes_;
+      } else {
+        gather_row(vals, other, b0, m, row_buf);
+        other_raw = row_buf;
+      }
+      if (br.kind == FaultKind::BridgeWAnd) {
+        for (std::size_t l = 0; l < lanes_; ++l)
+          out[l] = raw[l] & other_raw[l];
+      } else {
+        for (std::size_t l = 0; l < lanes_; ++l)
+          out[l] = raw[l] | other_raw[l];
+      }
     }
   }
   if (apply_transitions) {
     for (const CompTransition& t : comp_transitions_) {
       if (t.net != g) continue;
-      Word f1 = kAllZero;
-      for (const auto& [net, word] : launch_faulty_) {
-        if (net == g) {
-          f1 = word;
+      const Word* f1 = kZeroLanes;
+      for (const LaunchRow& lr : launch_faulty_) {
+        if (lr.net == g) {
+          f1 = lr.lanes;
           break;
         }
       }
-      const Word moved = t.rise ? (~f1 & v) : (f1 & ~v);
-      v = (v & ~moved) | (f1 & moved);
+      for (std::size_t l = 0; l < lanes_; ++l) {
+        const Word moved = t.rise ? (~f1[l] & out[l]) : (f1[l] & ~out[l]);
+        out[l] = (out[l] & ~moved) | (f1[l] & moved);
+      }
     }
   }
   for (const CompStem& so : comp_stems_)
-    if (so.net == g) v = so.value ? kAllOne : kAllZero;
-  return v;
+    if (so.net == g)
+      std::fill(out, out + lanes_, so.value ? kAllOne : kAllZero);
 }
 
-bool SingleFaultPropagator::propagate_composite(const std::vector<Word>& good,
+bool SingleFaultPropagator::propagate_composite(const Frames& vals,
+                                                std::size_t b0,
+                                                std::size_t m,
                                                 bool apply_transitions) {
-  auto read = [&](NetId x) { return touched_[x] ? scratch_[x] : good[x]; };
+  Word vbuf[kMaxKernelLanes];
+  Word raw_buf[kMaxKernelLanes];
+  Word cur_buf[kMaxKernelLanes];
+  Word prev_raw_buf[kMaxKernelLanes];
   // Bridge couplings can enqueue backwards in level order; those events
   // survive into the next sweep. Any acyclic coupling chain settles
   // within n_bridges+1 sweeps, so the cap is pure safety (callers fall
@@ -457,12 +547,18 @@ bool SingleFaultPropagator::propagate_composite(const std::vector<Word>& good,
         const NetId g = bucket[idx];
         queued_[g] = false;
         --pending_;
-        Word raw = kAllZero;
-        const Word v = eval_composite(g, good, apply_transitions, raw);
+        eval_composite(g, vals, b0, m, apply_transitions, vbuf, raw_buf);
         if (is_wired_member(g)) {
-          const Word prev_raw = raw_touched_[g] ? raw_scratch_[g] : good[g];
-          if (raw != prev_raw) {
-            raw_scratch_[g] = raw;
+          const Word* prev_raw;
+          if (raw_touched_[g]) {
+            prev_raw = raw_scratch_.data() + g * lanes_;
+          } else {
+            gather_row(vals, g, b0, m, prev_raw_buf);
+            prev_raw = prev_raw_buf;
+          }
+          if (!std::equal(raw_buf, raw_buf + lanes_, prev_raw)) {
+            std::copy(raw_buf, raw_buf + lanes_,
+                      raw_scratch_.begin() + g * lanes_);
             if (!raw_touched_[g]) {
               raw_touched_[g] = true;
               raw_touched_list_.push_back(g);
@@ -475,8 +571,9 @@ bool SingleFaultPropagator::propagate_composite(const std::vector<Word>& good,
                 enqueue_net(br.a == g ? br.b : br.a);
           }
         }
-        if (v != read(g)) {
-          scratch_[g] = v;
+        const Word* cur = read_row(vals, g, b0, m, cur_buf);
+        if (!std::equal(vbuf, vbuf + lanes_, cur)) {
+          std::copy(vbuf, vbuf + lanes_, scratch_.begin() + g * lanes_);
           if (!touched_[g]) {
             touched_[g] = true;
             touched_list_.push_back(g);
@@ -494,36 +591,40 @@ bool SingleFaultPropagator::propagate_composite(const std::vector<Word>& good,
   return true;
 }
 
-void SingleFaultPropagator::collect_composite(std::size_t b,
+void SingleFaultPropagator::collect_composite(std::size_t b0, std::size_t m,
                                               ErrorSignature& sig) {
-  const auto& good = baseline_->values[b];
-  const Word valid = patterns_->valid_mask(b);
-  Word any = kAllZero;
+  const Frames& vals = baseline_->values;
   struct PoDiff {
     std::uint32_t po;
     Word diff;
   };
   std::vector<PoDiff> po_diffs;
-  for (NetId t : touched_list_) {
-    if (auto idx = netlist_->output_index(t)) {
-      const Word diff = (scratch_[t] ^ good[t]) & valid;
-      if (diff) {
-        po_diffs.push_back({*idx, diff});
-        any |= diff;
+  for (std::size_t l = 0; l < m; ++l) {
+    const Word valid = patterns_->valid_mask(b0 + l);
+    Word any = kAllZero;
+    po_diffs.clear();
+    for (NetId t : touched_list_) {
+      if (auto idx = netlist_->output_index(t)) {
+        const Word diff =
+            (scratch_[t * lanes_ + l] ^ vals[b0 + l][t]) & valid;
+        if (diff) {
+          po_diffs.push_back({*idx, diff});
+          any |= diff;
+        }
       }
     }
-  }
-  while (any) {
-    const int bit = std::countr_zero(any);
-    any &= any - 1;
-    std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
-    for (const PoDiff& pd : po_diffs) {
-      if ((pd.diff >> bit) & 1u)
-        po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+    while (any) {
+      const int bit = std::countr_zero(any);
+      any &= any - 1;
+      std::fill(po_mask_buf_.begin(), po_mask_buf_.end(), kAllZero);
+      for (const PoDiff& pd : po_diffs) {
+        if ((pd.diff >> bit) & 1u)
+          po_mask_buf_[pd.po / 64] |= Word{1} << (pd.po % 64);
+      }
+      sig.append(static_cast<std::uint32_t>((b0 + l) * 64 +
+                                            static_cast<std::size_t>(bit)),
+                 po_mask_buf_);
     }
-    sig.append(
-        static_cast<std::uint32_t>(b * 64 + static_cast<std::size_t>(bit)),
-        po_mask_buf_);
   }
 }
 
@@ -555,33 +656,39 @@ ErrorSignature SingleFaultPropagator::signature(
   if (!prepare_composite(multiplet)) return composite_fallback(multiplet);
   propagate_metrics().patterns_simulated.inc(patterns_->n_patterns());
   ErrorSignature sig(patterns_->n_patterns(), netlist_->n_outputs());
-  for (std::size_t b = 0; b < patterns_->n_blocks(); ++b) {
+  for (std::size_t b = 0; b < patterns_->n_blocks();) {
+    const std::size_t m = std::min(lanes_, patterns_->n_blocks() - b);
     if (launch_ != nullptr && !comp_transitions_.empty()) {
       // Frame 1 (launch) under the static members only — run purely to
-      // harvest the faulty launch words the transition hold consumes in
+      // harvest the faulty launch rows the transition hold consumes in
       // frame 2 (the capture frame reads no other frame-1 state).
       seed_composite(/*apply_transitions=*/false);
-      if (!propagate_composite(launch_values_[b],
+      if (!propagate_composite(launch_values_, b, m,
                                /*apply_transitions=*/false)) {
         reset_composite();
         return composite_fallback(multiplet);
       }
       launch_faulty_.clear();
       for (const CompTransition& t : comp_transitions_) {
-        const Word f1 =
-            touched_[t.net] ? scratch_[t.net] : launch_values_[b][t.net];
-        launch_faulty_.push_back({t.net, f1});
+        LaunchRow row;
+        row.net = t.net;
+        gather_row(launch_values_, t.net, b, m, row.lanes);
+        if (touched_[t.net])
+          std::copy(scratch_.begin() + t.net * lanes_,
+                    scratch_.begin() + t.net * lanes_ + lanes_, row.lanes);
+        launch_faulty_.push_back(row);
       }
       reset_composite();
     }
     seed_composite(/*apply_transitions=*/launch_ != nullptr);
-    if (!propagate_composite(baseline_->values[b],
+    if (!propagate_composite(baseline_->values, b, m,
                              /*apply_transitions=*/launch_ != nullptr)) {
       reset_composite();
       return composite_fallback(multiplet);
     }
-    collect_composite(b, sig);
+    collect_composite(b, m, sig);
     reset_composite();
+    b += m;
   }
   return sig;
 }

@@ -5,7 +5,9 @@
 // the fault sites' faulty words and propagating only through the affected
 // cone with a levelized event queue — the classic parallel-pattern fault
 // propagation that makes per-candidate simulation proportional to the
-// fault's influence cone instead of the whole netlist.
+// fault's influence cone instead of the whole netlist. Queries evaluate
+// one simulation-kernel lane group (kernel.lanes consecutive 64-pattern
+// blocks) per wave; results are bit-identical for every kernel.
 //
 // Two query shapes share the machinery:
 //  * signature(const Fault&) — single-fault queries (solo signatures);
@@ -39,7 +41,9 @@ namespace mdd {
 /// every 64-pattern block, plus the PO response. It depends only on
 /// (netlist, patterns) and is read-only during queries, so propagators for
 /// the same pair — across threads or across requests in the serving layer
-/// — can share one copy instead of re-simulating the whole circuit each.
+/// — can share one copy instead of re-simulating the whole circuit each
+/// (including propagators running different kernels: the layout is
+/// block-major, kernel-independent).
 struct PropagatorBaseline {
   std::vector<std::vector<Word>> values;  ///< [block][net]
   PatternSet good;                        ///< PO response (masked to valid)
@@ -48,22 +52,27 @@ struct PropagatorBaseline {
 class SingleFaultPropagator {
  public:
   /// Single-frame (static test) mode.
-  SingleFaultPropagator(const Netlist& netlist, const PatternSet& patterns);
+  SingleFaultPropagator(const Netlist& netlist, const PatternSet& patterns,
+                        const SimKernel& kernel = current_kernel());
 
   /// Single-frame mode reusing a shared baseline (must have been built by
   /// make_baseline for this exact netlist + patterns pair); skips the
   /// full-circuit good simulation.
   SingleFaultPropagator(const Netlist& netlist, const PatternSet& patterns,
-                        std::shared_ptr<const PropagatorBaseline> baseline);
+                        std::shared_ptr<const PropagatorBaseline> baseline,
+                        const SimKernel& kernel = current_kernel());
 
   /// Two-frame (launch/capture) mode: signatures are capture-frame and
   /// transition faults are supported.
   SingleFaultPropagator(const Netlist& netlist, const PatternSet& launch,
-                        const PatternSet& capture);
+                        const PatternSet& capture,
+                        const SimKernel& kernel = current_kernel());
 
   /// Computes the shareable good-machine state for (netlist, patterns).
   static std::shared_ptr<const PropagatorBaseline> make_baseline(
       const Netlist& netlist, const PatternSet& patterns);
+
+  const SimKernel& kernel() const { return *kernel_; }
 
   /// Error signature of one fault; equals FaultyMachine-based signatures
   /// for non-feedback faults. Feedback bridges fall back to the exact
@@ -81,11 +90,23 @@ class SingleFaultPropagator {
   const PatternSet& good_response() const { return baseline_->good; }
 
  private:
-  void seed_fault(const Fault& fault, std::size_t b);
+  using Frames = std::vector<std::vector<Word>>;  // [block][net]
+
+  /// Gathers net `n`'s lane row for the group at `b0` (m valid blocks;
+  /// padding lanes replicate the last valid block) into `out`.
+  void gather_row(const Frames& vals, NetId n, std::size_t b0, std::size_t m,
+                  Word* out) const;
+  /// Lane row of net `n`: the scratch overlay if touched, else the good
+  /// row gathered into `buf`.
+  const Word* read_row(const Frames& vals, NetId n, std::size_t b0,
+                       std::size_t m, Word* buf) const;
+
+  void seed_fault(const Fault& fault, std::size_t b0, std::size_t m);
   /// Propagates the seeded wave; returns true if `watch` was touched
   /// (feedback-bridge detection — the optimistic result is then invalid).
-  bool propagate(std::size_t b, ErrorSignature& sig, NetId watch);
-  void seed_site(NetId net, Word value, Word good);
+  bool propagate(std::size_t b0, std::size_t m, ErrorSignature& sig,
+                 NetId watch);
+  void seed_site(NetId net, const Word* value, const Word* good);
 
   // Composite (multi-fault) machinery. The multiplet is partitioned like
   // FaultyMachine::set_faults; every dequeued net is re-evaluated through
@@ -110,6 +131,11 @@ class SingleFaultPropagator {
     NetId net;
     bool rise;
   };
+  /// Faulty launch-frame lane row of one transition net (pair mode).
+  struct LaunchRow {
+    NetId net;
+    Word lanes[kMaxKernelLanes];
+  };
 
   /// Partitions the multiplet; false when the bridge couplings could form
   /// a cycle (the event fixpoint would be schedule-dependent there — use
@@ -121,37 +147,41 @@ class SingleFaultPropagator {
   void enqueue_net(NetId n);
   void seed_composite(bool apply_transitions);
   /// Re-evaluates net `g` under the composite fault set against the
-  /// frame's committed `good` values; `raw` receives the pre-transform
-  /// driver value (wired-bridge input).
-  Word eval_composite(NetId g, const std::vector<Word>& good,
-                      bool apply_transitions, Word& raw);
+  /// frame's committed `vals`; writes the final lane row to `out` and the
+  /// pre-transform driver row (wired-bridge input) to `raw`.
+  void eval_composite(NetId g, const Frames& vals, std::size_t b0,
+                      std::size_t m, bool apply_transitions, Word* out,
+                      Word* raw);
   /// Runs the seeded wave to quiescence (multi-sweep: bridge couplings may
   /// enqueue backwards in level order). False if the sweep cap was hit.
-  bool propagate_composite(const std::vector<Word>& good,
+  bool propagate_composite(const Frames& vals, std::size_t b0, std::size_t m,
                            bool apply_transitions);
-  /// Appends this block's PO differences to `sig` and clears the overlay.
-  void collect_composite(std::size_t b, ErrorSignature& sig);
+  /// Appends this group's PO differences to `sig`.
+  void collect_composite(std::size_t b0, std::size_t m, ErrorSignature& sig);
   void reset_composite();
   /// Exact-machine path (cyclic couplings / sweep-cap safety).
   ErrorSignature composite_fallback(std::span<const Fault> multiplet);
   bool is_wired_member(NetId g) const;
 
   const Netlist* netlist_;
+  const SimKernel* kernel_;
+  std::size_t lanes_;
   const PatternSet* patterns_;  // capture frame in pair mode
   const PatternSet* launch_ = nullptr;
 
   /// Committed good values + PO response (owned or shared; never written
   /// after construction).
   std::shared_ptr<const PropagatorBaseline> baseline_;
-  std::vector<std::vector<Word>> launch_values_;  // pair mode
+  Frames launch_values_;  // pair mode
 
   // Per-query scratch.
-  std::vector<Word> scratch_;
+  std::vector<Word> scratch_;  ///< [net][lane] faulty overlay
   std::vector<bool> touched_;
   std::vector<NetId> touched_list_;
   std::vector<std::vector<NetId>> level_queue_;
   std::vector<bool> queued_;
-  std::vector<Word> fanin_buf_;
+  std::vector<Word> fanin_lanes_;  ///< [fanin slot][lane] gather buffer
+  std::vector<const Word*> fanin_ptrs_;
   std::vector<Word> po_mask_buf_;
 
   // Composite-query scratch (allocated on first composite query).
@@ -159,12 +189,12 @@ class SingleFaultPropagator {
   std::vector<CompPin> comp_pins_;
   std::vector<CompBridge> comp_bridges_;
   std::vector<CompTransition> comp_transitions_;
-  std::vector<Word> raw_scratch_;  ///< pre-transform values, wired members
+  std::vector<Word> raw_scratch_;  ///< pre-transform rows, wired members
   std::vector<bool> raw_touched_;
   std::vector<NetId> raw_touched_list_;
-  /// Faulty launch-frame words at the transition nets (pair mode; the only
+  /// Faulty launch-frame rows at the transition nets (pair mode; the only
   /// frame-1 state the capture frame consumes).
-  std::vector<std::pair<NetId, Word>> launch_faulty_;
+  std::vector<LaunchRow> launch_faulty_;
   std::size_t pending_ = 0;  ///< enqueued, not yet re-evaluated
   std::unordered_map<std::uint64_t, bool> reach_cache_;
 

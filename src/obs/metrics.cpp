@@ -39,7 +39,7 @@ Registry::Slot& Registry::resolve(std::string_view name, Kind kind) {
   auto it = slots_.find(name);
   if (it == slots_.end())
     it = slots_.emplace(std::string(name), Slot{kind, nullptr, nullptr,
-                                                nullptr})
+                                                nullptr, {}, {}})
              .first;
   if (it->second.kind != kind)
     throw std::logic_error("metric '" + std::string(name) +
@@ -70,6 +70,14 @@ Histogram& Registry::histogram(std::string_view name,
   return *slot.histogram;
 }
 
+void Registry::set_info(std::string_view name, std::string_view label_key,
+                        std::string_view label_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = resolve(name, Kind::Info);
+  slot.info_key = std::string(label_key);
+  slot.info_value = std::string(label_value);
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
@@ -94,6 +102,9 @@ Snapshot Registry::snapshot() const {
         snap.histograms.push_back(std::move(s));
         break;
       }
+      case Kind::Info:
+        snap.infos.push_back({name, slot.info_key, slot.info_value});
+        break;
     }
   }
   return snap;  // map iteration order is already name-sorted
@@ -137,6 +148,11 @@ std::string render_prometheus(const Snapshot& snapshot) {
     const std::string n = prom_name(g.name);
     out += "# TYPE " + n + " gauge\n";
     out += n + " " + std::to_string(g.value) + "\n";
+  }
+  for (const InfoSample& i : snapshot.infos) {
+    const std::string n = prom_name(i.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + "{" + i.label_key + "=\"" + i.label_value + "\"} 1\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
     const std::string n = prom_name(h.name);

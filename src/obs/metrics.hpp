@@ -100,11 +100,20 @@ struct HistogramSample {
   double sum = 0.0;
 };
 
+/// A Prometheus-style info series: constant value 1 with one identifying
+/// label ("which kernel / build / config is this process running").
+struct InfoSample {
+  std::string name;
+  std::string label_key;
+  std::string label_value;
+};
+
 /// Point-in-time copy of a registry, sorted by name within each kind.
 struct Snapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<InfoSample> infos;
 };
 
 /// Named metric registry. Handles are created on first use and live as
@@ -127,15 +136,23 @@ class Registry {
     return histogram(name, latency_buckets_ms());
   }
 
+  /// Sets (or replaces) an info series: rendered as
+  /// `name{label_key="label_value"} 1`. Unlike the handle-based metrics
+  /// this is set-once-per-change state, not a hot-path instrument.
+  void set_info(std::string_view name, std::string_view label_key,
+                std::string_view label_value);
+
   Snapshot snapshot() const;
 
  private:
-  enum class Kind { Counter, Gauge, Histogram };
+  enum class Kind { Counter, Gauge, Histogram, Info };
   struct Slot {
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::string info_key;
+    std::string info_value;
   };
 
   Slot& resolve(std::string_view name, Kind kind);
@@ -149,7 +166,7 @@ Registry& registry();
 
 /// Prometheus text exposition (format 0.0.4) of a snapshot: '.' in names
 /// becomes '_', histograms render as cumulative `_bucket{le="..."}`
-/// series plus `_sum`/`_count`.
+/// series plus `_sum`/`_count`, infos as `name{key="value"} 1` gauges.
 std::string render_prometheus(const Snapshot& snapshot);
 
 }  // namespace mdd::obs

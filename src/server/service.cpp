@@ -13,6 +13,7 @@
 #include "diag/slat.hpp"
 #include "obs/metrics.hpp"
 #include "server/result_json.hpp"
+#include "sim/kernel.hpp"
 #include "workload/textio.hpp"
 
 namespace mdd::server {
@@ -96,10 +97,13 @@ Json snapshot_to_json(const obs::Snapshot& snap) {
     hist.set("sum", h.sum);
     histograms.set(h.name, std::move(hist));
   }
+  Json infos;
+  for (const obs::InfoSample& i : snap.infos) infos.set(i.name, i.label_value);
   Json out;
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
   out.set("histograms", std::move(histograms));
+  out.set("infos", std::move(infos));
   return out;
 }
 
@@ -130,6 +134,11 @@ DiagnosisService::DiagnosisService(const ServiceOptions& options)
       queue_(options.queue_depth),
       pool_(std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, options.n_workers))) {
+  if (!options.kernel.empty() && !set_current_kernel(options.kernel))
+    throw std::invalid_argument("unknown simulation kernel '" +
+                                options.kernel + "' (available: " +
+                                kernel_names() + ")");
+  obs::registry().set_info("fsim.kernel", "kernel", current_kernel().name);
   pump_ = std::thread([this] {
     pool_->run_on_all([this](std::size_t) { drain(); });
   });
@@ -230,6 +239,7 @@ Json DiagnosisService::dispatch(const Json& request,
     Json r = make_response(request, "ok");
     r.set("op", "ping");
     r.set("version", kVersion);
+    r.set("kernel", current_kernel().name);
     return r;
   }
   if (op == "stats") {
@@ -339,6 +349,7 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   Json response = make_response(request, timed_out ? "timeout" : "ok");
   response.set("op", "diagnose");
   response.set("method", method);
+  response.set("kernel", current_kernel().name);
   response.set("cache", cache_hit ? "hit" : "miss");
   if (timed_out) response.set("partial", true);
   response.set("reports", reports_to_json(reports, session->netlist));
@@ -421,6 +432,7 @@ void DiagnosisService::finish_request(const Json& request, Json& response,
 Json DiagnosisService::stats_json() const {
   Json s;
   s.set("version", kVersion);
+  s.set("kernel", current_kernel().name);
   s.set("workers", options_.n_workers);
   const SessionCacheStats cs = cache_.stats();
   Json cache;

@@ -81,6 +81,12 @@ struct ServiceOptions {
   /// stream must outlive the service and tolerate worker-thread writes
   /// (the service serializes them internally).
   std::ostream* slow_log = nullptr;
+  /// Simulation kernel ("scalar", "avx2", "avx512"). Empty = keep the
+  /// process-wide default (CPUID best, or MDD_KERNEL). An unavailable
+  /// name makes the service constructor throw std::invalid_argument.
+  /// Applied process-wide before any session is built; the active choice
+  /// is reported by ping/stats and the fsim_kernel info metric.
+  std::string kernel;
 };
 
 class DiagnosisService {

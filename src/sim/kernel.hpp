@@ -1,0 +1,84 @@
+// openmdd — runtime-dispatched simulation kernels.
+//
+// A `SimKernel` is the narrow waist every bit-parallel simulator evaluates
+// through: packed pattern-word lanes in, pattern-word lanes out. The
+// pattern dimension is widened from one 64-bit word to `lanes` consecutive
+// words (lanes * 64 patterns per pass); the scalar kernel (lanes = 1)
+// reproduces the original one-word-at-a-time loops and is the reference
+// every wider variant is differentially tested against
+// (tests/test_kernel_equiv.cpp — byte-identical signatures, detect sets
+// and coverage for every kernel, fault mix and thread count).
+//
+// Variants are compiled in their own translation units with the matching
+// target flags (AVX2: 4 lanes, AVX-512: 8 lanes) and selected at runtime
+// by CPUID, so one binary runs correctly on any x86-64 host and a
+// non-SIMD build (-DMDD_DISABLE_SIMD=ON) degrades to the scalar kernel.
+// The process-wide choice is overridable with the MDD_KERNEL environment
+// variable or the --kernel flag on the CLI/daemon; simulators snapshot
+// the kernel at construction, so the override must happen before sessions
+// are built (the tools do it first thing in main).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/cell.hpp"
+#include "netlist/logic.hpp"
+
+namespace mdd {
+
+/// Upper bound on SimKernel::lanes across all variants; fixed-size lane
+/// scratch buffers (stack arrays in the simulators) are sized with it.
+inline constexpr std::size_t kMaxKernelLanes = 8;
+
+/// A simulation-kernel vtable. All operations are pure bit-parallel word
+/// transforms: results are identical across kernels by construction, only
+/// the number of words processed per pass (`lanes`) and the instruction
+/// set differ.
+struct SimKernel {
+  const char* name;   ///< "scalar", "avx2", "avx512"
+  std::size_t lanes;  ///< pattern-words per evaluation pass (<= kMaxKernelLanes)
+
+  /// out[0..lanes) = primitive `kind` applied lane-wise over `n_fanins`
+  /// operands; each fanins[j] points at `lanes` contiguous words. `out`
+  /// must not alias any operand.
+  void (*eval_gate)(GateKind kind, const Word* const* fanins,
+                    std::size_t n_fanins, Word* out);
+
+  /// Total set bits over `n` words (SignatureMatcher scoring).
+  std::size_t (*popcount)(const Word* a, std::size_t n);
+
+  /// Total set bits of a[i] & b[i] over `n` words.
+  std::size_t (*popcount_and)(const Word* a, const Word* b, std::size_t n);
+};
+
+/// The reference kernel (lanes = 1); always available.
+const SimKernel& scalar_kernel();
+
+/// Kernels usable on this machine (compiled in AND supported by CPUID),
+/// scalar first, then in increasing width.
+const std::vector<const SimKernel*>& available_kernels();
+
+/// Looks an *available* kernel up by name; nullptr if unknown or not
+/// usable on this machine.
+const SimKernel* find_kernel(std::string_view name);
+
+/// Widest available kernel (CPUID dispatch result).
+const SimKernel& best_kernel();
+
+/// Space-separated names of the available kernels (diagnostics / usage).
+std::string kernel_names();
+
+/// The process-wide kernel new simulators pick up by default. Resolved
+/// lazily on first use: MDD_KERNEL if set and available (an unavailable
+/// name warns once on stderr and falls through), else best_kernel().
+const SimKernel& current_kernel();
+
+/// Overrides the process-wide kernel. The string form returns false (and
+/// changes nothing) if `name` is not an available kernel.
+void set_current_kernel(const SimKernel& kernel);
+bool set_current_kernel(std::string_view name);
+
+}  // namespace mdd

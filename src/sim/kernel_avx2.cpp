@@ -1,0 +1,29 @@
+// AVX2 simulation kernel: 4 pattern-words (256 patterns) per pass. The
+// whole TU is compiled with -mavx2 (see src/sim/CMakeLists.txt), so the
+// generic lane loops in kernel_ops.inl vectorize to 256-bit ops; when the
+// toolchain cannot target AVX2 or -DMDD_DISABLE_SIMD=ON, the table is
+// absent and dispatch stays on narrower kernels.
+#include "sim/kernel.hpp"
+
+#include <bit>
+
+namespace mdd::detail {
+
+#if defined(MDD_KERNEL_AVX2)
+
+namespace {
+#include "sim/kernel_ops.inl"
+
+constexpr SimKernel kAvx2Kernel = {
+    "avx2", 4, &eval_gate_lanes<4>, &popcount_words, &popcount_and_words};
+}  // namespace
+
+const SimKernel* avx2_kernel_table() { return &kAvx2Kernel; }
+
+#else
+
+const SimKernel* avx2_kernel_table() { return nullptr; }
+
+#endif
+
+}  // namespace mdd::detail

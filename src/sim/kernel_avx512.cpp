@@ -1,0 +1,29 @@
+// AVX-512 simulation kernel: 8 pattern-words (512 patterns) per pass.
+// Compiled with -mavx512f -mavx512bw -mavx512vl -mavx512vpopcntdq (see
+// src/sim/CMakeLists.txt); kernel.cpp's CPUID probe requires the same
+// feature set before ever dispatching here, so the binary stays safe on
+// AVX2-only hosts. Absent entirely under -DMDD_DISABLE_SIMD=ON.
+#include "sim/kernel.hpp"
+
+#include <bit>
+
+namespace mdd::detail {
+
+#if defined(MDD_KERNEL_AVX512)
+
+namespace {
+#include "sim/kernel_ops.inl"
+
+constexpr SimKernel kAvx512Kernel = {
+    "avx512", 8, &eval_gate_lanes<8>, &popcount_words, &popcount_and_words};
+}  // namespace
+
+const SimKernel* avx512_kernel_table() { return &kAvx512Kernel; }
+
+#else
+
+const SimKernel* avx512_kernel_table() { return nullptr; }
+
+#endif
+
+}  // namespace mdd::detail

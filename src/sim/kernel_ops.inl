@@ -1,0 +1,78 @@
+// openmdd — lane-generic simulation-kernel operations.
+//
+// Included (inside an anonymous namespace) by each kernel translation
+// unit, which compiles this one implementation with its own target flags:
+// kernel.cpp plain (scalar, L = 1), kernel_avx2.cpp with -mavx2 (L = 4),
+// kernel_avx512.cpp with -mavx512* (L = 8). The loops are written so the
+// vectorizer collapses each lane loop into one (or two) vector ops; no
+// intrinsics, so every variant computes bit-identical results and the
+// scalar instantiation is exactly the original word-at-a-time code.
+//
+// This file must only be included from a .cpp after "sim/kernel.hpp" and
+// <bit> (no includes here: the include site sits inside a namespace).
+
+template <std::size_t L>
+void eval_gate_lanes(mdd::GateKind kind, const mdd::Word* const* ins,
+                     std::size_t n, mdd::Word* out) {
+  using mdd::kAllOne;
+  using mdd::kAllZero;
+  using mdd::Word;
+  switch (kind) {
+    case mdd::GateKind::Input:  // inputs are loaded, never evaluated
+    case mdd::GateKind::Const0:
+      for (std::size_t i = 0; i < L; ++i) out[i] = kAllZero;
+      return;
+    case mdd::GateKind::Const1:
+      for (std::size_t i = 0; i < L; ++i) out[i] = kAllOne;
+      return;
+    case mdd::GateKind::Buf:
+      for (std::size_t i = 0; i < L; ++i) out[i] = ins[0][i];
+      return;
+    case mdd::GateKind::Not:
+      for (std::size_t i = 0; i < L; ++i) out[i] = ~ins[0][i];
+      return;
+    case mdd::GateKind::And:
+    case mdd::GateKind::Nand: {
+      for (std::size_t i = 0; i < L; ++i) out[i] = kAllOne;
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < L; ++i) out[i] &= ins[j][i];
+      if (kind == mdd::GateKind::Nand)
+        for (std::size_t i = 0; i < L; ++i) out[i] = ~out[i];
+      return;
+    }
+    case mdd::GateKind::Or:
+    case mdd::GateKind::Nor: {
+      for (std::size_t i = 0; i < L; ++i) out[i] = kAllZero;
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < L; ++i) out[i] |= ins[j][i];
+      if (kind == mdd::GateKind::Nor)
+        for (std::size_t i = 0; i < L; ++i) out[i] = ~out[i];
+      return;
+    }
+    case mdd::GateKind::Xor:
+    case mdd::GateKind::Xnor: {
+      for (std::size_t i = 0; i < L; ++i) out[i] = kAllZero;
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < L; ++i) out[i] ^= ins[j][i];
+      if (kind == mdd::GateKind::Xnor)
+        for (std::size_t i = 0; i < L; ++i) out[i] = ~out[i];
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < L; ++i) out[i] = kAllZero;  // unreachable
+}
+
+inline std::size_t popcount_words(const mdd::Word* a, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i]));
+  return c;
+}
+
+inline std::size_t popcount_and_words(const mdd::Word* a, const mdd::Word* b,
+                                      std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return c;
+}

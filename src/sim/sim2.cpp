@@ -1,66 +1,87 @@
 #include "sim/sim2.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace mdd {
 
 BlockSim::BlockSim(const Netlist& netlist)
-    : netlist_(&netlist), values_(netlist.n_nets(), kAllZero) {
+    : BlockSim(netlist, current_kernel()) {}
+
+BlockSim::BlockSim(const Netlist& netlist, const SimKernel& kernel)
+    : netlist_(&netlist),
+      kernel_(&kernel),
+      lanes_(kernel.lanes),
+      values_(netlist.n_nets() * kernel.lanes, kAllZero) {
   if (!netlist.finalized())
     throw std::logic_error("BlockSim: netlist not finalized");
   std::size_t max_fanin = 0;
   for (NetId n = 0; n < netlist.n_nets(); ++n)
     max_fanin = std::max(max_fanin, netlist.fanins(n).size());
-  fanin_buf_.resize(max_fanin);
+  fanin_ptrs_.resize(max_fanin);
 }
 
-void BlockSim::run(const PatternSet& stimuli, std::size_t block) {
-  const auto& inputs = netlist_->inputs();
-  assert(stimuli.n_signals() == inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i)
-    values_[inputs[i]] = stimuli.word(block, i);
+void BlockSim::eval_topo() {
   for (NetId g : netlist_->topo_order()) {
     const GateKind k = netlist_->kind(g);
     if (k == GateKind::Input) continue;
     const auto fi = netlist_->fanins(g);
     for (std::size_t j = 0; j < fi.size(); ++j)
-      fanin_buf_[j] = values_[fi[j]];
-    values_[g] = eval_gate_word(k, fanin_buf_.data(), fi.size());
+      fanin_ptrs_[j] = values_.data() + fi[j] * lanes_;
+    kernel_->eval_gate(k, fanin_ptrs_.data(), fi.size(),
+                       values_.data() + g * lanes_);
   }
+}
+
+std::size_t BlockSim::run_wide(const PatternSet& stimuli, std::size_t block) {
+  const auto& inputs = netlist_->inputs();
+  assert(stimuli.n_signals() == inputs.size());
+  assert(block < stimuli.n_blocks());
+  const std::size_t m = std::min(lanes_, stimuli.n_blocks() - block);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Word* v = values_.data() + inputs[i] * lanes_;
+    for (std::size_t l = 0; l < lanes_; ++l)
+      v[l] = stimuli.word(block + std::min(l, m - 1), i);
+  }
+  eval_topo();
+  return m;
 }
 
 void BlockSim::run(std::span<const Word> pi_words) {
   const auto& inputs = netlist_->inputs();
   assert(pi_words.size() == inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i)
-    values_[inputs[i]] = pi_words[i];
-  for (NetId g : netlist_->topo_order()) {
-    const GateKind k = netlist_->kind(g);
-    if (k == GateKind::Input) continue;
-    const auto fi = netlist_->fanins(g);
-    for (std::size_t j = 0; j < fi.size(); ++j)
-      fanin_buf_[j] = values_[fi[j]];
-    values_[g] = eval_gate_word(k, fanin_buf_.data(), fi.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Word* v = values_.data() + inputs[i] * lanes_;
+    for (std::size_t l = 0; l < lanes_; ++l) v[l] = pi_words[i];
   }
+  eval_topo();
 }
 
 void BlockSim::outputs(std::span<Word> out) const {
   const auto& pos = netlist_->outputs();
   assert(out.size() == pos.size());
-  for (std::size_t i = 0; i < pos.size(); ++i) out[i] = values_[pos[i]];
+  for (std::size_t i = 0; i < pos.size(); ++i) out[i] = value(pos[i]);
+}
+
+PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli,
+                    const SimKernel& kernel) {
+  PatternSet responses(stimuli.n_patterns(), netlist.n_outputs());
+  BlockSim sim(netlist, kernel);
+  for (std::size_t b = 0; b < stimuli.n_blocks();) {
+    const std::size_t m = sim.run_wide(stimuli, b);
+    for (std::size_t l = 0; l < m; ++l) {
+      const Word mask = stimuli.valid_mask(b + l);
+      for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
+        responses.word(b + l, o) = sim.value(netlist.outputs()[o], l) & mask;
+    }
+    b += m;
+  }
+  return responses;
 }
 
 PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli) {
-  PatternSet responses(stimuli.n_patterns(), netlist.n_outputs());
-  BlockSim sim(netlist);
-  for (std::size_t b = 0; b < stimuli.n_blocks(); ++b) {
-    sim.run(stimuli, b);
-    const Word mask = stimuli.valid_mask(b);
-    for (std::size_t o = 0; o < netlist.n_outputs(); ++o)
-      responses.word(b, o) = sim.value(netlist.outputs()[o]) & mask;
-  }
-  return responses;
+  return simulate(netlist, stimuli, current_kernel());
 }
 
 }  // namespace mdd

@@ -1,48 +1,83 @@
 // openmdd — bit-parallel two-valued good-machine simulation.
 //
-// `BlockSim` evaluates one 64-pattern block over the whole netlist in
-// topological order, leaving every net's word accessible — the faulty
-// machine (fault/inject.hpp) and critical path tracing both build on this
-// buffer. `simulate` is the batch convenience wrapper producing PO
-// responses for a full pattern set.
+// `BlockSim` evaluates a *group* of pattern blocks over the whole netlist
+// in topological order through a simulation kernel (sim/kernel.hpp): the
+// scalar kernel processes one 64-pattern block per pass, AVX2/AVX-512
+// kernels 4/8 blocks, leaving every net's lane words accessible — the
+// faulty machine (fault/inject.hpp) and critical path tracing build on
+// this buffer. `simulate` is the batch convenience wrapper producing PO
+// responses for a full pattern set. Results are bit-identical for every
+// kernel (tests/test_kernel_equiv.cpp).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/kernel.hpp"
 #include "sim/patterns.hpp"
 
 namespace mdd {
 
-/// Reusable per-netlist simulation buffer for one block of 64 patterns.
+/// Reusable per-netlist simulation buffer for one lane group (up to
+/// kernel.lanes consecutive 64-pattern blocks).
 class BlockSim {
  public:
   explicit BlockSim(const Netlist& netlist);
+  BlockSim(const Netlist& netlist, const SimKernel& kernel);
 
-  /// Evaluates all nets for pattern block `block` of `stimuli`
-  /// (stimuli.n_signals() must equal netlist.n_inputs()).
-  void run(const PatternSet& stimuli, std::size_t block);
+  const SimKernel& kernel() const { return *kernel_; }
+  std::size_t lanes() const { return lanes_; }
 
-  /// Evaluates with explicit PI words (one per PI, in inputs() order).
+  /// Evaluates all nets for the lane group starting at pattern block
+  /// `block` of `stimuli` (stimuli.n_signals() must equal
+  /// netlist.n_inputs()). Processes min(lanes(), n_blocks - block) blocks
+  /// — the returned count; padding lanes replicate the last valid block.
+  std::size_t run_wide(const PatternSet& stimuli, std::size_t block);
+
+  /// Single-block compatibility shim: lane 0 is exactly `block`
+  /// (value(n) reads it); wider kernels fill the remaining lanes with the
+  /// following blocks as run_wide does.
+  void run(const PatternSet& stimuli, std::size_t block) {
+    run_wide(stimuli, block);
+  }
+
+  /// Evaluates with explicit PI words (one per PI, in inputs() order),
+  /// replicated across lanes; lane 0 carries the result.
   void run(std::span<const Word> pi_words);
 
   const Netlist& netlist() const { return *netlist_; }
 
-  /// Value word of net `n` after run().
-  Word value(NetId n) const { return values_[n]; }
-  std::span<const Word> values() const { return values_; }
+  /// Value word of net `n` (lane 0) after run().
+  Word value(NetId n) const { return values_[n * lanes_]; }
 
-  /// Copies PO words (outputs() order) into `out`.
+  /// Value word of net `n` for lane `lane` of the last run_wide() group.
+  Word value(NetId n, std::size_t lane) const {
+    return values_[n * lanes_ + lane];
+  }
+
+  /// All lane words of net `n` (lanes() words, contiguous).
+  std::span<const Word> lane_values(NetId n) const {
+    return {values_.data() + n * lanes_, lanes_};
+  }
+
+  /// Copies lane-0 PO words (outputs() order) into `out`.
   void outputs(std::span<Word> out) const;
 
  private:
+  void eval_topo();
+
   const Netlist* netlist_;
-  std::vector<Word> values_;
-  std::vector<Word> fanin_buf_;
+  const SimKernel* kernel_;
+  std::size_t lanes_;
+  std::vector<Word> values_;  ///< [net][lane]
+  std::vector<const Word*> fanin_ptrs_;
 };
 
-/// Full-set good-machine simulation: returns the (patterns x POs) response.
+/// Full-set good-machine simulation: returns the (patterns x POs)
+/// response. Uses `kernel` (default: the process-wide current kernel).
 PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli);
+PatternSet simulate(const Netlist& netlist, const PatternSet& stimuli,
+                    const SimKernel& kernel);
 
 }  // namespace mdd

@@ -1,0 +1,180 @@
+// SignatureMatcher oracle fuzz: the kernel-accelerated bitmap scorer is
+// checked against a deliberately naive scorer that walks every single
+// (pattern, output) bit of both signatures — no words, no popcounts, no
+// shared code with the implementation under test. Shapes are chosen to
+// hit ragged PO tail words (n_outputs 1, 63, 64, 65, 130), ragged pattern
+// counts, fully-failing ("all-X"-dense) patterns, truncated observation
+// windows (restrict_signature), residual windows (signature_difference),
+// and empty signatures — under every available simulation kernel, since
+// SignatureMatcher routes its popcounts through the kernel vtable.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fsim/fsim.hpp"
+#include "sim/kernel.hpp"
+
+namespace mdd {
+namespace {
+
+/// True iff (pattern p, output o) is an error bit of `sig`.
+bool bit_of(const ErrorSignature& sig, std::uint32_t p, std::size_t o) {
+  const std::span<const Word> mask = sig.mask_of_pattern(p);
+  if (mask.empty()) return false;
+  return (mask[o / 64] >> (o % 64)) & Word{1};
+}
+
+/// The oracle: per-bit double loop over the full (pattern x output) grid.
+MatchCounts naive_match(const ErrorSignature& observed,
+                        const ErrorSignature& sim) {
+  MatchCounts counts;
+  for (std::uint32_t p = 0; p < observed.n_patterns(); ++p) {
+    for (std::size_t o = 0; o < observed.n_outputs(); ++o) {
+      const bool tf = bit_of(observed, p, o);
+      const bool sf = bit_of(sim, p, o);
+      counts.tfsf += tf && sf;
+      counts.tfsp += tf && !sf;
+      counts.tpsf += !tf && sf;
+    }
+  }
+  return counts;
+}
+
+void expect_equal_counts(const MatchCounts& got, const MatchCounts& want,
+                         const std::string& what) {
+  EXPECT_EQ(got.tfsf, want.tfsf) << what;
+  EXPECT_EQ(got.tfsp, want.tfsp) << what;
+  EXPECT_EQ(got.tpsf, want.tpsf) << what;
+}
+
+/// Random signature; density = 0 yields an empty signature, density = 1
+/// makes every pattern fail, fill_all additionally sets EVERY output bit
+/// of each failing pattern (the all-X/fully-corrupt extreme, where the
+/// ragged last PO word must still be masked to n_outputs bits).
+ErrorSignature random_signature(std::mt19937_64& rng, std::size_t n_patterns,
+                                std::size_t n_outputs, unsigned density,
+                                bool fill_all = false) {
+  ErrorSignature sig(n_patterns, n_outputs);
+  for (std::uint32_t p = 0; p < n_patterns; ++p) {
+    if (density == 0 || rng() % density != 0) continue;
+    std::vector<Word> mask(sig.n_po_words(), kAllZero);
+    if (fill_all) {
+      for (std::size_t o = 0; o < n_outputs; ++o)
+        mask[o / 64] |= Word{1} << (o % 64);
+    } else {
+      const std::size_t n_fail = 1 + rng() % 6;
+      for (std::size_t k = 0; k < n_fail; ++k) {
+        const std::size_t o = rng() % n_outputs;
+        mask[o / 64] |= Word{1} << (o % 64);
+      }
+    }
+    sig.append(p, mask);
+  }
+  return sig;
+}
+
+constexpr std::size_t kOutputCounts[] = {1, 63, 64, 65, 130};
+constexpr std::size_t kPatternCounts[] = {1, 40, 64, 65, 130, 301};
+
+TEST(MatcherOracle, AgreesWithPerBitOracleUnderEveryKernel) {
+  std::mt19937_64 rng(0xACE5);
+  for (const std::size_t n_outputs : kOutputCounts) {
+    for (const std::size_t n_patterns : kPatternCounts) {
+      const ErrorSignature observed =
+          random_signature(rng, n_patterns, n_outputs, 2);
+      std::vector<ErrorSignature> candidates;
+      candidates.push_back(random_signature(rng, n_patterns, n_outputs, 2));
+      candidates.push_back(random_signature(rng, n_patterns, n_outputs, 5));
+      candidates.push_back(random_signature(rng, n_patterns, n_outputs, 0));
+      candidates.push_back(
+          random_signature(rng, n_patterns, n_outputs, 1, true));
+      for (const SimKernel* k : available_kernels()) {
+        const SignatureMatcher matcher(observed, *k);
+        for (std::size_t c = 0; c < candidates.size(); ++c)
+          expect_equal_counts(
+              matcher.match(candidates[c]), naive_match(observed, candidates[c]),
+              "outputs=" + std::to_string(n_outputs) +
+                  " patterns=" + std::to_string(n_patterns) +
+                  " kernel=" + k->name + " candidate=" + std::to_string(c));
+      }
+    }
+  }
+}
+
+TEST(MatcherOracle, AllFailingObservedAllFailingSim) {
+  // Every pattern fails on every output on both sides: tfsf must equal the
+  // exact grid size, with zero unexplained/mispredicted bits — any stray
+  // high bit in the ragged last PO word would break this.
+  for (const std::size_t n_outputs : kOutputCounts) {
+    std::mt19937_64 rng(7);
+    const std::size_t n_patterns = 70;
+    const ErrorSignature full =
+        random_signature(rng, n_patterns, n_outputs, 1, true);
+    for (const SimKernel* k : available_kernels()) {
+      const SignatureMatcher matcher(full, *k);
+      const MatchCounts counts = matcher.match(full);
+      EXPECT_EQ(counts.tfsf, n_patterns * n_outputs)
+          << "outputs=" << n_outputs << " kernel=" << k->name;
+      EXPECT_EQ(counts.tfsp, 0u);
+      EXPECT_EQ(counts.tpsf, 0u);
+    }
+  }
+}
+
+TEST(MatcherOracle, EmptySignaturesOnEitherSide) {
+  std::mt19937_64 rng(11);
+  const ErrorSignature observed = random_signature(rng, 130, 65, 2);
+  const ErrorSignature empty(130, 65);
+  for (const SimKernel* k : available_kernels()) {
+    expect_equal_counts(SignatureMatcher(observed, *k).match(empty),
+                        naive_match(observed, empty),
+                        std::string("observed-vs-empty kernel=") + k->name);
+    expect_equal_counts(SignatureMatcher(empty, *k).match(observed),
+                        naive_match(empty, observed),
+                        std::string("empty-vs-observed kernel=") + k->name);
+    expect_equal_counts(SignatureMatcher(empty, *k).match(empty),
+                        naive_match(empty, empty),
+                        std::string("empty-vs-empty kernel=") + k->name);
+  }
+}
+
+TEST(MatcherOracle, TruncatedWindowsAndResiduals) {
+  // ATE-window truncation and residual (difference) signatures are the two
+  // derived shapes the diagnosers feed the matcher; both must still score
+  // exactly per-bit after the transformation.
+  std::mt19937_64 rng(0xD1FF);
+  for (const std::size_t n_outputs : {63, 65}) {
+    const std::size_t n_patterns = 301;
+    const ErrorSignature a = random_signature(rng, n_patterns, n_outputs, 2);
+    const ErrorSignature b = random_signature(rng, n_patterns, n_outputs, 3);
+    for (const std::size_t window : {1, 64, 65, 300}) {
+      const ErrorSignature obs_w = restrict_signature(a, window);
+      const ErrorSignature sim_w = restrict_signature(b, window);
+      // restrict_signature keeps the declared shape's pattern count; the
+      // oracle iterates the full grid so dropped patterns count as passes.
+      const ErrorSignature residual = signature_difference(a, b);
+      for (const SimKernel* k : available_kernels()) {
+        const std::string what = "outputs=" + std::to_string(n_outputs) +
+                                 " window=" + std::to_string(window) +
+                                 " kernel=" + k->name;
+        expect_equal_counts(SignatureMatcher(obs_w, *k).match(sim_w),
+                            naive_match(obs_w, sim_w), what);
+        expect_equal_counts(SignatureMatcher(residual, *k).match(b),
+                            naive_match(residual, b), what + " residual");
+      }
+    }
+  }
+}
+
+TEST(MatcherOracle, DefaultConstructorUsesCurrentKernel) {
+  std::mt19937_64 rng(3);
+  const ErrorSignature observed = random_signature(rng, 130, 65, 2);
+  const ErrorSignature sim = random_signature(rng, 130, 65, 2);
+  const SignatureMatcher dflt(observed);
+  expect_equal_counts(dflt.match(sim), naive_match(observed, sim), "default");
+}
+
+}  // namespace
+}  // namespace mdd

@@ -35,6 +35,7 @@
 #include "netlist/dot.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "server/result_json.hpp"
+#include "sim/kernel.hpp"
 #include "workload/textio.hpp"
 
 namespace {
@@ -56,7 +57,10 @@ int usage() {
          " [--deadline-ms N]\n"
          "  openmdd version\n"
          "fault specs: 'sa0 NET' 'sa1 GATE.PIN' 'dom AGG VICTIM'"
-         " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n";
+         " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n"
+         "--kernel NAME (any command) selects the simulation kernel"
+         " (available: "
+      << kernel_names() << "; default: widest, or MDD_KERNEL)\n";
   return 2;
 }
 
@@ -103,7 +107,7 @@ Args parse_args(int argc, char** argv, int first) {
   static const char* kValueOptions[] = {
       "-o",          "--patterns", "--fault",   "--datalog",
       "--seed",      "--method",   "--max-failing", "--threads",
-      "--format",    "--deadline-ms"};
+      "--format",    "--deadline-ms", "--kernel"};
   static const char* kFlags[] = {"--no-compact"};
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
@@ -309,13 +313,19 @@ int cmd_diagnose(const Args& args) {
 int main(int argc, char** argv) {
   if (argc >= 2 && (std::string(argv[1]) == "version" ||
                     std::string(argv[1]) == "--version")) {
-    std::cout << "openmdd " << kVersion << "\n";
+    std::cout << "openmdd " << kVersion << "\n"
+              << "fsim.kernel: " << mdd::current_kernel().name
+              << " (available: " << mdd::kernel_names() << ")\n";
     return 0;
   }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
+    const std::string kernel = args.option("--kernel");
+    if (!kernel.empty() && !mdd::set_current_kernel(kernel))
+      throw std::runtime_error("unknown simulation kernel '" + kernel +
+                               "' (available: " + mdd::kernel_names() + ")");
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "atpg") return cmd_atpg(args);

@@ -3,7 +3,7 @@
 //   openmdd_serve [--stdio] [--port N] [--workers N] [--queue N]
 //                 [--cache-mb N] [--memo-mb N] [--composite-mb N]
 //                 [--exec-threads N] [--default-deadline-ms N]
-//                 [--metrics-port N] [--slow-ms N]
+//                 [--metrics-port N] [--slow-ms N] [--kernel NAME]
 //
 // Speaks line-delimited JSON (one request object per line, one response
 // per line; protocol in src/server/service.hpp and DESIGN.md §7) either
@@ -25,6 +25,7 @@
 #include "core/exec.hpp"
 #include "core/version.hpp"
 #include "server/metrics_http.hpp"
+#include "sim/kernel.hpp"
 #include "server/serve.hpp"
 #include "server/service.hpp"
 
@@ -55,7 +56,10 @@ int usage() {
          "  --metrics-port N       Prometheus text exposition on"
          " 127.0.0.1:N (0 = ephemeral)\n"
          "  --slow-ms N            log slow requests (>= N ms end-to-end)"
-         " as JSON on stderr\n";
+         " as JSON on stderr\n"
+         "  --kernel NAME          simulation kernel (available: "
+      << mdd::kernel_names()
+      << "; default: widest, or MDD_KERNEL)\n";
   return 2;
 }
 
@@ -122,6 +126,8 @@ int main(int argc, char** argv) {
         metrics_port = static_cast<std::uint16_t>(p);
       } else if (a == "--slow-ms") {
         options.slow_ms = static_cast<double>(parse_count(value(), a));
+      } else if (a == "--kernel") {
+        options.kernel = value();
       } else if (a == "--help" || a == "-h") {
         return usage();
       } else {
@@ -135,10 +141,17 @@ int main(int argc, char** argv) {
   }
   if (exec_threads > 0) options.exec = ExecPolicy::parallel(exec_threads);
 
-  server::DiagnosisService service(options);
+  std::unique_ptr<server::DiagnosisService> service;
+  try {
+    service = std::make_unique<server::DiagnosisService>(options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "openmdd_serve: " << e.what() << "\n";
+    return 2;
+  }
   std::cerr << "openmdd_serve " << kVersion << ": " << options.n_workers
             << " workers, queue " << options.queue_depth << ", cache "
-            << (options.cache_bytes >> 20) << " MiB\n";
+            << (options.cache_bytes >> 20) << " MiB, kernel "
+            << current_kernel().name << "\n";
   std::unique_ptr<server::MetricsHttpServer> metrics;
   if (metrics_port) {
     try {
@@ -149,6 +162,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (use_tcp) return server::serve_tcp(service, port, std::cerr);
-  return server::serve_stdio(service, std::cin, std::cout);
+  if (use_tcp) return server::serve_tcp(*service, port, std::cerr);
+  return server::serve_stdio(*service, std::cin, std::cout);
 }
