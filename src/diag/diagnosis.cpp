@@ -147,6 +147,35 @@ const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
   return *slot.sig;
 }
 
+std::size_t DiagnosisContext::warm_solo_from_store() {
+  if (solo_store_ == nullptr) return 0;
+  // A store miss must leave the slot cold for the regular warm/lazy fill.
+  // call_once only marks the flag done when the callable returns, so
+  // throwing out of it keeps the slot retryable — exactly the semantics
+  // needed here.
+  struct StoreMiss {};
+  std::size_t warmed = 0;
+  for (std::size_t i = 0; i < pool_.faults.size(); ++i) {
+    SoloSlot& slot = solo_cache_[i];
+    try {
+      std::call_once(slot.once, [&] {
+        auto hit = solo_store_->lookup(pool_.faults[i]);
+        if (hit == nullptr) throw StoreMiss{};
+        slot.sig = std::move(hit);
+      });
+    } catch (const StoreMiss&) {
+      continue;
+    }
+    if (slot.sig != nullptr) ++warmed;  // includes already-filled slots
+  }
+  if (warmed > 0) {
+    static obs::Counter& c =
+        obs::registry().counter("diag.solo_store_warmed");
+    c.inc(warmed);
+  }
+  return warmed;
+}
+
 void DiagnosisContext::warm_solo_signatures(const ExecPolicy& policy,
                                             const CancelToken* cancel) {
   const std::size_t n = pool_.faults.size();

@@ -152,6 +152,14 @@ class DiagnosisContext {
   void warm_solo_signatures(const ExecPolicy& policy,
                             const CancelToken* cancel = nullptr);
 
+  /// Fills every solo slot the attached store can answer WITHOUT
+  /// simulating anything — the store-backed cold-start path: candidates
+  /// the persistent dictionary covers become lookups, only the remainder
+  /// is worth a parallel PPSFP warm. Returns the number of slots now
+  /// filled (store answers plus slots already computed); no-op returning
+  /// 0 when no store is attached. Thread-safe, like the other fills.
+  std::size_t warm_solo_from_store();
+
   /// Number of solo signatures computed so far (cache instrumentation;
   /// never exceeds n_candidates()).
   std::size_t solo_compute_count() const {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "fsim/fsim.hpp"
+#include "store/reader.hpp"
 
 namespace mdd {
 
@@ -22,32 +24,72 @@ std::string FaultDictionary::key_of(const ErrorSignature& sig) {
   return key;
 }
 
+std::vector<Fault> FaultDictionary::build_universe(
+    const Netlist& netlist) const {
+  const CollapsedFaults collapsed(netlist);
+  std::vector<Fault> faults = collapsed.representatives();
+  if (options_.include_bridges) {
+    BridgeUniverseConfig bc;
+    bc.count = options_.bridge_pairs;
+    bc.seed = options_.bridge_seed;
+    bc.include_wired = false;
+    for (const Fault& f : sample_bridge_faults(netlist, bc))
+      faults.push_back(f);
+  }
+  return faults;
+}
+
+void FaultDictionary::index_signatures() {
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    stored_bits_ += signatures_[i].n_error_bits();
+    // Undetected faults (empty signature) are unfindable by definition and
+    // would all collide on the empty key.
+    if (!signatures_[i].empty())
+      by_signature_[key_of(signatures_[i])].push_back(i);
+  }
+}
+
 FaultDictionary::FaultDictionary(const Netlist& netlist,
                                  const PatternSet& patterns,
                                  const DictionaryOptions& options)
     : netlist_(&netlist), options_(options) {
   const auto t0 = std::chrono::steady_clock::now();
-  const CollapsedFaults collapsed(netlist);
-  faults_ = collapsed.representatives();
-  if (options.include_bridges) {
-    BridgeUniverseConfig bc;
-    bc.count = options.bridge_pairs;
-    bc.seed = options.bridge_seed;
-    bc.include_wired = false;
-    for (const Fault& f : sample_bridge_faults(netlist, bc))
-      faults_.push_back(f);
-  }
+  faults_ = build_universe(netlist);
 
   FaultSimulator fsim(netlist, patterns);
   signatures_.reserve(faults_.size());
-  for (std::size_t i = 0; i < faults_.size(); ++i) {
+  for (std::size_t i = 0; i < faults_.size(); ++i)
     signatures_.push_back(fsim.signature(faults_[i]));
-    stored_bits_ += signatures_.back().n_error_bits();
-    // Undetected faults (empty signature) are unfindable by definition and
-    // would all collide on the empty key.
-    if (!signatures_.back().empty())
-      by_signature_[key_of(signatures_.back())].push_back(i);
+  index_signatures();
+  build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+FaultDictionary::FaultDictionary(const Netlist& netlist,
+                                 const PatternSet& patterns,
+                                 const store::DictReader& reader,
+                                 const DictionaryOptions& options)
+    : netlist_(&netlist), options_(options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  reader.validate_for(netlist, patterns);
+  faults_ = build_universe(netlist);
+
+  // Decode stored faults off the mapping; simulate only the stragglers
+  // (e.g. a store built without bridges). The simulator is constructed on
+  // first fallback — a fully covering store never pays for it.
+  std::optional<FaultSimulator> fsim;
+  signatures_.reserve(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (auto idx = reader.find(faults_[i])) {
+      signatures_.push_back(reader.decode(*idx));
+      ++store_hits_;
+    } else {
+      if (!fsim.has_value()) fsim.emplace(netlist, patterns);
+      signatures_.push_back(fsim->signature(faults_[i]));
+    }
   }
+  index_signatures();
   build_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -21,6 +21,10 @@
 
 namespace mdd {
 
+namespace store {
+class DictReader;
+}
+
 struct DictionaryOptions {
   /// Also index a sampled bridge universe (adds 4x pairs per sample).
   bool include_bridges = true;
@@ -37,6 +41,16 @@ class FaultDictionary {
   FaultDictionary(const Netlist& netlist, const PatternSet& patterns,
                   const DictionaryOptions& options = {});
 
+  /// Builds the same dictionary from a persistent store instead of
+  /// simulating: every universe fault found in `reader` is decoded off
+  /// the mapping; faults the store lacks fall back to simulation (one
+  /// FaultSimulator is constructed lazily, only if needed). The store
+  /// must have been built for exactly this (netlist, patterns) —
+  /// validated by content hash; a mismatch throws store::StoreError.
+  FaultDictionary(const Netlist& netlist, const PatternSet& patterns,
+                  const store::DictReader& reader,
+                  const DictionaryOptions& options = {});
+
   /// Faults whose full signature equals `observed` exactly (may be several
   /// — they are indistinguishable under this pattern set).
   std::vector<Fault> exact_matches(const ErrorSignature& observed) const;
@@ -49,6 +63,9 @@ class FaultDictionary {
   double build_seconds() const { return build_seconds_; }
   /// Total stored error bits (storage-cost proxy).
   std::size_t stored_bits() const { return stored_bits_; }
+  /// Entries decoded from a persistent store (from-store builds only;
+  /// n_entries() - store_hits() were simulated as fallback).
+  std::size_t store_hits() const { return store_hits_; }
 
  private:
   struct SigKeyHash {
@@ -66,7 +83,14 @@ class FaultDictionary {
   std::unordered_map<std::string, std::vector<std::size_t>, SigKeyHash>
       by_signature_;
   std::size_t stored_bits_ = 0;
+  std::size_t store_hits_ = 0;
   double build_seconds_ = 0.0;
+
+  /// Shared by both constructors: the dictionary fault universe.
+  std::vector<Fault> build_universe(const Netlist& netlist) const;
+  /// Indexes signatures_ / by_signature_ / stored_bits_ (signatures_ and
+  /// faults_ must already be parallel).
+  void index_signatures();
 };
 
 }  // namespace mdd

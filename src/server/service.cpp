@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "server/result_json.hpp"
 #include "sim/kernel.hpp"
+#include "store/format.hpp"
 #include "workload/textio.hpp"
 
 namespace mdd::server {
@@ -130,7 +131,7 @@ std::optional<std::chrono::steady_clock::duration> deadline_budget(
 DiagnosisService::DiagnosisService(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_bytes, options.memo_bytes,
-             options.composite_bytes),
+             options.composite_bytes, options.store_dir),
       queue_(options.queue_depth),
       pool_(std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, options.n_workers))) {
@@ -240,6 +241,11 @@ Json DiagnosisService::dispatch(const Json& request,
     r.set("op", "ping");
     r.set("version", kVersion);
     r.set("kernel", current_kernel().name);
+    Json store;
+    store.set("enabled", !options_.store_dir.empty());
+    if (!options_.store_dir.empty()) store.set("dir", options_.store_dir);
+    store.set("format_version", store::kFormatVersion);
+    r.set("store", std::move(store));
     return r;
   }
   if (op == "stats") {
@@ -312,7 +318,15 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   if (session->composites)
     ctx.attach_composite_memo(session->composites.get());
   context_span.close();
-  if (!options_.exec.is_serial()) {
+  // Consult the persistent store BEFORE scheduling a PPSFP warm: slots it
+  // answers are pure mmap decodes, and when it covers every candidate the
+  // parallel warm-up is skipped outright (the store-served cold start).
+  std::size_t store_warmed = 0;
+  if (ctx.solo_store_attached() && session->memo && session->memo->has_store()) {
+    auto span = trace.span("store_warm");
+    store_warmed = ctx.warm_solo_from_store();
+  }
+  if (!options_.exec.is_serial() && store_warmed < ctx.n_candidates()) {
     auto warm_span = trace.span("warm");
     ctx.warm_solo_signatures(options_.exec, cancel);
   }
@@ -457,6 +471,48 @@ Json DiagnosisService::stats_json() const {
   requests.set("timeout", n_timeout_.load());
   requests.set("overloaded", n_overloaded_.load());
   s.set("requests", std::move(requests));
+
+  // Per-session memo layers, aggregated across resident sessions with one
+  // uniform shape per layer (hits/misses/evictions/entries/bytes).
+  const MemoLayerStats ls = cache_.layer_stats();
+  const auto memo_json = [](std::uint64_t hits, std::uint64_t misses,
+                            std::uint64_t evictions, std::size_t entries,
+                            std::size_t bytes) {
+    Json m;
+    m.set("hits", hits);
+    m.set("misses", misses);
+    m.set("evictions", evictions);
+    m.set("entries", entries);
+    m.set("bytes", bytes);
+    return m;
+  };
+  Json memos;
+  Json signature =
+      memo_json(ls.signature.hits, ls.signature.misses,
+                ls.signature.evictions, ls.signature.entries,
+                ls.signature.approx_bytes);
+  signature.set("store_hits", ls.signature.store_hits);
+  signature.set("store_misses", ls.signature.store_misses);
+  memos.set("signature", std::move(signature));
+  memos.set("trace", memo_json(ls.traces.hits, ls.traces.misses,
+                               ls.traces.evictions, ls.traces.entries,
+                               ls.traces.approx_bytes));
+  memos.set("composite",
+            memo_json(ls.composites.hits, ls.composites.misses,
+                      ls.composites.evictions, ls.composites.entries,
+                      ls.composites.approx_bytes));
+  s.set("memos", std::move(memos));
+
+  Json store;
+  store.set("enabled", !options_.store_dir.empty());
+  if (!options_.store_dir.empty()) store.set("dir", options_.store_dir);
+  store.set("format_version", store::kFormatVersion);
+  store.set("sessions", ls.store_sessions);
+  store.set("entries", ls.store_entries);
+  store.set("bytes_mapped", ls.store_bytes_mapped);
+  store.set("hits", ls.signature.store_hits);
+  store.set("misses", ls.signature.store_misses);
+  s.set("store", std::move(store));
   return s;
 }
 

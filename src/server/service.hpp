@@ -68,6 +68,12 @@ struct ServiceOptions {
   std::size_t memo_bytes = 256ull << 20;
   /// Per-session composite-signature memo budget (multiplet search).
   std::size_t composite_bytes = 64ull << 20;
+  /// Directory of prebuilt dictionary stores (`openmdd dict build`).
+  /// Non-empty: each session load looks up its content-hash-named store
+  /// file and, when present and valid, serves candidate signatures from
+  /// the mmap instead of simulating them — warm cold starts across
+  /// daemon restarts. Empty (default): no persistent store.
+  std::string store_dir;
   /// Intra-request parallelism for the solo-signature warm. Serial by
   /// default: with many concurrent requests, request-level parallelism
   /// is the better use of the cores.

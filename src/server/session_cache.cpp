@@ -1,5 +1,7 @@
 #include "server/session_cache.hpp"
 
+#include <filesystem>
+#include <iostream>
 #include <stdexcept>
 #include <utility>
 
@@ -7,6 +9,7 @@
 #include "netlist/verilog_parser.hpp"
 #include "obs/metrics.hpp"
 #include "sim/sim2.hpp"
+#include "store/format.hpp"
 #include "workload/textio.hpp"
 
 namespace mdd::server {
@@ -21,6 +24,13 @@ struct SessionMetrics {
       obs::registry().counter("sessions.load_failures");
   obs::Gauge& bytes = obs::registry().gauge("sessions.bytes");
   obs::Gauge& entries = obs::registry().gauge("sessions.entries");
+  /// Store files that existed but could not be attached (corrupt,
+  /// truncated, or built for different content) — the session loaded
+  /// fine, it just runs storeless.
+  obs::Counter& store_attach_failures =
+      obs::registry().counter("store.attach_failures");
+  obs::Counter& store_attached =
+      obs::registry().counter("store.attached");
 };
 
 SessionMetrics& session_metrics() {
@@ -43,10 +53,36 @@ Netlist load_netlist_file(const std::string& path) {
                            path);
 }
 
+/// Looks for a prebuilt dictionary store matching the session's content
+/// hashes. An absent file is the normal case and silent; a present but
+/// unusable one (corrupt, truncated, or built for different content) is
+/// logged and counted, never fatal — the session simply runs storeless.
+std::shared_ptr<const store::DictReader> try_attach_store(
+    const std::string& store_dir, const Netlist& netlist,
+    const PatternSet& patterns) {
+  if (store_dir.empty()) return nullptr;
+  const std::string path =
+      store::store_path_for(store_dir, netlist, patterns);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return nullptr;
+  try {
+    auto dict = store::DictReader::open(path);
+    dict->validate_for(netlist, patterns);
+    session_metrics().store_attached.inc();
+    return dict;
+  } catch (const std::exception& e) {
+    session_metrics().store_attach_failures.inc();
+    std::cerr << "openmdd: ignoring dictionary store " << path << ": "
+              << e.what() << "\n";
+    return nullptr;
+  }
+}
+
 std::shared_ptr<const Session> load_session(const std::string& netlist_path,
                                             const std::string& patterns_path,
                                             std::size_t memo_bytes,
-                                            std::size_t composite_bytes) {
+                                            std::size_t composite_bytes,
+                                            const std::string& store_dir) {
   auto session = std::make_shared<Session>();
   session->netlist = load_netlist_file(netlist_path);
   session->patterns = read_patterns_file(patterns_path);
@@ -61,6 +97,9 @@ std::shared_ptr<const Session> load_session(const std::string& netlist_path,
   session->memo = std::make_unique<SignatureMemo>(memo_bytes);
   session->traces = std::make_unique<TraceMemo>();
   session->composites = std::make_unique<CompositeMemo>(composite_bytes);
+  session->dict =
+      try_attach_store(store_dir, session->netlist, session->patterns);
+  if (session->dict != nullptr) session->memo->set_store(session->dict);
   session->approx_bytes = approx_session_bytes(*session);
   return session;
 }
@@ -83,10 +122,12 @@ std::size_t approx_session_bytes(const Session& session) {
 }
 
 SessionCache::SessionCache(std::size_t max_bytes, std::size_t memo_bytes,
-                           std::size_t composite_bytes)
+                           std::size_t composite_bytes,
+                           std::string store_dir)
     : max_bytes_(max_bytes),
       memo_bytes_(memo_bytes),
-      composite_bytes_(composite_bytes) {}
+      composite_bytes_(composite_bytes),
+      store_dir_(std::move(store_dir)) {}
 
 void SessionCache::evict_over_budget_locked() {
   // Never evict the just-admitted MRU head: an over-budget single session
@@ -150,7 +191,7 @@ std::shared_ptr<const Session> SessionCache::get(
 
     try {
       entry->session = load_session(netlist_path, patterns_path, memo_bytes_,
-                                    composite_bytes_);
+                                    composite_bytes_, store_dir_);
     } catch (...) {
       session_metrics().load_failures.inc();
       std::lock_guard<std::mutex> lock(mutex_);
@@ -169,6 +210,47 @@ std::shared_ptr<const Session> SessionCache::get(
     if (was_hit != nullptr) *was_hit = false;
     return entry->session;
   }
+}
+
+MemoLayerStats SessionCache::layer_stats() const {
+  MemoLayerStats out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    const std::shared_ptr<const Session> session = entry->session;
+    if (session == nullptr) continue;  // still loading
+    if (session->memo) {
+      const SignatureMemoStats s = session->memo->stats();
+      out.signature.hits += s.hits;
+      out.signature.misses += s.misses;
+      out.signature.evictions += s.evictions;
+      out.signature.entries += s.entries;
+      out.signature.approx_bytes += s.approx_bytes;
+      out.signature.store_hits += s.store_hits;
+      out.signature.store_misses += s.store_misses;
+    }
+    if (session->traces) {
+      const TraceMemoStats s = session->traces->stats();
+      out.traces.hits += s.hits;
+      out.traces.misses += s.misses;
+      out.traces.evictions += s.evictions;
+      out.traces.entries += s.entries;
+      out.traces.approx_bytes += s.approx_bytes;
+    }
+    if (session->composites) {
+      const CompositeMemoStats s = session->composites->stats();
+      out.composites.hits += s.hits;
+      out.composites.misses += s.misses;
+      out.composites.evictions += s.evictions;
+      out.composites.entries += s.entries;
+      out.composites.approx_bytes += s.approx_bytes;
+    }
+    if (session->dict != nullptr) {
+      ++out.store_sessions;
+      out.store_entries += session->dict->n_entries();
+      out.store_bytes_mapped += session->dict->bytes_mapped();
+    }
+  }
+  return out;
 }
 
 SessionCacheStats SessionCache::stats() const {

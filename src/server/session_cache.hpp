@@ -28,6 +28,7 @@
 #include "server/signature_memo.hpp"
 #include "server/trace_memo.hpp"
 #include "sim/patterns.hpp"
+#include "store/reader.hpp"
 
 namespace mdd::server {
 
@@ -48,6 +49,11 @@ struct Session {
   /// response); read-only after load, reused by every full-window context
   /// so requests skip the per-request whole-circuit good simulation.
   std::shared_ptr<const PropagatorBaseline> baseline;
+  /// Persistent dictionary store for this exact (netlist, patterns), if
+  /// the cache's store directory held a matching valid file; also wired
+  /// into `memo` as its disk tier. mmapped bytes are NOT charged against
+  /// the cache budget — they live in the page cache, not the heap.
+  std::shared_ptr<const store::DictReader> dict;
   std::size_t approx_bytes = 0;
 };
 
@@ -64,15 +70,31 @@ struct SessionCacheStats {
   std::size_t max_bytes = 0;
 };
 
+/// Aggregated per-session memo/store accounting across every resident
+/// session (op=stats reporting; see DESIGN.md §12).
+struct MemoLayerStats {
+  SignatureMemoStats signature;
+  TraceMemoStats traces;
+  CompositeMemoStats composites;
+  std::size_t store_sessions = 0;  ///< resident sessions with a store
+  std::size_t store_entries = 0;   ///< summed store fault records
+  std::size_t store_bytes_mapped = 0;
+};
+
 class SessionCache {
  public:
   /// `max_bytes` bounds resident sessions; a single session larger than
   /// the budget is still admitted (then evicted by the next load).
   /// `memo_bytes` is the per-session solo-signature memo budget;
   /// `composite_bytes` the per-session composite-signature memo budget.
+  /// A non-empty `store_dir` makes every load look for a prebuilt
+  /// dictionary store matching the session's content hashes; a valid
+  /// match becomes the memo's disk tier. A corrupt or mismatched file is
+  /// logged + counted and the session loads storeless — never an error.
   explicit SessionCache(std::size_t max_bytes,
                         std::size_t memo_bytes = 256ull << 20,
-                        std::size_t composite_bytes = 64ull << 20);
+                        std::size_t composite_bytes = 64ull << 20,
+                        std::string store_dir = {});
 
   SessionCache(const SessionCache&) = delete;
   SessionCache& operator=(const SessionCache&) = delete;
@@ -87,6 +109,11 @@ class SessionCache {
 
   SessionCacheStats stats() const;
 
+  /// Sums the memo/store stats of every loaded resident session.
+  MemoLayerStats layer_stats() const;
+
+  const std::string& store_dir() const { return store_dir_; }
+
  private:
   struct Entry {
     std::mutex load_mutex;
@@ -99,6 +126,7 @@ class SessionCache {
   const std::size_t max_bytes_;
   const std::size_t memo_bytes_;
   const std::size_t composite_bytes_;
+  const std::string store_dir_;  ///< empty = no persistent store
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
   std::list<Key> lru_;  ///< front = most recent; loaded entries only

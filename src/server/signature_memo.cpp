@@ -20,6 +20,11 @@ struct MemoMetrics {
   obs::Counter& inserts = obs::registry().counter("memo.signature.inserts");
   obs::Counter& declined = obs::registry().counter(
       "memo.signature.declined");  ///< single entry over the whole budget
+  /// Disk-tier traffic (persistent dictionary store).
+  obs::Counter& store_hits = obs::registry().counter("store.hits");
+  obs::Counter& store_misses = obs::registry().counter("store.misses");
+  obs::Counter& store_decode_failures =
+      obs::registry().counter("store.decode_failures");
 };
 
 MemoMetrics& memo_metrics() {
@@ -32,15 +37,60 @@ MemoMetrics& memo_metrics() {
 std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(f);
-  if (it == entries_.end()) {
-    ++misses_;
-    memo_metrics().misses.inc();
-    return nullptr;
+  if (it != entries_.end()) {
+    ++hits_;
+    memo_metrics().hits.inc();
+    it->second.referenced = true;
+    return it->second.sig;
   }
-  ++hits_;
-  memo_metrics().hits.inc();
-  it->second.referenced = true;
-  return it->second.sig;
+  if (dict_ != nullptr) {
+    if (auto idx = dict_->find(f)) {
+      try {
+        auto sig =
+            std::make_shared<const ErrorSignature>(dict_->decode(*idx));
+        ++store_hits_;
+        memo_metrics().store_hits.inc();
+        // Promote into the memory tier: repeat lookups become pointer
+        // copies and the clock policy decides how long it stays hot.
+        const std::size_t cost = approx_signature_bytes(*sig);
+        if (cost <= max_bytes_) {
+          make_room(cost);
+          entries_.emplace(f, Entry{sig, cost, false});
+          ring_.push_back(f);
+          bytes_ += cost;
+          memo_metrics().inserts.inc();
+        }
+        return sig;
+      } catch (const store::StoreError&) {
+        // Structurally impossible after open-time hashing unless the file
+        // was truncated/rewritten underneath the mapping. Degrade to
+        // simulation permanently rather than rethrowing into a request.
+        memo_metrics().store_decode_failures.inc();
+        dict_ = nullptr;
+      }
+    } else {
+      ++store_misses_;
+      memo_metrics().store_misses.inc();
+    }
+  }
+  ++misses_;
+  memo_metrics().misses.inc();
+  return nullptr;
+}
+
+void SignatureMemo::set_store(std::shared_ptr<const store::DictReader> dict) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dict_ = std::move(dict);
+}
+
+bool SignatureMemo::has_store() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dict_ != nullptr;
+}
+
+std::shared_ptr<const store::DictReader> SignatureMemo::store_reader() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dict_;
 }
 
 void SignatureMemo::make_room(std::size_t need) {
@@ -90,6 +140,8 @@ SignatureMemoStats SignatureMemo::stats() const {
   s.evictions = evictions_;
   s.entries = entries_.size();
   s.approx_bytes = bytes_;
+  s.store_hits = store_hits_;
+  s.store_misses = store_misses_;
   return s;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "diag/diagnosis.hpp"
+#include "store/reader.hpp"
 
 namespace mdd::server {
 
@@ -37,6 +38,11 @@ struct SignatureMemoStats {
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t approx_bytes = 0;
+  /// Disk-tier traffic (zero unless a store is attached). A store hit is
+  /// NOT a miss: the signature was served without simulation, just from
+  /// the mmap instead of the heap.
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
 };
 
 class SignatureMemo final : public SoloSignatureStore {
@@ -50,6 +56,18 @@ class SignatureMemo final : public SoloSignatureStore {
   std::shared_ptr<const ErrorSignature> lookup(const Fault& f) override;
   void store(const Fault& f,
              std::shared_ptr<const ErrorSignature> sig) override;
+
+  /// Attaches a persistent dictionary as the warm tier below memory:
+  /// lookup order becomes memory → mmap store → (caller simulates). The
+  /// reader must have been validated against this session's (netlist,
+  /// patterns) — the memo trusts it. Decoded store answers are admitted
+  /// into the memory tier so repeat lookups are pointer copies. A decode
+  /// error (corrupt postings that survived open-time hashing — near
+  /// impossible, but cheap to handle) detaches the store and falls back
+  /// to simulation for good.
+  void set_store(std::shared_ptr<const store::DictReader> dict);
+  bool has_store() const;
+  std::shared_ptr<const store::DictReader> store_reader() const;
 
   SignatureMemoStats stats() const;
 
@@ -72,6 +90,9 @@ class SignatureMemo final : public SoloSignatureStore {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::shared_ptr<const store::DictReader> dict_;  ///< warm tier, may be null
+  std::uint64_t store_hits_ = 0;
+  std::uint64_t store_misses_ = 0;
 };
 
 }  // namespace mdd::server

@@ -22,6 +22,10 @@ namespace mdd::server {
 struct TraceMemoStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Always 0 today: a full TraceMemo declines new entries instead of
+  /// evicting. Present so op=stats reports every memo layer with one
+  /// uniform shape (hits/misses/evictions/entries/bytes).
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t approx_bytes = 0;
 };

@@ -1,0 +1,381 @@
+// Persistent fault-dictionary store: format codecs, the write→mmap→read
+// round trip (byte-for-byte against the live simulator, on every
+// available kernel), hostile-input rejection (truncation, bit flips,
+// wrong version, wrong content), and the consumers built on the reader
+// (FaultDictionary-from-store, DiagnosisContext store warm).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "diag/dictionary.hpp"
+#include "diag/multiplet.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/generator.hpp"
+#include "server/signature_memo.hpp"
+#include "sim/kernel.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "workload/textio.hpp"
+
+namespace mdd::store {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Re-stamps the content hash after a deliberate body mutation, so the
+/// structural validators (not the hash) are what rejects the file.
+void restamp_content_hash(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), kHeaderBytes);
+  const std::uint64_t h =
+      fnv1a(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+  std::vector<std::uint8_t> word;
+  put_u64(word, h);
+  std::copy(word.begin(), word.end(), bytes.begin() + 64);
+}
+
+struct StoreFixture {
+  Netlist netlist;
+  PatternSet patterns;
+  std::vector<Fault> universe;
+  std::string path;
+
+  static StoreFixture make(const std::string& tag,
+                           StoreUniverseConfig config = {}) {
+    StoreFixture f{make_named_circuit("g200"), PatternSet(0, 0), {}, {}};
+    f.patterns = PatternSet::random(96, f.netlist.n_inputs(), 0xD1C7);
+    f.universe = default_store_universe(f.netlist, config);
+    f.path = ::testing::TempDir() + "store_" + tag + kStoreExtension;
+    const DictWriter writer(f.netlist, f.patterns);
+    writer.write(f.path, f.universe);
+    return f;
+  }
+};
+
+TEST(Varint, RoundTripsRepresentativeValues) {
+  const std::uint64_t values[] = {0,    1,    127,  128,   129,
+                                  0x3fff, 0x4000, 1u << 20, 0xffffffffull,
+                                  0xffffffffffffffffull};
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v : values) put_varint(buf, v);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = p + buf.size();
+  for (std::uint64_t v : values) EXPECT_EQ(get_varint(p, end), v);
+  EXPECT_EQ(p, end);
+}
+
+TEST(Varint, RejectsTruncationNonCanonicalAndOverflow) {
+  {
+    std::vector<std::uint8_t> buf{0x80};  // continuation, then nothing
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(p, p + buf.size()), StoreError);
+  }
+  {
+    std::vector<std::uint8_t> buf{0x80, 0x00};  // 0 encoded in two bytes
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(p, p + buf.size()), StoreError);
+  }
+  {
+    // 11 bytes of continuation: wider than 64 bits.
+    std::vector<std::uint8_t> buf(11, 0xff);
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(p, p + buf.size()), StoreError);
+  }
+  {
+    // 10th byte carries bits beyond bit 63.
+    std::vector<std::uint8_t> buf(9, 0xff);
+    buf.push_back(0x02);
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(p, p + buf.size()), StoreError);
+  }
+}
+
+TEST(ContentHash, TracksContentNotNames) {
+  const Netlist a = make_named_circuit("g200");
+  Netlist b = make_named_circuit("g200");
+  EXPECT_EQ(netlist_content_hash(a), netlist_content_hash(b));
+  EXPECT_NE(netlist_content_hash(a),
+            netlist_content_hash(make_named_circuit("add8")));
+
+  const PatternSet p1 = PatternSet::random(64, a.n_inputs(), 1);
+  const PatternSet p2 = PatternSet::random(64, a.n_inputs(), 1);
+  const PatternSet p3 = PatternSet::random(64, a.n_inputs(), 2);
+  EXPECT_EQ(patterns_content_hash(p1), patterns_content_hash(p2));
+  EXPECT_NE(patterns_content_hash(p1), patterns_content_hash(p3));
+}
+
+// The tentpole property: for every fault in the store, decode() must
+// reproduce the simulator's ErrorSignature byte for byte — and since the
+// file was written once, this also proves the format is kernel-portable.
+TEST(StoreRoundTrip, EverySignatureIsByteIdenticalOnEveryKernel) {
+  const StoreFixture f = StoreFixture::make("roundtrip");
+  const SimKernel& saved = current_kernel();
+  for (const SimKernel* kernel : available_kernels()) {
+    set_current_kernel(*kernel);
+    const auto dict = DictReader::open(f.path);
+    dict->validate_for(f.netlist, f.patterns);
+    FaultSimulator fsim(f.netlist, f.patterns);
+    ASSERT_EQ(dict->n_entries(), f.universe.size())
+        << "universe should be duplicate-free";
+    for (std::size_t i = 0; i < dict->n_entries(); ++i) {
+      const Fault fault = dict->fault_at(i);
+      EXPECT_EQ(dict->decode(i), fsim.signature(fault))
+          << "record " << i << " kernel " << kernel->name;
+    }
+  }
+  set_current_kernel(saved);
+}
+
+TEST(StoreRoundTrip, UndetectedFaultsArePresentWithEmptySignatures) {
+  const StoreFixture f = StoreFixture::make("empty");
+  const auto dict = DictReader::open(f.path);
+  FaultSimulator fsim(f.netlist, f.patterns);
+  std::size_t n_empty = 0;
+  for (std::size_t i = 0; i < dict->n_entries(); ++i) {
+    if (fsim.signature(dict->fault_at(i)).empty()) {
+      ++n_empty;
+      EXPECT_TRUE(dict->decode(i).empty());
+    }
+  }
+  // g200 with 96 random patterns leaves some faults undetected; the store
+  // must record them as present-but-empty (a lookup hit, not a miss).
+  EXPECT_GT(n_empty, 0u);
+  EXPECT_EQ(dict->verify_all(), dict->total_error_bits());
+}
+
+TEST(StoreLookup, FindsEveryStoredFaultAndMissesOthers) {
+  StoreUniverseConfig no_bridges;
+  no_bridges.include_bridges = false;
+  const StoreFixture f = StoreFixture::make("lookup", no_bridges);
+  const auto dict = DictReader::open(f.path);
+  for (const Fault& fault : f.universe)
+    EXPECT_TRUE(dict->find(fault).has_value());
+  // Bridges were excluded from this store: a bridge lookup is a miss, not
+  // an error (the serving layer falls back to simulation).
+  EXPECT_FALSE(dict->lookup(Fault::bridge_dom(1, 2)).has_value());
+  EXPECT_FALSE(dict->find(Fault::slow_to_rise(0)).has_value());
+}
+
+TEST(StoreHostile, TruncationAtEveryRegionIsRejected) {
+  const StoreFixture f = StoreFixture::make("trunc");
+  const std::vector<std::uint8_t> good = read_file(f.path);
+  const std::string tmp = ::testing::TempDir() + "store_trunc_cut.mdds";
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, std::size_t{40}, kHeaderBytes,
+        kHeaderBytes + kRecordBytes + 3, good.size() / 2,
+        good.size() - 1}) {
+    std::vector<std::uint8_t> bytes(good.begin(), good.begin() + cut);
+    write_file(tmp, bytes);
+    EXPECT_THROW(DictReader::open(tmp), StoreError) << "cut at " << cut;
+  }
+}
+
+TEST(StoreHostile, BitFlipsAnywhereAreRejected) {
+  const StoreFixture f = StoreFixture::make("flip");
+  const std::vector<std::uint8_t> good = read_file(f.path);
+  const std::string tmp = ::testing::TempDir() + "store_flip_bit.mdds";
+  // One flip per region: magic, header fields, index, payload middle,
+  // payload last byte.
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{33}, kHeaderBytes + 5, good.size() / 2,
+        good.size() - 1}) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[at] ^= 0x40;
+    write_file(tmp, bytes);
+    EXPECT_THROW(DictReader::open(tmp), StoreError) << "flip at " << at;
+  }
+}
+
+TEST(StoreHostile, UnsupportedFormatVersionNamesTheProblem) {
+  const StoreFixture f = StoreFixture::make("version");
+  std::vector<std::uint8_t> bytes = read_file(f.path);
+  bytes[8] = 0x2A;  // format_version u32 LE at offset 8
+  const std::string tmp = ::testing::TempDir() + "store_version.mdds";
+  write_file(tmp, bytes);
+  try {
+    DictReader::open(tmp);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(StoreHostile, StructuralLiesSurviveRestampedHashesButNotValidation) {
+  const StoreFixture f = StoreFixture::make("struct");
+  const std::vector<std::uint8_t> good = read_file(f.path);
+  const std::string tmp = ::testing::TempDir() + "store_struct.mdds";
+
+  {
+    // Swap the first two index records: content hash fixed up, but the
+    // index is no longer sorted — binary search would be wrong.
+    std::vector<std::uint8_t> bytes = good;
+    std::swap_ranges(bytes.begin() + kHeaderBytes,
+                     bytes.begin() + kHeaderBytes + kRecordBytes,
+                     bytes.begin() + kHeaderBytes + kRecordBytes);
+    restamp_content_hash(bytes);
+    write_file(tmp, bytes);
+    EXPECT_THROW(DictReader::open(tmp), StoreError) << "unsorted index";
+  }
+  {
+    // Nudge record 0's extent start: extents are no longer contiguous.
+    std::vector<std::uint8_t> bytes = good;
+    bytes[kHeaderBytes + 16] ^= 0x01;  // FaultRecord.offset low byte
+    restamp_content_hash(bytes);
+    write_file(tmp, bytes);
+    EXPECT_THROW(DictReader::open(tmp), StoreError) << "extent gap";
+  }
+  {
+    // Claim an unknown fault kind.
+    std::vector<std::uint8_t> bytes = good;
+    bytes[kHeaderBytes] = 0x77;
+    restamp_content_hash(bytes);
+    write_file(tmp, bytes);
+    EXPECT_THROW(DictReader::open(tmp), StoreError) << "bad fault kind";
+  }
+}
+
+TEST(StoreIdentity, WrongNetlistOrPatternsIsDetectedByContentHash) {
+  const StoreFixture f = StoreFixture::make("identity");
+  const auto dict = DictReader::open(f.path);
+  const Netlist other_netlist = make_named_circuit("add8");
+  const PatternSet other_patterns =
+      PatternSet::random(96, f.netlist.n_inputs(), 0xBEEF);
+  EXPECT_TRUE(dict->matches(f.netlist, f.patterns));
+  EXPECT_FALSE(dict->matches(f.netlist, other_patterns));
+  EXPECT_FALSE(dict->matches(other_netlist,
+                             PatternSet::random(96, other_netlist.n_inputs(), 1)));
+  EXPECT_NO_THROW(dict->validate_for(f.netlist, f.patterns));
+  EXPECT_THROW(dict->validate_for(f.netlist, other_patterns), StoreError);
+}
+
+TEST(StoreWriter, RewritesAreAtomicAndDeduplicated) {
+  StoreFixture f = StoreFixture::make("atomic");
+  // Duplicate the universe: the writer must sort + dedupe to one record
+  // per fault, and the rewrite must land atomically over the old file.
+  std::vector<Fault> doubled = f.universe;
+  doubled.insert(doubled.end(), f.universe.begin(), f.universe.end());
+  const DictWriter writer(f.netlist, f.patterns);
+  const BuildStats stats = writer.write(f.path, doubled);
+  EXPECT_EQ(stats.n_faults, f.universe.size());
+  const auto dict = DictReader::open(f.path);
+  EXPECT_EQ(dict->n_entries(), f.universe.size());
+  EXPECT_EQ(dict->verify_all(), stats.n_error_bits);
+  // No .tmp debris after a successful rename.
+  std::ifstream tmp(f.path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(StoreDictionary, FromStoreBuildEqualsFreshSimulation) {
+  const StoreFixture f = StoreFixture::make("dict");
+  const auto dict_reader = DictReader::open(f.path);
+
+  const FaultDictionary fresh(f.netlist, f.patterns);
+  const FaultDictionary from_store(f.netlist, f.patterns, *dict_reader);
+  EXPECT_EQ(from_store.n_entries(), fresh.n_entries());
+  EXPECT_EQ(from_store.stored_bits(), fresh.stored_bits());
+  // The default store universe (uncollapsed stuck-at + the same sampled
+  // dominant bridges) covers every collapsed representative, so at most
+  // the dictionary's wired-bridge-free sampling differs — count it.
+  EXPECT_GT(from_store.store_hits(), 0u);
+
+  FaultSimulator fsim(f.netlist, f.patterns);
+  const std::vector<Fault> defect{Fault::stem_sa(f.netlist.n_nets() / 3, true)};
+  const Datalog log = datalog_from_defect(f.netlist, defect, f.patterns,
+                                          fsim.good_response());
+  const DiagnosisReport a = fresh.diagnose(log);
+  const DiagnosisReport b = from_store.diagnose(log);
+  ASSERT_FALSE(a.suspects.empty());
+  ASSERT_EQ(a.suspects.size(), b.suspects.size());
+  for (std::size_t i = 0; i < a.suspects.size(); ++i) {
+    EXPECT_EQ(a.suspects[i].fault, b.suspects[i].fault);
+    EXPECT_EQ(a.suspects[i].score, b.suspects[i].score);
+    EXPECT_EQ(a.suspects[i].alternates, b.suspects[i].alternates);
+  }
+  EXPECT_EQ(a.explains_all, b.explains_all);
+}
+
+TEST(StoreWarm, ContextWarmsFromStoreWithoutSimulatingCoveredCandidates) {
+  const StoreFixture f = StoreFixture::make("warm");
+  const auto dict = DictReader::open(f.path);
+  dict->validate_for(f.netlist, f.patterns);
+  server::SignatureMemo memo;
+  memo.set_store(dict);
+  ASSERT_TRUE(memo.has_store());
+
+  FaultSimulator fsim(f.netlist, f.patterns);
+  const std::vector<Fault> defect{
+      Fault::stem_sa(f.netlist.n_nets() / 3, false),
+      Fault::stem_sa(f.netlist.n_nets() / 2, true)};
+  const Datalog log = datalog_from_defect(f.netlist, defect, f.patterns,
+                                          fsim.good_response());
+
+  DiagnosisContext ctx(f.netlist, f.patterns, log);
+  ctx.attach_solo_store(&memo);
+  ASSERT_TRUE(ctx.solo_store_attached());
+  const std::size_t warmed = ctx.warm_solo_from_store();
+  // Every stem stuck-at candidate is in the store; only candidates the
+  // extractor invents outside it (sampled dominant bridges with other
+  // pairings) can be cold.
+  EXPECT_GT(warmed, 0u);
+  EXPECT_EQ(ctx.solo_compute_count(), 0u)
+      << "store warm must not simulate anything";
+  EXPECT_GT(memo.stats().store_hits, 0u);
+
+  // And the store-warmed context must diagnose byte-identically to a
+  // storeless one.
+  DiagnosisContext cold(f.netlist, f.patterns, log);
+  const DiagnosisReport a = diagnose_multiplet(ctx);
+  const DiagnosisReport b = diagnose_multiplet(cold);
+  ASSERT_EQ(a.suspects.size(), b.suspects.size());
+  for (std::size_t i = 0; i < a.suspects.size(); ++i) {
+    EXPECT_EQ(a.suspects[i].fault, b.suspects[i].fault);
+    EXPECT_EQ(a.suspects[i].score, b.suspects[i].score);
+  }
+  EXPECT_EQ(a.explains_all, b.explains_all);
+}
+
+TEST(StoreMemo, DiskTierPromotesIntoMemoryTier) {
+  const StoreFixture f = StoreFixture::make("memo");
+  const auto dict = DictReader::open(f.path);
+  server::SignatureMemo memo;
+  memo.set_store(dict);
+
+  const Fault fault = f.universe.front();
+  const auto first = memo.lookup(fault);
+  ASSERT_NE(first, nullptr) << "store should answer the memory miss";
+  const auto second = memo.lookup(fault);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second.get(), first.get())
+      << "second lookup must be the promoted in-memory object";
+
+  const server::SignatureMemoStats s = memo.stats();
+  EXPECT_EQ(s.store_hits, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  // A store hit is an answered lookup: the caller never simulates, so the
+  // memory-tier miss counter must not move.
+  EXPECT_EQ(s.misses, 0u);
+
+  // A fault the store lacks is a miss on both tiers.
+  EXPECT_EQ(memo.lookup(Fault::slow_to_rise(0)), nullptr);
+  EXPECT_EQ(memo.stats().store_misses, 1u);
+}
+
+}  // namespace
+}  // namespace mdd::store

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "atpg/tpg.hpp"
 #include "core/cancel.hpp"
 #include "core/exec.hpp"
@@ -31,11 +33,14 @@
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
 #include "fault/collapse.hpp"
+#include "fsim/fsim.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/dot.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "server/result_json.hpp"
 #include "sim/kernel.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "workload/textio.hpp"
 
 namespace {
@@ -55,7 +60,14 @@ int usage() {
          " [--method multiplet|slat|single|all]\n"
          "                   [--threads N] [--format text|json]"
          " [--deadline-ms N]\n"
-         "  openmdd version\n"
+         "  openmdd dict build   <netlist> --patterns <f> --store-dir <dir>"
+         " [--bridges N] [--bridge-seed N]\n"
+         "                       [--no-bridges] [--no-wired] [--threads N]"
+         " [--force]\n"
+         "  openmdd dict inspect <store-file-or-dir>\n"
+         "  openmdd dict verify  <store-file> [--netlist <f> --patterns <f>]"
+         " [--sample N]\n"
+         "  openmdd version [--store-dir <dir>]\n"
          "fault specs: 'sa0 NET' 'sa1 GATE.PIN' 'dom AGG VICTIM'"
          " 'wand A B' 'wor A B' 'str NET' 'stf NET'\n"
          "--kernel NAME (any command) selects the simulation kernel"
@@ -107,8 +119,10 @@ Args parse_args(int argc, char** argv, int first) {
   static const char* kValueOptions[] = {
       "-o",          "--patterns", "--fault",   "--datalog",
       "--seed",      "--method",   "--max-failing", "--threads",
-      "--format",    "--deadline-ms", "--kernel"};
-  static const char* kFlags[] = {"--no-compact"};
+      "--format",    "--deadline-ms", "--kernel",  "--store-dir",
+      "--bridges",   "--bridge-seed", "--sample",  "--netlist"};
+  static const char* kFlags[] = {"--no-compact", "--no-bridges",
+                                 "--no-wired", "--force"};
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     bool is_value_option = false;
@@ -308,16 +322,186 @@ int cmd_diagnose(const Args& args) {
   return 0;
 }
 
+int cmd_dict_build(const Args& args) {
+  const Netlist nl = load_netlist(args.positional.at(1));
+  const PatternSet patterns = read_patterns_file(args.option("--patterns"));
+  const std::string dir = args.option("--store-dir");
+  if (dir.empty()) throw std::runtime_error("dict build: missing --store-dir");
+
+  store::StoreUniverseConfig config;
+  config.include_bridges = !args.has_flag("--no-bridges");
+  config.include_wired = !args.has_flag("--no-wired");
+  const std::string bridges = args.option("--bridges");
+  if (!bridges.empty())
+    config.bridge_pairs = parse_count(bridges, "--bridges");
+  const std::string seed = args.option("--bridge-seed");
+  if (!seed.empty()) config.bridge_seed = parse_count(seed, "--bridge-seed");
+
+  ExecPolicy exec = ExecPolicy::from_env();
+  const std::string threads = args.option("--threads");
+  if (!threads.empty())
+    exec = ExecPolicy::parallel(parse_count(threads, "--threads"));
+
+  std::filesystem::create_directories(dir);
+  const store::DictWriter writer(nl, patterns);
+  const std::string path = store::store_path_for(dir, nl, patterns);
+  if (std::filesystem::exists(path) && !args.has_flag("--force")) {
+    std::cout << "store exists (same content hashes), skipping: " << path
+              << "\n(use --force to rebuild)\n";
+    return 0;
+  }
+  const std::vector<Fault> universe = store::default_store_universe(nl, config);
+  const store::BuildStats stats = writer.write(path, universe, exec);
+  std::cout << "faults:     " << stats.n_faults << "\n"
+            << "error bits: " << stats.n_error_bits << "\n"
+            << "file size:  " << stats.file_bytes << " bytes ("
+            << stats.payload_bytes << " postings)\n"
+            << "simulate:   " << stats.simulate_seconds * 1000 << " ms\n"
+            << "encode:     " << stats.encode_seconds * 1000 << " ms\n"
+            << "wrote " << path << "\n";
+  return 0;
+}
+
+void print_store_summary(const std::string& path) {
+  const auto dict = store::DictReader::open(path);
+  const store::StoreHeader& h = dict->header();
+  std::cout << path << "\n"
+            << "  format:      v" << h.format_version << "\n"
+            << "  netlist:     " << std::hex << h.netlist_hash << std::dec
+            << " (content hash)\n"
+            << "  patterns:    " << std::hex << h.patterns_hash << std::dec
+            << " (content hash)\n"
+            << "  shape:       " << h.n_patterns << " patterns x "
+            << h.n_outputs << " outputs\n"
+            << "  faults:      " << dict->n_entries() << "\n"
+            << "  error bits:  " << dict->total_error_bits() << "\n"
+            << "  bytes:       " << dict->bytes_mapped() << "\n";
+}
+
+int cmd_dict_inspect(const Args& args) {
+  const std::string target = args.positional.at(1);
+  if (!std::filesystem::is_directory(target)) {
+    print_store_summary(target);
+    return 0;
+  }
+  std::size_t n_files = 0, n_bad = 0;
+  for (const auto& e : std::filesystem::directory_iterator(target)) {
+    if (!e.is_regular_file() ||
+        e.path().extension() != store::kStoreExtension)
+      continue;
+    ++n_files;
+    try {
+      print_store_summary(e.path().string());
+    } catch (const std::exception& ex) {
+      ++n_bad;
+      std::cout << e.path().string() << "\n  INVALID: " << ex.what() << "\n";
+    }
+  }
+  std::cout << n_files << " store file(s)";
+  if (n_bad > 0) std::cout << ", " << n_bad << " invalid";
+  std::cout << "\n";
+  return n_bad == 0 ? 0 : 1;
+}
+
+int cmd_dict_verify(const Args& args) {
+  const std::string path = args.positional.at(1);
+  // Structural pass: open() has already proven sizes + content hash; a
+  // full decode additionally walks every posting list bounds-checked.
+  const auto dict = store::DictReader::open(path);
+  const std::size_t bits = dict->verify_all();
+  std::cout << "structure:  ok (" << dict->n_entries() << " faults, "
+            << bits << " error bits decoded)\n";
+
+  const std::string netlist_path = args.option("--netlist");
+  const std::string patterns_path = args.option("--patterns");
+  if (netlist_path.empty() != patterns_path.empty())
+    throw std::runtime_error(
+        "dict verify: --netlist and --patterns go together");
+  if (netlist_path.empty()) return 0;
+
+  // Semantic pass: prove the store belongs to these inputs, then
+  // re-simulate a sample of faults and demand byte-identical signatures.
+  const Netlist nl = load_netlist(netlist_path);
+  const PatternSet patterns = read_patterns_file(patterns_path);
+  dict->validate_for(nl, patterns);
+  std::size_t sample = 32;
+  const std::string sample_opt = args.option("--sample");
+  if (!sample_opt.empty()) sample = parse_count(sample_opt, "--sample");
+  const std::size_t n = dict->n_entries();
+  if (sample == 0 || sample > n) sample = n;
+
+  FaultSimulator fsim(nl, patterns);
+  for (std::size_t k = 0; k < sample; ++k) {
+    const std::size_t i = k * n / sample;  // evenly spaced, includes 0
+    const Fault f = dict->fault_at(i);
+    if (dict->decode(i) != fsim.signature(f))
+      throw std::runtime_error("stored signature of fault record " +
+                               std::to_string(i) +
+                               " differs from fresh simulation");
+  }
+  std::cout << "simulation: ok (" << sample << " of " << n
+            << " signatures re-simulated, byte-identical)\n";
+  return 0;
+}
+
+int cmd_dict(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error(
+        "dict wants a subcommand: build | inspect | verify");
+  const std::string& sub = args.positional.front();
+  if (sub == "build") return cmd_dict_build(args);
+  if (sub == "inspect") return cmd_dict_inspect(args);
+  if (sub == "verify") return cmd_dict_verify(args);
+  throw std::runtime_error("unknown dict subcommand '" + sub +
+                           "' (want build | inspect | verify)");
+}
+
+/// `openmdd version [--store-dir DIR]`: build/version facts plus, with a
+/// store directory, a one-line scan of the persistent dictionaries in it.
+int cmd_version(int argc, char** argv) {
+  std::cout << "openmdd " << kVersion << "\n"
+            << "fsim.kernel: " << mdd::current_kernel().name
+            << " (available: " << mdd::kernel_names() << ")\n"
+            << "store: format v" << store::kFormatVersion << " (*"
+            << store::kStoreExtension << ")\n";
+  std::string dir;
+  for (int i = 2; i < argc; ++i)
+    if (std::string(argv[i]) == "--store-dir" && i + 1 < argc)
+      dir = argv[i + 1];
+  if (dir.empty()) return 0;
+  std::size_t n_files = 0, n_bad = 0, entries = 0, bytes = 0;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file() ||
+        e.path().extension() != store::kStoreExtension)
+      continue;
+    ++n_files;
+    try {
+      const auto dict = store::DictReader::open(e.path().string());
+      entries += dict->n_entries();
+      bytes += dict->bytes_mapped();
+    } catch (const std::exception&) {
+      ++n_bad;
+    }
+  }
+  if (ec) {
+    std::cout << "store dir: " << dir << " (unreadable: " << ec.message()
+              << ")\n";
+    return 0;
+  }
+  std::cout << "store dir: " << dir << " (" << n_files << " stores, "
+            << entries << " entries, " << bytes << " bytes";
+  if (n_bad > 0) std::cout << ", " << n_bad << " invalid";
+  std::cout << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && (std::string(argv[1]) == "version" ||
-                    std::string(argv[1]) == "--version")) {
-    std::cout << "openmdd " << kVersion << "\n"
-              << "fsim.kernel: " << mdd::current_kernel().name
-              << " (available: " << mdd::kernel_names() << ")\n";
-    return 0;
-  }
+                    std::string(argv[1]) == "--version"))
+    return cmd_version(argc, argv);
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
@@ -331,6 +515,7 @@ int main(int argc, char** argv) {
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "inject") return cmd_inject(args);
     if (cmd == "diagnose") return cmd_diagnose(args);
+    if (cmd == "dict") return cmd_dict(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "openmdd " << cmd << ": " << e.what() << "\n";

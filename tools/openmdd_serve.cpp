@@ -57,6 +57,9 @@ int usage() {
          " 127.0.0.1:N (0 = ephemeral)\n"
          "  --slow-ms N            log slow requests (>= N ms end-to-end)"
          " as JSON on stderr\n"
+         "  --store-dir DIR        serve candidate signatures from"
+         " prebuilt dictionary stores\n"
+         "                         (openmdd dict build) found in DIR\n"
          "  --kernel NAME          simulation kernel (available: "
       << mdd::kernel_names()
       << "; default: widest, or MDD_KERNEL)\n";
@@ -126,6 +129,8 @@ int main(int argc, char** argv) {
         metrics_port = static_cast<std::uint16_t>(p);
       } else if (a == "--slow-ms") {
         options.slow_ms = static_cast<double>(parse_count(value(), a));
+      } else if (a == "--store-dir") {
+        options.store_dir = value();
       } else if (a == "--kernel") {
         options.kernel = value();
       } else if (a == "--help" || a == "-h") {
@@ -151,7 +156,10 @@ int main(int argc, char** argv) {
   std::cerr << "openmdd_serve " << kVersion << ": " << options.n_workers
             << " workers, queue " << options.queue_depth << ", cache "
             << (options.cache_bytes >> 20) << " MiB, kernel "
-            << current_kernel().name << "\n";
+            << current_kernel().name;
+  if (!options.store_dir.empty())
+    std::cerr << ", store " << options.store_dir;
+  std::cerr << "\n";
   std::unique_ptr<server::MetricsHttpServer> metrics;
   if (metrics_port) {
     try {
