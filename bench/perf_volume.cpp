@@ -1,0 +1,246 @@
+// Perf F — volume-diagnosis streaming throughput (google-benchmark).
+//
+// Measures the tentpole claim of the batch pipeline on g1k: a stream of
+// tester datalogs (a few distinct defects, each recurring several times
+// — the volume-diagnosis shape) diagnosed three ways:
+//
+//   IndependentSingles   one cold DiagnosisContext per datalog: what N
+//                        unrelated `openmdd diagnose` invocations pay
+//                        after circuit load (no shared memo state).
+//   ResidentSingles      N sequential `op=diagnose` requests against one
+//                        service: session memos warm ACROSS requests.
+//   Batch/T              one `op=diagnose_batch` request at T datalog
+//                        threads: same shared memos plus datalog-level
+//                        parallelism from the private worker group.
+//
+// Every arm exports datalogs_per_s; the batch-vs-independent ratio is
+// the amortization multiple EXPERIMENTS.md quotes.
+//
+//   ./build/bench/perf_volume                  # google-benchmark arms
+//   ./build/bench/perf_volume --volume-check   # one timed pass of the
+//        independent and batch arms; verifies per-datalog reports are
+//        byte-identical and exits 1 unless batch >= 2x datalogs/s.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diag/multiplet.hpp"
+#include "netlist/bench_parser.hpp"
+#include "server/result_json.hpp"
+#include "server/service.hpp"
+#include "sim/kernel.hpp"
+#include "workload/circuits.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/textio.hpp"
+
+namespace {
+
+using namespace mdd;
+
+constexpr std::size_t kDistinct = 3;  ///< distinct defects in the stream
+constexpr std::size_t kRepeats = 6;   ///< recurrences per defect
+
+struct Fixture {
+  std::string netlist_path = "/tmp/perf_volume_g1k.bench";
+  std::string patterns_path = "/tmp/perf_volume_g1k.patterns";
+  Netlist netlist;
+  PatternSet patterns;
+  /// Datalog texts in stream order: defect i recurs every kDistinct
+  /// entries, like the same systematic defect surfacing on many dies.
+  std::vector<std::string> stream;
+
+  Fixture() {
+    const BenchCircuit bc = load_bench_circuit("g1k");
+    {
+      std::ofstream os(netlist_path);
+      write_bench(os, bc.netlist);
+    }
+    write_patterns_file(patterns_path, bc.patterns);
+    // Both arms must see the circuit EXACTLY as the service does — parsed
+    // back from the emitted file — or candidate enumeration order (and so
+    // deep suspect ordering) drifts from the write/parse round-trip.
+    netlist = parse_bench_file(netlist_path).netlist;
+    patterns = read_patterns_file(patterns_path);
+    CorpusConfig cfg;
+    cfg.n_cases = kDistinct;
+    cfg.seed = 3;
+    const PatternSet good = simulate(netlist, patterns);
+    const std::vector<LoadgenCase> corpus =
+        make_corpus(netlist, patterns, good, cfg);
+    for (std::size_t r = 0; r < kRepeats; ++r)
+      for (const LoadgenCase& lc : corpus) stream.push_back(lc.datalog_text);
+  }
+
+  server::Json single_request(std::size_t i) const {
+    server::Json r;
+    r.set("op", "diagnose");
+    r.set("netlist", netlist_path);
+    r.set("patterns", patterns_path);
+    r.set("datalog", stream[i]);
+    r.set("method", "multiplet");
+    return r;
+  }
+
+  server::Json batch_request(std::size_t threads) const {
+    server::Json r;
+    r.set("op", "diagnose_batch");
+    r.set("netlist", netlist_path);
+    r.set("patterns", patterns_path);
+    server::JsonArray datalogs;
+    datalogs.reserve(stream.size());
+    for (const std::string& text : stream) datalogs.emplace_back(text);
+    r.set("datalogs", server::Json(std::move(datalogs)));
+    r.set("method", "multiplet");
+    r.set("threads", threads);
+    return r;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// The no-amortization baseline: every datalog gets a cold context, so
+/// every candidate signature and composite is simulated from scratch.
+std::vector<server::Json> run_independent(const Fixture& f) {
+  std::vector<server::Json> reports;
+  reports.reserve(f.stream.size());
+  for (const std::string& text : f.stream) {
+    std::istringstream in(text);
+    const Datalog log = read_datalog(in, f.netlist);
+    DiagnosisContext ctx(f.netlist, f.patterns, log);
+    const DiagnosisReport report = diagnose_multiplet(ctx);
+    reports.push_back(server::report_to_json(report, f.netlist));
+  }
+  return reports;
+}
+
+void BM_VolumeIndependentSingles(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_independent(f));
+  }
+  state.counters["datalogs_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * f.stream.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VolumeIndependentSingles)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_VolumeResidentSingles(benchmark::State& state) {
+  Fixture& f = fixture();
+  server::ServiceOptions options;
+  options.n_workers = 1;
+  server::DiagnosisService service(options);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < f.stream.size(); ++i)
+      benchmark::DoNotOptimize(service.handle(f.single_request(i)));
+  }
+  state.counters["datalogs_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * f.stream.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VolumeResidentSingles)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_VolumeBatch(benchmark::State& state) {
+  Fixture& f = fixture();
+  server::ServiceOptions options;
+  options.n_workers = 1;
+  server::DiagnosisService service(options);
+  const server::Json request =
+      f.batch_request(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(request));
+  }
+  state.counters["datalogs_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * f.stream.size()),
+      benchmark::Counter::kIsRate);
+}
+// Real time, not CPU time: the batch runs on private threads whose CPU
+// the benchmark harness does not observe.
+BENCHMARK(BM_VolumeBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// One-shot check mode: times the independent baseline and one batch
+/// pass, demands byte-identical per-datalog reports, and fails unless the
+/// batch sustains >= 2x the baseline's datalogs/s.
+int volume_check() {
+  Fixture& f = fixture();
+  using Clock = std::chrono::steady_clock;
+
+  const auto t0 = Clock::now();
+  const std::vector<server::Json> independent = run_independent(f);
+  const double independent_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  server::ServiceOptions options;
+  options.n_workers = 1;
+  server::DiagnosisService service(options);
+  const auto t1 = Clock::now();
+  const server::Json response = service.handle(f.batch_request(1));
+  const double batch_s =
+      std::chrono::duration<double>(Clock::now() - t1).count();
+  if (response.get_string("status") != "ok") {
+    std::cerr << "perf_volume: batch failed: " << response.dump() << "\n";
+    return 1;
+  }
+
+  const server::JsonArray& results = response.find("results")->as_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string batch_report =
+        results[i].find("reports")->as_array().front().dump();
+    if (batch_report != independent[i].dump()) {
+      std::cerr << "perf_volume: report " << i
+                << " differs between batch and independent single\n"
+                << "  batch:       " << batch_report.substr(0, 300) << "\n"
+                << "  independent: " << independent[i].dump().substr(0, 300)
+                << "\n";
+      return 1;
+    }
+  }
+
+  const double rate_independent = f.stream.size() / independent_s;
+  const double rate_batch = f.stream.size() / batch_s;
+  const double speedup = rate_batch / rate_independent;
+  std::cout << "independent: " << rate_independent << " datalogs/s ("
+            << independent_s << " s)\n"
+            << "batch:       " << rate_batch << " datalogs/s (" << batch_s
+            << " s)\n"
+            << "speedup:     " << speedup << "x ("
+            << response.find("amortization")->dump() << ")\n";
+  if (speedup < 2.0) {
+    std::cerr << "perf_volume: batch speedup " << speedup << "x < 2x\n";
+    return 1;
+  }
+  std::cout << "reports byte-identical across " << results.size()
+            << " datalogs; speedup >= 2x\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--volume-check") == 0) return volume_check();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("fsim.kernel",
+                              std::string(mdd::current_kernel().name));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

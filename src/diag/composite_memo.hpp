@@ -30,29 +30,35 @@
 namespace mdd {
 
 /// Canonical memo key for a composite: the multiplet's member faults,
-/// sorted. Two spans listing the same members in any order map to the
-/// same entry.
+/// sorted, plus the applied-window length they were propagated over. Two
+/// spans listing the same members in any order map to the same entry; the
+/// same member set over a different (e.g. ATE-truncated) window does not.
 class CompositeKey {
  public:
-  explicit CompositeKey(std::span<const Fault> multiplet)
-      : members_(multiplet.begin(), multiplet.end()) {
+  explicit CompositeKey(std::span<const Fault> multiplet,
+                        std::size_t window_patterns = 0)
+      : members_(multiplet.begin(), multiplet.end()),
+        window_patterns_(window_patterns) {
     std::sort(members_.begin(), members_.end());
   }
 
   const std::vector<Fault>& members() const { return members_; }
+  std::size_t window_patterns() const { return window_patterns_; }
   bool operator==(const CompositeKey&) const = default;
 
  private:
   std::vector<Fault> members_;
+  std::size_t window_patterns_ = 0;
 };
 
 struct CompositeKeyHash {
   std::size_t operator()(const CompositeKey& key) const {
     // FNV-style fold over the per-member hashes (members are sorted, so
-    // the fold order is canonical).
+    // the fold order is canonical), then the window length.
     std::size_t h = 0xcbf29ce484222325ull;
     for (const Fault& f : key.members())
       h = (h ^ FaultHash{}(f)) * 0x100000001b3ull;
+    h = (h ^ key.window_patterns()) * 0x100000001b3ull;
     return h;
   }
 };

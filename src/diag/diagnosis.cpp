@@ -82,8 +82,10 @@ DiagnosisContext::DiagnosisContext(
     else
       fsim_.emplace(netlist, window_);
   }
-  store_usable_ = datalog.n_patterns_applied >= patterns.n_patterns() &&
-                  masked_.empty();
+  // Static contexts always admit the cross-case memos: entries are keyed
+  // by (fault, window length) and hold pre-masking truth, so truncation
+  // and X-masking no longer disqualify a datalog from amortization.
+  memo_attachable_ = true;
 }
 
 DiagnosisContext::DiagnosisContext(const Netlist& netlist,
@@ -104,21 +106,32 @@ DiagnosisContext::DiagnosisContext(const Netlist& netlist,
       propagator_(std::in_place, netlist, launch_window_, window_),
       solo_cache_(pool_.faults.size()) {}
 
+/// The memo speaks pre-masking truth; the slot holds what the diagnosers
+/// consume (this context's masked bits already subtracted).
+std::shared_ptr<const ErrorSignature> DiagnosisContext::apply_mask(
+    std::shared_ptr<const ErrorSignature> pre) const {
+  if (masked_.empty()) return pre;
+  return std::make_shared<const ErrorSignature>(
+      signature_difference(*pre, masked_));
+}
+
 void DiagnosisContext::fill_solo(SoloSlot& slot, SingleFaultPropagator& prop,
                                  std::size_t i) {
   std::call_once(slot.once, [&] {
+    const std::size_t window = window_.n_patterns();
     if (solo_store_ != nullptr) {
-      if (auto hit = solo_store_->lookup(pool_.faults[i])) {
-        slot.sig = std::move(hit);
+      if (auto hit = solo_store_->lookup(pool_.faults[i], window)) {
+        slot.sig = apply_mask(std::move(hit));
         return;
       }
     }
-    ErrorSignature sig = prop.signature(pool_.faults[i]);
-    if (!masked_.empty()) sig = signature_difference(sig, masked_);
-    slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
+    auto pre = std::make_shared<const ErrorSignature>(
+        prop.signature(pool_.faults[i]));
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
     diag_metrics().solo_computes.inc();
-    if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
+    if (solo_store_ != nullptr)
+      solo_store_->store(pool_.faults[i], window, pre);
+    slot.sig = apply_mask(std::move(pre));
   });
 }
 
@@ -130,19 +143,24 @@ const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
   // once_flag still guarantees a single compute per slot when readers
   // race.
   std::call_once(slot.once, [&] {
+    const std::size_t window = window_.n_patterns();
     if (solo_store_ != nullptr) {
-      if (auto hit = solo_store_->lookup(pool_.faults[i])) {
-        slot.sig = std::move(hit);
+      if (auto hit = solo_store_->lookup(pool_.faults[i], window)) {
+        slot.sig = apply_mask(std::move(hit));
         return;
       }
     }
-    std::lock_guard<std::mutex> lock(propagator_mutex_);
-    ErrorSignature sig = propagator_->signature(pool_.faults[i]);
-    if (!masked_.empty()) sig = signature_difference(sig, masked_);
-    slot.sig = std::make_shared<const ErrorSignature>(std::move(sig));
+    std::shared_ptr<const ErrorSignature> pre;
+    {
+      std::lock_guard<std::mutex> lock(propagator_mutex_);
+      pre = std::make_shared<const ErrorSignature>(
+          propagator_->signature(pool_.faults[i]));
+    }
     solo_computes_.fetch_add(1, std::memory_order_relaxed);
     diag_metrics().solo_computes.inc();
-    if (solo_store_ != nullptr) solo_store_->store(pool_.faults[i], slot.sig);
+    if (solo_store_ != nullptr)
+      solo_store_->store(pool_.faults[i], window, pre);
+    slot.sig = apply_mask(std::move(pre));
   });
   return *slot.sig;
 }
@@ -159,9 +177,9 @@ std::size_t DiagnosisContext::warm_solo_from_store() {
     SoloSlot& slot = solo_cache_[i];
     try {
       std::call_once(slot.once, [&] {
-        auto hit = solo_store_->lookup(pool_.faults[i]);
+        auto hit = solo_store_->lookup(pool_.faults[i], window_.n_patterns());
         if (hit == nullptr) throw StoreMiss{};
-        slot.sig = std::move(hit);
+        slot.sig = apply_mask(std::move(hit));
       });
     } catch (const StoreMiss&) {
       continue;
@@ -226,7 +244,7 @@ ErrorSignature DiagnosisContext::multiplet_signature(
   }
   // Entries are stored pre-masking: the full-window truth is what is
   // shareable across contexts; this context's masked bits come off after.
-  const CompositeKey key(multiplet);
+  const CompositeKey key(multiplet, window_.n_patterns());
   std::shared_ptr<const ErrorSignature> sig = composites_->lookup(key);
   if (sig != nullptr) {
     diag_metrics().composite_memo_hits.inc();

@@ -75,19 +75,24 @@ struct DiagnosisReport {
 
 /// Cross-case store for candidate solo signatures. A solo signature
 /// depends only on (netlist, applied window) — not on the observed
-/// failures — so when many datalogs for one circuit apply the full
-/// pattern set, their contexts can share one store and each candidate is
-/// simulated once per circuit instead of once per datalog. Implementations
-/// must be thread-safe; lookups must return exactly what a fresh compute
-/// would produce (the serving layer's determinism contract rides on it).
+/// failures or the tester's X-mask — so datalogs for one circuit can
+/// share one store and each (candidate, window shape) is simulated once
+/// per circuit instead of once per datalog. Entries are keyed by
+/// (fault, window length) and hold the PRE-masking truth: contexts with
+/// masked bits subtract them after lookup, so ATE-truncated and X-masked
+/// datalogs amortize too. Implementations must be thread-safe; lookups
+/// must return exactly what a fresh compute over that window would
+/// produce (the serving layer's determinism contract rides on it).
 class SoloSignatureStore {
  public:
   virtual ~SoloSignatureStore() = default;
-  /// Cached signature for `f` over the full window, or null on miss.
-  virtual std::shared_ptr<const ErrorSignature> lookup(const Fault& f) = 0;
-  /// Offers a freshly computed signature (shared, so neither side copies);
-  /// the store may decline (full).
-  virtual void store(const Fault& f,
+  /// Cached pre-masking signature for `f` over the first
+  /// `window_patterns` patterns, or null on miss.
+  virtual std::shared_ptr<const ErrorSignature> lookup(
+      const Fault& f, std::size_t window_patterns) = 0;
+  /// Offers a freshly computed pre-masking signature (shared, so neither
+  /// side copies); the store may decline (full).
+  virtual void store(const Fault& f, std::size_t window_patterns,
                      std::shared_ptr<const ErrorSignature> sig) = 0;
 };
 
@@ -166,13 +171,15 @@ class DiagnosisContext {
     return solo_computes_.load(std::memory_order_relaxed);
   }
 
-  /// Attaches a cross-case solo-signature store. Only honored when this
-  /// context's window spans the full pattern set with no masked bits
-  /// (static mode) — under truncation a cached full-window signature
-  /// would not match, so attaching is silently a no-op. Call before the
+  /// Attaches a cross-case solo-signature store. Honored for every
+  /// static-test context — entries are keyed by (fault, window length)
+  /// and hold pre-masking signatures, so truncated and X-masked datalogs
+  /// share them too (this context subtracts its own masked bits after
+  /// lookup). Pair-mode (transition) contexts never attach: their
+  /// signatures depend on the launch frame as well. Call before the
   /// first solo_signature()/warm_solo_signatures() query.
   void attach_solo_store(SoloSignatureStore* store) {
-    if (store_usable_) solo_store_ = store;
+    if (memo_attachable_) solo_store_ = store;
   }
   bool solo_store_attached() const { return solo_store_ != nullptr; }
 
@@ -185,13 +192,13 @@ class DiagnosisContext {
   ErrorSignature multiplet_signature(std::span<const Fault> multiplet);
 
   /// Attaches a cross-request composite-signature memo (the serving
-  /// session cache owns one per circuit). Like attach_solo_store, only
-  /// honored for full-window static contexts with no masked bits —
-  /// entries are keyed by member set alone, so they must mean the same
-  /// thing in every attaching context. Otherwise the context keeps its
-  /// private per-request memo.
+  /// session cache owns one per circuit). Like attach_solo_store,
+  /// honored for every static context — entries are keyed by
+  /// (member set, window length) and stored pre-masking, so they mean
+  /// the same thing in every attaching context. Pair-mode contexts keep
+  /// their private per-request memo.
   void attach_composite_memo(CompositeMemo* memo) {
-    if (store_usable_ && memo != nullptr) composites_ = memo;
+    if (memo_attachable_ && memo != nullptr) composites_ = memo;
   }
 
   /// Routes multiplet_signature through the reference full-circuit
@@ -227,13 +234,17 @@ class DiagnosisContext {
   /// Computes slot `i` with `prop` (masked-bit subtraction included);
   /// no-op if already filled.
   void fill_solo(SoloSlot& slot, SingleFaultPropagator& prop, std::size_t i);
+  /// Subtracts this context's masked bits from a pre-masking signature
+  /// (pointer pass-through when nothing is masked).
+  std::shared_ptr<const ErrorSignature> apply_mask(
+      std::shared_ptr<const ErrorSignature> pre) const;
 
   /// deque: slots are neither movable (once_flag) nor relocated.
   std::deque<SoloSlot> solo_cache_;
   std::mutex propagator_mutex_;  ///< guards propagator_'s scratch state
   std::atomic<std::size_t> solo_computes_{0};
   SoloSignatureStore* solo_store_ = nullptr;
-  bool store_usable_ = false;  ///< full window, nothing masked
+  bool memo_attachable_ = false;  ///< static mode (window-keyed memos OK)
   /// Per-context composite memo (intra-request reuse across restarts and
   /// refinement); replaced by the session-wide memo when one is attached.
   CompositeMemo local_composites_{32ull << 20};

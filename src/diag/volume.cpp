@@ -1,0 +1,155 @@
+#include "diag/volume.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace mdd {
+
+namespace {
+
+/// Power-of-two bucket label for a failing-pattern count: 0, 1, 2, 3-4,
+/// 5-8, 9-16, ... Deterministic and human-scannable in a summary table.
+std::string bucket_label(std::size_t n) {
+  if (n <= 2) return std::to_string(n);
+  std::size_t hi = 4;
+  while (hi < n) hi *= 2;
+  return std::to_string(hi / 2 + 1) + "-" + std::to_string(hi);
+}
+
+}  // namespace
+
+VolumeAggregator::VolumeAggregator(std::size_t n_datalogs,
+                                   VolumeOptions options)
+    : options_(options), slots_(n_datalogs), filled_(n_datalogs, 0) {}
+
+void VolumeAggregator::record(DatalogVolumeRecord record) {
+  const std::size_t i = record.index;
+  if (i >= slots_.size())
+    throw std::out_of_range("VolumeAggregator: record index out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[i] = std::move(record);
+  filled_[i] = 1;
+}
+
+DatalogVolumeRecord VolumeAggregator::make_record(
+    std::size_t index, const Datalog& datalog,
+    const std::vector<DiagnosisReport>& reports, bool timed_out) {
+  DatalogVolumeRecord r;
+  r.index = index;
+  r.ok = true;
+  r.timed_out = timed_out;
+  r.n_failing_patterns = datalog.observed.n_failing_patterns();
+  r.n_error_bits = datalog.observed.n_error_bits();
+  if (!reports.empty()) {
+    const DiagnosisReport& primary = reports.front();
+    r.explains_all = primary.explains_all;
+    r.timed_out = r.timed_out || primary.timed_out;
+    r.suspects.reserve(primary.suspects.size());
+    r.scores.reserve(primary.suspects.size());
+    for (const ScoredCandidate& s : primary.suspects) {
+      r.suspects.push_back(s.fault);
+      r.scores.push_back(s.score);
+    }
+  }
+  return r;
+}
+
+VolumeSummary VolumeAggregator::summarize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VolumeSummary out;
+  out.n_datalogs = slots_.size();
+
+  // Ordered maps: the reduction below iterates them for tie-breaking and
+  // bucket emission, and the iteration order must not depend on hashing.
+  std::map<Fault, CandidateRecurrence> by_fault;
+  std::map<NetId, std::size_t> net_hits;
+  std::map<std::size_t, std::size_t> pattern_counts;  // n_failing -> logs
+
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!filled_[i]) continue;
+    const DatalogVolumeRecord& r = slots_[i];
+    if (!r.ok) {
+      ++out.n_failed;
+      continue;
+    }
+    ++out.n_diagnosed;
+    if (r.explains_all) ++out.n_explained;
+    if (r.timed_out) ++out.n_timed_out;
+    ++pattern_counts[r.n_failing_patterns];
+
+    std::vector<NetId> nets_this_log;
+    for (std::size_t s = 0; s < r.suspects.size(); ++s) {
+      const Fault& f = r.suspects[s];
+      const double score = s < r.scores.size() ? r.scores[s] : 0.0;
+      CandidateRecurrence& rec = by_fault[f];
+      if (rec.n_datalogs == 0) rec.fault = f;
+      ++rec.n_datalogs;
+      if (s == 0) ++rec.n_rank1;
+      rec.total_score += score;
+      rec.best_score =
+          rec.n_datalogs == 1 ? score : std::max(rec.best_score, score);
+      nets_this_log.push_back(f.net);
+      if (f.is_bridge()) nets_this_log.push_back(f.bridge_net);
+    }
+    // One datalog contributes at most once per net, however many of its
+    // suspects share the site.
+    std::sort(nets_this_log.begin(), nets_this_log.end());
+    nets_this_log.erase(
+        std::unique(nets_this_log.begin(), nets_this_log.end()),
+        nets_this_log.end());
+    for (NetId n : nets_this_log) ++net_hits[n];
+  }
+
+  // Classify, then classify the datalogs by their top suspect.
+  const std::size_t systematic_floor = std::max<std::size_t>(
+      options_.min_recurrences,
+      static_cast<std::size_t>(options_.systematic_fraction *
+                               static_cast<double>(out.n_diagnosed)));
+  for (auto& [fault, rec] : by_fault)
+    rec.systematic = rec.n_datalogs >= systematic_floor;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!filled_[i] || !slots_[i].ok || slots_[i].suspects.empty()) continue;
+    if (by_fault.at(slots_[i].suspects.front()).systematic)
+      ++out.n_systematic_datalogs;
+    else
+      ++out.n_random_datalogs;
+  }
+
+  out.n_distinct_candidates = by_fault.size();
+  out.recurrences.reserve(by_fault.size());
+  for (const auto& [fault, rec] : by_fault) out.recurrences.push_back(rec);
+  std::sort(out.recurrences.begin(), out.recurrences.end(),
+            [](const CandidateRecurrence& a, const CandidateRecurrence& b) {
+              if (a.n_datalogs != b.n_datalogs)
+                return a.n_datalogs > b.n_datalogs;
+              if (a.total_score != b.total_score)
+                return a.total_score > b.total_score;
+              return a.fault < b.fault;
+            });
+  if (options_.top_k != 0 && out.recurrences.size() > options_.top_k)
+    out.recurrences.resize(options_.top_k);
+
+  out.net_hits.assign(net_hits.begin(), net_hits.end());
+  std::sort(out.net_hits.begin(), out.net_hits.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (options_.top_k != 0 && out.net_hits.size() > options_.top_k)
+    out.net_hits.resize(options_.top_k);
+
+  // Pattern-count buckets, ascending; adjacent counts sharing a
+  // power-of-two bucket merge.
+  for (const auto& [n, count] : pattern_counts) {
+    const std::string label = bucket_label(n);
+    if (!out.failing_pattern_hist.empty() &&
+        out.failing_pattern_hist.back().label == label)
+      out.failing_pattern_hist.back().count += count;
+    else
+      out.failing_pattern_hist.push_back({label, count});
+  }
+  return out;
+}
+
+}  // namespace mdd

@@ -1,0 +1,119 @@
+// openmdd — cross-datalog aggregation for volume diagnosis.
+//
+// One failing die is a datalog; production diagnosis is thousands of them
+// against one design. Per-datalog reports answer "what is wrong with THIS
+// die"; the volume layer answers the yield question: which candidate
+// defects recur across die (systematic — a process or design problem) and
+// which appear once (random). `VolumeAggregator` collects one compact
+// record per diagnosed datalog — from any thread, in any order — and
+// `summarize()` reduces them in datalog-index order into deterministic
+// recurrence statistics: per-candidate datalog counts, rank-1 counts,
+// score totals, a per-net hit histogram (bridge faults count both nets),
+// and a failing-pattern-count histogram. The summary is byte-stable for a
+// given record set at any thread count (no float-order nondeterminism:
+// all reductions run in index order under one lock-free final pass).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "diag/diagnosis.hpp"
+#include "fault/fault.hpp"
+
+namespace mdd {
+
+struct VolumeOptions {
+  /// A candidate is classified systematic when it is a suspect in at
+  /// least `min_recurrences` datalogs AND in at least
+  /// `systematic_fraction` of all successfully diagnosed ones.
+  double systematic_fraction = 0.25;
+  std::size_t min_recurrences = 2;
+  /// Recurrence rows kept in the summary (most-recurrent first);
+  /// 0 = unbounded.
+  std::size_t top_k = 50;
+};
+
+/// What the volume layer keeps per diagnosed datalog — the suspects of
+/// the PRIMARY report (the first one, i.e. the requested method) plus
+/// envelope facts. Deliberately small: a million-datalog campaign must
+/// aggregate without holding a million full reports.
+struct DatalogVolumeRecord {
+  std::size_t index = 0;  ///< position in the batch (aggregation order)
+  bool ok = false;        ///< diagnosis succeeded (failed logs still count)
+  bool explains_all = false;
+  bool timed_out = false;
+  std::size_t n_failing_patterns = 0;
+  std::size_t n_error_bits = 0;
+  /// Primary-report suspects with their scores, rank order preserved.
+  std::vector<Fault> suspects;
+  std::vector<double> scores;
+};
+
+struct CandidateRecurrence {
+  Fault fault{};
+  std::size_t n_datalogs = 0;  ///< datalogs listing it as a suspect
+  std::size_t n_rank1 = 0;     ///< datalogs ranking it first
+  double total_score = 0.0;
+  double best_score = 0.0;
+  bool systematic = false;
+};
+
+/// One histogram bucket (net hits / failing-pattern counts).
+struct VolumeBucket {
+  std::string label;
+  std::size_t count = 0;
+};
+
+struct VolumeSummary {
+  std::size_t n_datalogs = 0;
+  std::size_t n_diagnosed = 0;  ///< records with ok == true
+  std::size_t n_failed = 0;
+  std::size_t n_explained = 0;  ///< explains_all among diagnosed
+  std::size_t n_timed_out = 0;
+  /// Diagnosed datalogs whose top suspect is a systematic candidate /
+  /// is not (empty-suspect diagnoses count as neither).
+  std::size_t n_systematic_datalogs = 0;
+  std::size_t n_random_datalogs = 0;
+  std::size_t n_distinct_candidates = 0;  ///< before top_k truncation
+  /// Most-recurrent candidates first (ties: higher total score, then
+  /// fault identity); truncated to VolumeOptions::top_k.
+  std::vector<CandidateRecurrence> recurrences;
+  /// Suspect hits per net (NetId, datalog count) — bridge faults count
+  /// victim and aggressor; one datalog contributes at most once per net.
+  /// Sorted by count desc, then NetId. Same top_k truncation.
+  std::vector<std::pair<NetId, std::size_t>> net_hits;
+  /// Datalogs by failing-pattern count, power-of-two buckets ("0", "1",
+  /// "2", "3-4", "5-8", ...); empty buckets omitted.
+  std::vector<VolumeBucket> failing_pattern_hist;
+};
+
+/// Thread-safe collector: record() may run concurrently from the batch
+/// workers; summarize() reduces the filled slots in index order, so the
+/// summary is identical however the records raced in.
+class VolumeAggregator {
+ public:
+  explicit VolumeAggregator(std::size_t n_datalogs,
+                            VolumeOptions options = {});
+
+  /// Stores `record` at its index slot (one writer per index).
+  void record(DatalogVolumeRecord record);
+
+  /// Builds a record from a finished diagnosis (primary report = first).
+  static DatalogVolumeRecord make_record(
+      std::size_t index, const Datalog& datalog,
+      const std::vector<DiagnosisReport>& reports, bool timed_out);
+
+  VolumeSummary summarize() const;
+
+  const VolumeOptions& options() const { return options_; }
+
+ private:
+  VolumeOptions options_;
+  std::vector<DatalogVolumeRecord> slots_;
+  std::vector<char> filled_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace mdd

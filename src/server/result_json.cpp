@@ -41,4 +41,48 @@ Json reports_to_json(std::span<const DiagnosisReport> reports,
   return Json(std::move(arr));
 }
 
+Json volume_to_json(const VolumeSummary& summary, const Netlist& netlist) {
+  Json j;
+  j.set("n_datalogs", summary.n_datalogs);
+  j.set("n_diagnosed", summary.n_diagnosed);
+  j.set("n_failed", summary.n_failed);
+  j.set("n_explained", summary.n_explained);
+  j.set("n_timed_out", summary.n_timed_out);
+  j.set("n_systematic_datalogs", summary.n_systematic_datalogs);
+  j.set("n_random_datalogs", summary.n_random_datalogs);
+  j.set("n_distinct_candidates", summary.n_distinct_candidates);
+  JsonArray recurrences;
+  recurrences.reserve(summary.recurrences.size());
+  for (const CandidateRecurrence& r : summary.recurrences) {
+    Json rec;
+    rec.set("fault", to_string(r.fault, netlist));
+    rec.set("n_datalogs", r.n_datalogs);
+    rec.set("n_rank1", r.n_rank1);
+    rec.set("total_score", r.total_score);
+    rec.set("best_score", r.best_score);
+    rec.set("systematic", r.systematic);
+    recurrences.push_back(std::move(rec));
+  }
+  j.set("recurrences", std::move(recurrences));
+  JsonArray net_hits;
+  net_hits.reserve(summary.net_hits.size());
+  for (const auto& [net, count] : summary.net_hits) {
+    Json hit;
+    hit.set("net", netlist.net_name(net));
+    hit.set("count", count);
+    net_hits.push_back(std::move(hit));
+  }
+  j.set("net_hits", std::move(net_hits));
+  JsonArray hist;
+  hist.reserve(summary.failing_pattern_hist.size());
+  for (const VolumeBucket& b : summary.failing_pattern_hist) {
+    Json bucket;
+    bucket.set("patterns", b.label);
+    bucket.set("count", b.count);
+    hist.push_back(std::move(bucket));
+  }
+  j.set("failing_pattern_hist", std::move(hist));
+  return j;
+}
+
 }  // namespace mdd::server

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "diag/diagnosis.hpp"
+#include "diag/volume.hpp"
 #include "server/json.hpp"
 
 namespace mdd::server {
@@ -28,5 +29,17 @@ Json report_to_json(const DiagnosisReport& report, const Netlist& netlist);
 /// Array of report objects, in the order given.
 Json reports_to_json(std::span<const DiagnosisReport> reports,
                      const Netlist& netlist);
+
+/// Cross-datalog volume summary (diagnose_batch responses and the CLI
+/// batch mode share it, like report_to_json). Schema:
+///   {"n_datalogs":128,"n_diagnosed":126,"n_failed":2,"n_explained":119,
+///    "n_timed_out":0,"n_systematic_datalogs":88,"n_random_datalogs":30,
+///    "n_distinct_candidates":241,
+///    "recurrences":[{"fault":"sa0 n16","n_datalogs":41,"n_rank1":37,
+///                    "total_score":1201.5,"best_score":44.0,
+///                    "systematic":true}],
+///    "net_hits":[{"net":"n16","count":41}],
+///    "failing_pattern_hist":[{"patterns":"3-4","count":17}]}
+Json volume_to_json(const VolumeSummary& summary, const Netlist& netlist);
 
 }  // namespace mdd::server

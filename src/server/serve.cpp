@@ -124,10 +124,13 @@ int serve_stdio(DiagnosisService& service, std::istream& in,
       return 0;
     }
     outstanding.add();
-    service.submit(std::move(request), [&](Json response) {
-      respond(response);
-      outstanding.done();
-    });
+    service.submit(
+        std::move(request),
+        [&](Json response) {
+          respond(response);
+          outstanding.done();
+        },
+        [&](const Json& streamed) { respond(streamed); });
   }
   outstanding.wait_idle();
   return 0;
@@ -226,10 +229,13 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
           break;
         }
         outstanding.add();
-        service.submit(std::move(request), [&](Json response) {
-          respond(response);
-          outstanding.done();
-        });
+        service.submit(
+            std::move(request),
+            [&](Json response) {
+              respond(response);
+              outstanding.done();
+            },
+            [&](const Json& streamed) { respond(streamed); });
       }
       if (shutdown_server) break;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "diag/multiplet.hpp"
 #include "diag/single_fault.hpp"
 #include "diag/slat.hpp"
+#include "diag/volume.hpp"
 #include "obs/metrics.hpp"
 #include "server/result_json.hpp"
 #include "sim/kernel.hpp"
@@ -65,6 +67,31 @@ struct ServiceMetrics {
 
 ServiceMetrics& service_metrics() {
   static ServiceMetrics m;
+  return m;
+}
+
+/// Volume-pipeline registry handles (op=diagnose_batch).
+struct VolumeMetrics {
+  obs::Counter& batches = obs::registry().counter("volume.batches");
+  obs::Counter& datalogs = obs::registry().counter("volume.datalogs");
+  /// Per-datalog failures inside otherwise-successful batches.
+  obs::Counter& datalog_errors =
+      obs::registry().counter("volume.datalog_errors");
+  /// Amortization ledger: candidates considered vs. solo signatures
+  /// actually simulated across batch datalogs — the gap is what the
+  /// shared memos absorbed.
+  obs::Counter& candidates = obs::registry().counter("volume.candidates");
+  obs::Counter& solo_computes =
+      obs::registry().counter("volume.solo_computes");
+  obs::Counter& systematic =
+      obs::registry().counter("volume.systematic_datalogs");
+  obs::Counter& random = obs::registry().counter("volume.random_datalogs");
+  obs::Histogram& batch_ms = obs::registry().latency("volume.batch_ms");
+  obs::Histogram& datalog_ms = obs::registry().latency("volume.datalog_ms");
+};
+
+VolumeMetrics& volume_metrics() {
+  static VolumeMetrics m;
   return m;
 }
 
@@ -170,9 +197,9 @@ void DiagnosisService::drain() {
         response.set("where", "queue");
       } else if (job->has_deadline) {
         CancelToken token(job->deadline);
-        response = dispatch(job->request, &token, trace);
+        response = dispatch(job->request, &token, trace, job->emit);
       } else {
-        response = dispatch(job->request, nullptr, trace);
+        response = dispatch(job->request, nullptr, trace, job->emit);
       }
     } catch (const std::exception& e) {
       response = error_response(job->request, e.what());
@@ -182,8 +209,10 @@ void DiagnosisService::drain() {
   }
 }
 
-void DiagnosisService::submit(Json request, std::function<void(Json)> done) {
+void DiagnosisService::submit(Json request, std::function<void(Json)> done,
+                              Emit emit) {
   Job job;
+  job.emit = std::move(emit);
   job.admitted = Clock::now();
   try {
     if (auto budget = deadline_budget(request, options_.default_deadline)) {
@@ -208,7 +237,8 @@ void DiagnosisService::submit(Json request, std::function<void(Json)> done) {
   }
 }
 
-Json DiagnosisService::handle(const Json& request, const CancelToken* cancel) {
+Json DiagnosisService::handle(const Json& request, const CancelToken* cancel,
+                              const Emit& emit) {
   const auto t0 = Clock::now();
   obs::Trace trace;
   Json r;
@@ -220,7 +250,7 @@ Json DiagnosisService::handle(const Json& request, const CancelToken* cancel) {
         cancel = &*own_token;
       }
     }
-    r = dispatch(request, cancel, trace);
+    r = dispatch(request, cancel, trace, emit);
   } catch (const std::exception& e) {
     r = error_response(request, e.what());
   }
@@ -230,11 +260,13 @@ Json DiagnosisService::handle(const Json& request, const CancelToken* cancel) {
 
 Json DiagnosisService::dispatch(const Json& request,
                                 const CancelToken* cancel,
-                                obs::Trace& trace) {
+                                obs::Trace& trace, const Emit& emit) {
   if (!request.is_object())
     return error_response(request, "request must be a JSON object");
   const std::string op = request.get_string("op", "diagnose");
   if (op == "diagnose") return handle_diagnose(request, cancel, trace);
+  if (op == "diagnose_batch")
+    return handle_diagnose_batch(request, cancel, trace, emit);
   if (op == "sleep") return handle_sleep(request, cancel);
   if (op == "ping") {
     Json r = make_response(request, "ok");
@@ -261,6 +293,76 @@ Json DiagnosisService::dispatch(const Json& request,
     return r;
   }
   return error_response(request, "unknown op '" + op + "'");
+}
+
+DiagnosisService::DiagnoseOutcome DiagnosisService::diagnose_one(
+    const Session& session, const DatalogInput& input,
+    const std::string& method, const CancelToken* cancel,
+    obs::Trace& trace) {
+  DiagnoseOutcome out;
+  const auto t1 = Clock::now();
+  {
+    auto datalog_span = trace.span("datalog");
+    if (input.is_file) {
+      out.log = read_datalog_file(input.value, session.netlist);
+    } else {
+      std::istringstream in(input.value);
+      out.log = read_datalog(in, session.netlist);
+    }
+  }
+
+  auto context_span = trace.span("context");
+  CandidateOptions candidate_options;
+  candidate_options.trace_store = session.traces.get();
+  DiagnosisContext ctx(session.netlist, session.patterns, out.log,
+                       candidate_options, &session.good, session.baseline,
+                       &trace);
+  if (session.memo) ctx.attach_solo_store(session.memo.get());
+  if (session.composites)
+    ctx.attach_composite_memo(session.composites.get());
+  context_span.close();
+  // Consult the persistent store BEFORE scheduling a PPSFP warm: slots it
+  // answers are pure mmap decodes, and when it covers every candidate the
+  // parallel warm-up is skipped outright (the store-served cold start).
+  std::size_t store_warmed = 0;
+  if (ctx.solo_store_attached() && session.memo && session.memo->has_store()) {
+    auto span = trace.span("store_warm");
+    store_warmed = ctx.warm_solo_from_store();
+  }
+  if (!options_.exec.is_serial() && store_warmed < ctx.n_candidates()) {
+    auto warm_span = trace.span("warm");
+    ctx.warm_solo_signatures(options_.exec, cancel);
+  }
+  out.t_context = ms_since(t1);
+
+  const auto t2 = Clock::now();
+  if (method == "multiplet" || method == "all") {
+    auto span = trace.span("rank:multiplet");
+    MultipletOptions opt;
+    opt.cancel = cancel;
+    out.reports.push_back(diagnose_multiplet(ctx, opt));
+  }
+  if (method == "slat" || method == "all") {
+    auto span = trace.span("rank:slat");
+    SlatOptions opt;
+    opt.cancel = cancel;
+    out.reports.push_back(diagnose_slat(ctx, opt));
+  }
+  if (method == "single" || method == "all") {
+    auto span = trace.span("rank:single");
+    SingleFaultOptions opt;
+    opt.cancel = cancel;
+    out.reports.push_back(diagnose_single_fault(ctx, opt));
+  }
+  if (out.reports.empty())
+    throw std::invalid_argument("unknown method '" + method + "'");
+  out.t_diagnose = ms_since(t2);
+
+  out.timed_out = cancel != nullptr && cancel->cancelled();
+  for (const DiagnosisReport& r : out.reports) out.timed_out |= r.timed_out;
+  out.n_candidates = ctx.n_candidates();
+  out.solo_computes = ctx.solo_compute_count();
+  return out;
 }
 
 Json DiagnosisService::handle_diagnose(const Json& request,
@@ -293,87 +395,258 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   session_span.close();
   const double t_session = ms_since(t0);
 
-  const auto t1 = Clock::now();
-  auto datalog_span = trace.span("datalog");
-  Datalog log;
+  DatalogInput input;
+  if (inline_log != nullptr) {
+    input.value = inline_log->as_string();
+  } else {
+    input.is_file = true;
+    input.value = datalog_file;
+  }
+  DiagnoseOutcome outcome;
   try {
-    if (inline_log != nullptr) {
-      std::istringstream in(inline_log->as_string());
-      log = read_datalog(in, session->netlist);
-    } else {
-      log = read_datalog_file(datalog_file, session->netlist);
-    }
+    outcome = diagnose_one(*session, input, method, cancel, trace);
   } catch (const std::exception& e) {
     return error_response(request, e.what());
   }
-  datalog_span.close();
-
-  auto context_span = trace.span("context");
-  CandidateOptions candidate_options;
-  candidate_options.trace_store = session->traces.get();
-  DiagnosisContext ctx(session->netlist, session->patterns, log,
-                       candidate_options, &session->good, session->baseline,
-                       &trace);
-  if (session->memo) ctx.attach_solo_store(session->memo.get());
-  if (session->composites)
-    ctx.attach_composite_memo(session->composites.get());
-  context_span.close();
-  // Consult the persistent store BEFORE scheduling a PPSFP warm: slots it
-  // answers are pure mmap decodes, and when it covers every candidate the
-  // parallel warm-up is skipped outright (the store-served cold start).
-  std::size_t store_warmed = 0;
-  if (ctx.solo_store_attached() && session->memo && session->memo->has_store()) {
-    auto span = trace.span("store_warm");
-    store_warmed = ctx.warm_solo_from_store();
-  }
-  if (!options_.exec.is_serial() && store_warmed < ctx.n_candidates()) {
-    auto warm_span = trace.span("warm");
-    ctx.warm_solo_signatures(options_.exec, cancel);
-  }
-  const double t_context = ms_since(t1);
-
-  const auto t2 = Clock::now();
-  std::vector<DiagnosisReport> reports;
-  if (method == "multiplet" || method == "all") {
-    auto span = trace.span("rank:multiplet");
-    MultipletOptions opt;
-    opt.cancel = cancel;
-    reports.push_back(diagnose_multiplet(ctx, opt));
-  }
-  if (method == "slat" || method == "all") {
-    auto span = trace.span("rank:slat");
-    SlatOptions opt;
-    opt.cancel = cancel;
-    reports.push_back(diagnose_slat(ctx, opt));
-  }
-  if (method == "single" || method == "all") {
-    auto span = trace.span("rank:single");
-    SingleFaultOptions opt;
-    opt.cancel = cancel;
-    reports.push_back(diagnose_single_fault(ctx, opt));
-  }
-  if (reports.empty())
-    return error_response(request, "unknown method '" + method + "'");
-  const double t_diagnose = ms_since(t2);
-
-  bool timed_out = cancel != nullptr && cancel->cancelled();
-  for (const DiagnosisReport& r : reports) timed_out |= r.timed_out;
 
   auto serialize_span = trace.span("serialize");
-  Json response = make_response(request, timed_out ? "timeout" : "ok");
+  Json response =
+      make_response(request, outcome.timed_out ? "timeout" : "ok");
   response.set("op", "diagnose");
   response.set("method", method);
   response.set("kernel", current_kernel().name);
   response.set("cache", cache_hit ? "hit" : "miss");
-  if (timed_out) response.set("partial", true);
-  response.set("reports", reports_to_json(reports, session->netlist));
+  if (outcome.timed_out) response.set("partial", true);
+  response.set("reports", reports_to_json(outcome.reports, session->netlist));
   Json timings;
   timings.set("session", t_session);
-  timings.set("context", t_context);
-  timings.set("diagnose", t_diagnose);
+  timings.set("context", outcome.t_context);
+  timings.set("diagnose", outcome.t_diagnose);
   timings.set("total", ms_since(t0));
   response.set("timings_ms", std::move(timings));
   serialize_span.close();
+  return response;
+}
+
+Json DiagnosisService::handle_diagnose_batch(const Json& request,
+                                             const CancelToken* cancel,
+                                             obs::Trace& trace,
+                                             const Emit& emit) {
+  const auto t0 = Clock::now();
+  auto parse_span = trace.span("parse");
+  const std::string netlist_path = request.get_string("netlist");
+  const std::string patterns_path = request.get_string("patterns");
+  if (netlist_path.empty() || patterns_path.empty())
+    return error_response(
+        request, "diagnose_batch needs 'netlist' and 'patterns' paths");
+  const std::string method = request.get_string("method", "multiplet");
+  if (method != "multiplet" && method != "slat" && method != "single" &&
+      method != "all")
+    return error_response(request, "unknown method '" + method + "'");
+
+  // Exactly one input form: inline texts, file list, or a directory.
+  const Json* inline_logs = request.find("datalogs");
+  const Json* file_list = request.find("datalog_files");
+  const std::string dir = request.get_string("datalog_dir");
+  const int n_forms = (inline_logs != nullptr ? 1 : 0) +
+                      (file_list != nullptr ? 1 : 0) + (dir.empty() ? 0 : 1);
+  if (n_forms != 1)
+    return error_response(request,
+                          "diagnose_batch needs exactly one of 'datalogs' "
+                          "(inline texts), 'datalog_files' (paths), or "
+                          "'datalog_dir' (directory of *.datalog)");
+  std::vector<DatalogInput> inputs;
+  if (inline_logs != nullptr) {
+    if (!inline_logs->is_array())
+      return error_response(request, "'datalogs' must be an array of strings");
+    for (const Json& d : inline_logs->as_array()) {
+      if (!d.is_string())
+        return error_response(request,
+                              "'datalogs' must be an array of strings");
+      inputs.push_back({false, d.as_string()});
+    }
+  } else if (file_list != nullptr) {
+    if (!file_list->is_array())
+      return error_response(request,
+                            "'datalog_files' must be an array of paths");
+    for (const Json& d : file_list->as_array()) {
+      if (!d.is_string())
+        return error_response(request,
+                              "'datalog_files' must be an array of paths");
+      inputs.push_back({true, d.as_string()});
+    }
+  } else {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+      return error_response(request, "cannot read datalog_dir '" + dir +
+                                         "': " + ec.message());
+    for (const auto& entry : it)
+      if (entry.is_regular_file() && entry.path().extension() == ".datalog")
+        inputs.push_back({true, entry.path().string()});
+    // Directory order is filesystem-dependent; the batch index order is
+    // part of the response, so fix it.
+    std::sort(inputs.begin(), inputs.end(),
+              [](const DatalogInput& a, const DatalogInput& b) {
+                return a.value < b.value;
+              });
+  }
+  if (inputs.empty())
+    return error_response(request, "diagnose_batch: no datalogs given");
+
+  const bool stream = emit != nullptr && request.get_bool("stream");
+  std::size_t threads =
+      static_cast<std::size_t>(std::max(0.0, request.get_number("threads")));
+  if (threads == 0) threads = options_.batch_threads;
+  if (threads == 0) threads = options_.n_workers;
+  threads = std::clamp<std::size_t>(threads, 1, inputs.size());
+  parse_span.close();
+
+  // Pin the session for the whole batch: eviction pressure from other
+  // traffic must not drop the shared memos mid-stream.
+  SessionCache::Pin pin = cache_.pin(netlist_path, patterns_path);
+  auto session_span = trace.span("session");
+  bool cache_hit = false;
+  std::shared_ptr<const Session> session;
+  try {
+    session = cache_.get(netlist_path, patterns_path, &cache_hit);
+  } catch (const std::exception& e) {
+    return error_response(request, e.what());
+  }
+  session_span.close();
+  const double t_session = ms_since(t0);
+
+  VolumeOptions vopt;
+  vopt.systematic_fraction = std::clamp(
+      request.get_number("systematic_fraction", vopt.systematic_fraction),
+      0.0, 1.0);
+  if (const Json* v = request.find("min_recurrences"))
+    vopt.min_recurrences =
+        static_cast<std::size_t>(std::max(0.0, v->as_number()));
+  if (const Json* v = request.find("top_k"))
+    vopt.top_k = static_cast<std::size_t>(std::max(0.0, v->as_number()));
+  VolumeAggregator aggregator(inputs.size(), vopt);
+
+  const auto t1 = Clock::now();
+  auto diagnose_span = trace.span("diagnose");
+  std::vector<Json> items(inputs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> total_candidates{0};
+  std::atomic<std::uint64_t> total_solo_computes{0};
+  std::atomic<std::uint64_t> n_item_errors{0};
+  std::mutex emit_mutex;
+  std::size_t next_emit = 0;
+  std::vector<char> item_done(inputs.size(), 0);
+  // Streamed items go out in index order regardless of which worker
+  // finishes first — clients see a deterministic sequence.
+  const auto publish = [&](std::size_t i, Json item) {
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    items[i] = std::move(item);
+    item_done[i] = 1;
+    if (!stream) return;
+    while (next_emit < items.size() && item_done[next_emit]) {
+      emit(items[next_emit]);
+      ++next_emit;
+    }
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i =
+          next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= inputs.size()) return;
+      const auto item_t0 = Clock::now();
+      Json item;
+      if (stream) {
+        if (const Json* id = request.find("id")) item.set("id", *id);
+        item.set("op", "diagnose_batch_item");
+      }
+      item.set("index", i);
+      if (inputs[i].is_file) item.set("datalog_file", inputs[i].value);
+      try {
+        obs::Trace item_trace;  // per-item spans stay off the batch trace
+        DiagnoseOutcome out =
+            diagnose_one(*session, inputs[i], method, cancel, item_trace);
+        item.set("status", out.timed_out ? "timeout" : "ok");
+        if (out.timed_out) item.set("partial", true);
+        item.set("reports", reports_to_json(out.reports, session->netlist));
+        aggregator.record(VolumeAggregator::make_record(
+            i, out.log, out.reports, out.timed_out));
+        total_candidates.fetch_add(out.n_candidates,
+                                   std::memory_order_relaxed);
+        total_solo_computes.fetch_add(out.solo_computes,
+                                      std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        item.set("status", "error");
+        item.set("error", e.what());
+        DatalogVolumeRecord failed;
+        failed.index = i;
+        aggregator.record(std::move(failed));
+        n_item_errors.fetch_add(1, std::memory_order_relaxed);
+        volume_metrics().datalog_errors.inc();
+      }
+      volume_metrics().datalog_ms.observe(ms_since(item_t0));
+      publish(i, std::move(item));
+    }
+  };
+
+  // The batch occupies ONE queue worker; datalog-level parallelism runs
+  // on private threads (the pool's nested-region guard would serialize
+  // a parallel_for issued from inside a pool worker).
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> group;
+    group.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) group.emplace_back(worker);
+    for (std::thread& t : group) t.join();
+  }
+  diagnose_span.close();
+  const double t_diagnose = ms_since(t1);
+
+  auto summarize_span = trace.span("volume");
+  const VolumeSummary summary = aggregator.summarize();
+  summarize_span.close();
+
+  const bool timed_out = cancel != nullptr && cancel->cancelled();
+  Json response = make_response(request, timed_out ? "timeout" : "ok");
+  response.set("op", "diagnose_batch");
+  response.set("method", method);
+  response.set("kernel", current_kernel().name);
+  response.set("cache", cache_hit ? "hit" : "miss");
+  if (timed_out) response.set("partial", true);
+  response.set("n_datalogs", inputs.size());
+  response.set("n_errors", n_item_errors.load());
+  response.set("threads", threads);
+  if (stream) {
+    response.set("results_streamed", true);
+  } else {
+    JsonArray results;
+    results.reserve(items.size());
+    for (Json& item : items) results.push_back(std::move(item));
+    response.set("results", Json(std::move(results)));
+  }
+  response.set("volume", volume_to_json(summary, session->netlist));
+  // The amortization ledger: with shared memos, solo_computes across the
+  // batch approaches the distinct-candidate count of the whole stream
+  // instead of the sum of per-datalog candidate counts.
+  Json amortization;
+  amortization.set("candidates", total_candidates.load());
+  amortization.set("solo_computes", total_solo_computes.load());
+  response.set("amortization", std::move(amortization));
+  Json timings;
+  timings.set("session", t_session);
+  timings.set("diagnose", t_diagnose);
+  timings.set("total", ms_since(t0));
+  response.set("timings_ms", std::move(timings));
+
+  volume_metrics().batches.inc();
+  volume_metrics().datalogs.inc(inputs.size());
+  volume_metrics().candidates.inc(total_candidates.load());
+  volume_metrics().solo_computes.inc(total_solo_computes.load());
+  volume_metrics().systematic.inc(summary.n_systematic_datalogs);
+  volume_metrics().random.inc(summary.n_random_datalogs);
+  volume_metrics().batch_ms.observe(ms_since(t0));
   return response;
 }
 

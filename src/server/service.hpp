@@ -17,6 +17,19 @@
 //    "method":"multiplet","deadline_ms":2000}
 //   -> {"id":7,"status":"ok","cache":"hit","reports":[...],
 //       "timings_ms":{...}}
+//
+// Volume mode (`op=diagnose_batch`) diagnoses a STREAM of datalogs for
+// one session in a single request: the session is pinned (no mid-batch
+// eviction), baseline/dictionary/memos warm once, and a private worker
+// group diagnoses across datalogs concurrently while sharing the
+// session's SignatureMemo/CompositeMemo. Per-datalog "reports" are
+// byte-identical to N separate `diagnose` requests; the response adds a
+// cross-datalog volume summary (systematic vs. random recurrence, net
+// hit histograms — see diag/volume.hpp). With `"stream":true` on a
+// transport that supports it, each per-datalog result is emitted as its
+// own JSONL line (`op=diagnose_batch_item`, in index order) before the
+// summary response.
+//
 // Other ops: ping, stats, metrics (obs-registry snapshot as JSON), sleep
 // (test/load-shaping aid). Responses carry status ok | timeout |
 // overloaded | error. A request with `"trace": true` gets a per-stage
@@ -93,10 +106,23 @@ struct ServiceOptions {
   /// Applied process-wide before any session is built; the active choice
   /// is reported by ping/stats and the fsim_kernel info metric.
   std::string kernel;
+  /// Datalog-level parallelism inside one diagnose_batch request. The
+  /// batch occupies a single queue worker and spawns its own threads —
+  /// the pool's nested-parallelism guard would serialize parallel_for —
+  /// so this is independent of n_workers. 0 = use n_workers. A request's
+  /// own "threads" field overrides this per batch (clamped to the batch
+  /// size).
+  std::size_t batch_threads = 0;
 };
 
 class DiagnosisService {
  public:
+  /// Streaming sink for multi-response ops (diagnose_batch with
+  /// "stream":true): invoked once per intermediate JSONL line, from the
+  /// executing thread, strictly before the final response. Must be
+  /// thread-safe against concurrent responses, like `done`.
+  using Emit = std::function<void(const Json&)>;
+
   explicit DiagnosisService(const ServiceOptions& options = {});
   ~DiagnosisService();
 
@@ -107,13 +133,14 @@ class DiagnosisService {
   /// from a worker thread normally, or inline right here when the queue
   /// rejects (overloaded / shutting down). `done` must be thread-safe
   /// against other responses (the serve loops serialize on a write
-  /// mutex).
-  void submit(Json request, std::function<void(Json)> done);
+  /// mutex). `emit`, if given, receives intermediate streamed lines.
+  void submit(Json request, std::function<void(Json)> done, Emit emit = {});
 
   /// Executes a request synchronously on the calling thread, bypassing
   /// queue and deadline admission (tests, one-shot tools). A null
   /// `cancel` honors the request's own deadline_ms, if any.
-  Json handle(const Json& request, const CancelToken* cancel = nullptr);
+  Json handle(const Json& request, const CancelToken* cancel = nullptr,
+              const Emit& emit = {});
 
   /// Stops admission and joins the workers (queued jobs still drain and
   /// answer). Idempotent; the destructor calls it.
@@ -128,16 +155,43 @@ class DiagnosisService {
   struct Job {
     Json request;
     std::function<void(Json)> done;
+    Emit emit;  ///< streamed intermediate lines; may be empty
     Clock::time_point admitted{};  ///< for the queue-wait histogram
     Clock::time_point deadline{};
     bool has_deadline = false;
   };
 
+  /// One datalog reference inside a batch (inline text or file path).
+  struct DatalogInput {
+    bool is_file = false;
+    std::string value;
+  };
+  /// Everything the per-datalog pipeline produces; `reports` serialize to
+  /// the exact "reports" value the single-request path emits.
+  struct DiagnoseOutcome {
+    Datalog log;
+    std::vector<DiagnosisReport> reports;
+    bool timed_out = false;
+    std::size_t n_candidates = 0;
+    std::size_t solo_computes = 0;
+    double t_context = 0.0;   ///< datalog parse + context + warm, ms
+    double t_diagnose = 0.0;  ///< ranking, ms
+  };
+
   void drain();  ///< worker loop: pop → execute → done(response)
   Json dispatch(const Json& request, const CancelToken* cancel,
-                obs::Trace& trace);
+                obs::Trace& trace, const Emit& emit);
   Json handle_diagnose(const Json& request, const CancelToken* cancel,
                        obs::Trace& trace);
+  Json handle_diagnose_batch(const Json& request, const CancelToken* cancel,
+                             obs::Trace& trace, const Emit& emit);
+  /// The per-datalog core shared by handle_diagnose and the batch
+  /// workers: parse → context (session memos attached) → store/parallel
+  /// warm → rank. Throws on parse/method errors.
+  DiagnoseOutcome diagnose_one(const Session& session,
+                               const DatalogInput& input,
+                               const std::string& method,
+                               const CancelToken* cancel, obs::Trace& trace);
   Json handle_sleep(const Json& request, const CancelToken* cancel);
   void count_status(const Json& response);
   /// Post-dispatch bookkeeping shared by drain() and handle(): status

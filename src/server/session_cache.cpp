@@ -94,7 +94,10 @@ std::shared_ptr<const Session> load_session(const std::string& netlist_path,
   session->good = simulate(session->netlist, session->patterns);
   session->baseline = SingleFaultPropagator::make_baseline(session->netlist,
                                                            session->patterns);
-  session->memo = std::make_unique<SignatureMemo>(memo_bytes);
+  // The memo learns the session's full window so truncated-window lookups
+  // can be served by restricting full-window entries.
+  session->memo = std::make_unique<SignatureMemo>(
+      memo_bytes, session->patterns.n_patterns());
   session->traces = std::make_unique<TraceMemo>();
   session->composites = std::make_unique<CompositeMemo>(composite_bytes);
   session->dict =
@@ -131,22 +134,46 @@ SessionCache::SessionCache(std::size_t max_bytes, std::size_t memo_bytes,
 
 void SessionCache::evict_over_budget_locked() {
   // Never evict the just-admitted MRU head: an over-budget single session
-  // still serves its requests, it just evicts everything else.
-  while (bytes_ > max_bytes_ && lru_.size() > 1) {
-    const Key victim = lru_.back();
-    lru_.pop_back();
+  // still serves its requests, it just evicts everything else. Pinned
+  // keys (an in-flight batch) are skipped — their memos stay resident no
+  // matter how much other traffic loads.
+  auto it = lru_.end();
+  while (bytes_ > max_bytes_ && lru_.size() > 1 && it != lru_.begin()) {
+    --it;
+    if (it == lru_.begin()) break;  // MRU head survives
+    if (auto p = pins_.find(*it); p != pins_.end() && p->second > 0)
+      continue;
+    const Key victim = *it;
+    it = lru_.erase(it);
     lru_pos_.erase(victim);
-    auto it = entries_.find(victim);
-    if (it != entries_.end()) {
-      if (it->second->session)
-        bytes_ -= it->second->session->approx_bytes;
-      entries_.erase(it);
+    auto ent = entries_.find(victim);
+    if (ent != entries_.end()) {
+      if (ent->second->session)
+        bytes_ -= ent->second->session->approx_bytes;
+      entries_.erase(ent);
     }
     ++evictions_;
     session_metrics().evictions.inc();
   }
   session_metrics().bytes.set(static_cast<std::int64_t>(bytes_));
   session_metrics().entries.set(static_cast<std::int64_t>(lru_.size()));
+}
+
+SessionCache::Pin SessionCache::pin(const std::string& netlist_path,
+                                    const std::string& patterns_path) {
+  Key key = netlist_path + '\n' + patterns_path;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pins_[key];
+  return Pin(this, std::move(key));
+}
+
+void SessionCache::Pin::release() {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(cache_->mutex_);
+  auto it = cache_->pins_.find(key_);
+  if (it != cache_->pins_.end() && --it->second == 0)
+    cache_->pins_.erase(it);
+  cache_ = nullptr;
 }
 
 std::shared_ptr<const Session> SessionCache::get(
@@ -227,6 +254,7 @@ MemoLayerStats SessionCache::layer_stats() const {
       out.signature.approx_bytes += s.approx_bytes;
       out.signature.store_hits += s.store_hits;
       out.signature.store_misses += s.store_misses;
+      out.signature.window_restricts += s.window_restricts;
     }
     if (session->traces) {
       const TraceMemoStats s = session->traces->stats();

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "diag/composite_memo.hpp"
 #include "fsim/propagate.hpp"
@@ -107,6 +108,44 @@ class SessionCache {
                                      const std::string& patterns_path,
                                      bool* was_hit = nullptr);
 
+  /// RAII eviction pin: while alive, the pinned key is skipped by the LRU
+  /// sweep, so a long-running batch keeps its session's memos resident no
+  /// matter what other traffic loads. Pinning does NOT load the session
+  /// or extend the shared_ptr lifetime — it only vetoes eviction of the
+  /// cache's reference. Movable, shareable (counted per key).
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept
+        : cache_(std::exchange(other.cache_, nullptr)),
+          key_(std::move(other.key_)) {}
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        cache_ = std::exchange(other.cache_, nullptr);
+        key_ = std::move(other.key_);
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    void release();
+
+   private:
+    friend class SessionCache;
+    Pin(SessionCache* cache, std::string key)
+        : cache_(cache), key_(std::move(key)) {}
+    SessionCache* cache_ = nullptr;
+    std::string key_;
+  };
+
+  /// Pins (netlist_path, patterns_path) against eviction for the pin's
+  /// lifetime. Valid before the session is loaded (the pin applies the
+  /// moment it is admitted).
+  Pin pin(const std::string& netlist_path, const std::string& patterns_path);
+
   SessionCacheStats stats() const;
 
   /// Sums the memo/store stats of every loaded resident session.
@@ -131,6 +170,7 @@ class SessionCache {
   std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
   std::list<Key> lru_;  ///< front = most recent; loaded entries only
   std::unordered_map<Key, std::list<Key>::iterator> lru_pos_;
+  std::unordered_map<Key, std::size_t> pins_;  ///< eviction vetoes per key
   std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

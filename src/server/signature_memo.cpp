@@ -12,6 +12,20 @@ std::size_t approx_signature_bytes(const ErrorSignature& sig) {
              (sizeof(std::uint32_t) + sig.n_po_words() * sizeof(Word));
 }
 
+/// Restriction to a SHORTER applied window, shape included: the result
+/// reports n_patterns() == `n` so it is byte-identical to a fresh
+/// simulation over that window. (restrict_signature keeps the original
+/// shape — wrong for the memo's determinism contract.)
+ErrorSignature restrict_to_window(const ErrorSignature& full, std::size_t n) {
+  ErrorSignature out(n, full.n_outputs());
+  const auto& patterns = full.failing_patterns();
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i] >= n) break;  // sorted: nothing later fits either
+    out.append(patterns[i], full.mask(i));
+  }
+  return out;
+}
+
 struct MemoMetrics {
   obs::Counter& hits = obs::registry().counter("memo.signature.hits");
   obs::Counter& misses = obs::registry().counter("memo.signature.misses");
@@ -20,6 +34,10 @@ struct MemoMetrics {
   obs::Counter& inserts = obs::registry().counter("memo.signature.inserts");
   obs::Counter& declined = obs::registry().counter(
       "memo.signature.declined");  ///< single entry over the whole budget
+  /// Lookups for a truncated window served by restricting a full-window
+  /// entry (memory or store tier).
+  obs::Counter& window_restricts =
+      obs::registry().counter("memo.signature.window_restricts");
   /// Disk-tier traffic (persistent dictionary store).
   obs::Counter& store_hits = obs::registry().counter("store.hits");
   obs::Counter& store_misses = obs::registry().counter("store.misses");
@@ -34,32 +52,69 @@ MemoMetrics& memo_metrics() {
 
 }  // namespace
 
-std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
+void SignatureMemo::admit(const Key& key,
+                          std::shared_ptr<const ErrorSignature> sig) {
+  const std::size_t cost = approx_signature_bytes(*sig);
+  if (cost > max_bytes_) {
+    memo_metrics().declined.inc();
+    return;
+  }
+  if (entries_.count(key) != 0) return;  // racing computes, same key
+  make_room(cost);
+  entries_.emplace(key, Entry{std::move(sig), cost, false});
+  ring_.push_back(key);
+  bytes_ += cost;
+  memo_metrics().inserts.inc();
+}
+
+std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(
+    const Fault& f, std::size_t window_patterns) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(f);
+  const Key key{f, window_patterns};
+  auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
     memo_metrics().hits.inc();
     it->second.referenced = true;
     return it->second.sig;
   }
-  if (dict_ != nullptr) {
+  // A full-window entry answers any shorter window by restriction — the
+  // signature over the first w patterns is a prefix of the full one.
+  if (full_window_ != 0 && window_patterns < full_window_) {
+    auto full_it = entries_.find(Key{f, full_window_});
+    if (full_it != entries_.end()) {
+      full_it->second.referenced = true;
+      auto restricted = std::make_shared<const ErrorSignature>(
+          restrict_to_window(*full_it->second.sig, window_patterns));
+      ++hits_;
+      ++window_restricts_;
+      memo_metrics().hits.inc();
+      memo_metrics().window_restricts.inc();
+      // Admit under the exact key: the batch's remaining datalogs with
+      // this window shape get pointer copies.
+      admit(key, restricted);
+      return restricted;
+    }
+  }
+  if (dict_ != nullptr && window_patterns <= dict_->n_patterns()) {
     if (auto idx = dict_->find(f)) {
       try {
-        auto sig =
+        auto full =
             std::make_shared<const ErrorSignature>(dict_->decode(*idx));
         ++store_hits_;
         memo_metrics().store_hits.inc();
+        std::shared_ptr<const ErrorSignature> sig;
+        if (window_patterns == dict_->n_patterns()) {
+          sig = std::move(full);
+        } else {
+          sig = std::make_shared<const ErrorSignature>(
+              restrict_to_window(*full, window_patterns));
+          ++window_restricts_;
+          memo_metrics().window_restricts.inc();
+        }
         // Promote into the memory tier: repeat lookups become pointer
         // copies and the clock policy decides how long it stays hot.
-        const std::size_t cost = approx_signature_bytes(*sig);
-        if (cost <= max_bytes_) {
-          make_room(cost);
-          entries_.emplace(f, Entry{sig, cost, false});
-          ring_.push_back(f);
-          bytes_ += cost;
-          memo_metrics().inserts.inc();
-        }
+        admit(key, sig);
         return sig;
       } catch (const store::StoreError&) {
         // Structurally impossible after open-time hashing unless the file
@@ -81,6 +136,9 @@ std::shared_ptr<const ErrorSignature> SignatureMemo::lookup(const Fault& f) {
 void SignatureMemo::set_store(std::shared_ptr<const store::DictReader> dict) {
   std::lock_guard<std::mutex> lock(mutex_);
   dict_ = std::move(dict);
+  // The dictionary always simulates the full pattern set, so it pins the
+  // session's full-window length when the memo was built without one.
+  if (full_window_ == 0 && dict_ != nullptr) full_window_ = dict_->n_patterns();
 }
 
 bool SignatureMemo::has_store() const {
@@ -116,20 +174,10 @@ void SignatureMemo::make_room(std::size_t need) {
   }
 }
 
-void SignatureMemo::store(const Fault& f,
+void SignatureMemo::store(const Fault& f, std::size_t window_patterns,
                           std::shared_ptr<const ErrorSignature> sig) {
-  const std::size_t cost = approx_signature_bytes(*sig);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (cost > max_bytes_) {
-    memo_metrics().declined.inc();
-    return;
-  }
-  if (entries_.count(f) != 0) return;  // racing computes of the same fault
-  make_room(cost);
-  entries_.emplace(f, Entry{std::move(sig), cost, false});
-  ring_.push_back(f);
-  bytes_ += cost;
-  memo_metrics().inserts.inc();
+  admit(Key{f, window_patterns}, std::move(sig));
 }
 
 SignatureMemoStats SignatureMemo::stats() const {
@@ -142,6 +190,7 @@ SignatureMemoStats SignatureMemo::stats() const {
   s.approx_bytes = bytes_;
   s.store_hits = store_hits_;
   s.store_misses = store_misses_;
+  s.window_restricts = window_restricts_;
   return s;
 }
 

@@ -4,13 +4,15 @@
 // the circuit (the session cache already amortizes that) but simulating
 // the solo signature of every candidate in the datalog's suspect cone.
 // Those signatures depend only on (netlist, applied window): two datalogs
-// for the same circuit that apply the full pattern set share them
-// exactly. `SignatureMemo` is the session-scoped `SoloSignatureStore`
-// implementation — a bounded fault→signature map that turns the second
-// and later requests touching a cone into lookups instead of event-driven
-// simulations. Contexts for truncated datalogs never attach it (see
-// DiagnosisContext::attach_solo_store), so it can never serve a stale
-// window.
+// for the same circuit that apply the same window share them exactly.
+// `SignatureMemo` is the session-scoped `SoloSignatureStore`
+// implementation — a bounded (fault, window)→signature map that turns the
+// second and later requests touching a cone into lookups instead of
+// event-driven simulations. Entries hold PRE-masking truth (contexts
+// subtract their own X-mask after lookup), so ATE-truncated and X-masked
+// datalogs amortize too. A truncated-window lookup that misses its exact
+// key is served by restricting the full-window entry (memory tier or the
+// mmap dictionary) — a full window contains every shorter one.
 //
 // Admission under pressure is second-chance (clock) eviction: lookups
 // mark an entry referenced, and a store that would exceed the budget
@@ -43,6 +45,9 @@ struct SignatureMemoStats {
   /// the mmap instead of the heap.
   std::uint64_t store_hits = 0;
   std::uint64_t store_misses = 0;
+  /// Lookups answered by restricting a full-window signature to a
+  /// shorter applied window (counted inside hits/store_hits too).
+  std::uint64_t window_restricts = 0;
 };
 
 class SignatureMemo final : public SoloSignatureStore {
@@ -50,11 +55,18 @@ class SignatureMemo final : public SoloSignatureStore {
   /// `max_bytes` bounds the memo's approximate footprint; stores beyond
   /// it evict cold (second-chance) entries to make room. A single
   /// signature larger than the whole budget is declined outright.
-  explicit SignatureMemo(std::size_t max_bytes = 256ull << 20)
-      : max_bytes_(max_bytes) {}
+  /// `full_window` is the session pattern count — the window over which
+  /// the persistent dictionary (if any) and untruncated requests
+  /// simulate; it lets shorter-window lookups fall back to restricting a
+  /// full-window entry. 0 means unknown (exact-key and dict-derived
+  /// serving only).
+  explicit SignatureMemo(std::size_t max_bytes = 256ull << 20,
+                         std::size_t full_window = 0)
+      : max_bytes_(max_bytes), full_window_(full_window) {}
 
-  std::shared_ptr<const ErrorSignature> lookup(const Fault& f) override;
-  void store(const Fault& f,
+  std::shared_ptr<const ErrorSignature> lookup(
+      const Fault& f, std::size_t window_patterns) override;
+  void store(const Fault& f, std::size_t window_patterns,
              std::shared_ptr<const ErrorSignature> sig) override;
 
   /// Attaches a persistent dictionary as the warm tier below memory:
@@ -72,6 +84,16 @@ class SignatureMemo final : public SoloSignatureStore {
   SignatureMemoStats stats() const;
 
  private:
+  struct Key {
+    Fault fault{};
+    std::size_t window = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return (FaultHash{}(k.fault) ^ k.window * 0x9e3779b97f4a7c15ull);
+    }
+  };
   struct Entry {
     std::shared_ptr<const ErrorSignature> sig;
     std::size_t cost = 0;
@@ -80,16 +102,20 @@ class SignatureMemo final : public SoloSignatureStore {
 
   /// Evicts until `need` more bytes fit (caller holds the lock).
   void make_room(std::size_t need);
+  /// Admits `sig` under `key` if it fits (caller holds the lock).
+  void admit(const Key& key, std::shared_ptr<const ErrorSignature> sig);
 
   const std::size_t max_bytes_;
+  std::size_t full_window_ = 0;  ///< session pattern count; 0 = unknown
   mutable std::mutex mutex_;
-  std::unordered_map<Fault, Entry, FaultHash> entries_;
-  std::vector<Fault> ring_;  ///< clock order (swap-with-back on evict)
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::vector<Key> ring_;  ///< clock order (swap-with-back on evict)
   std::size_t hand_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t window_restricts_ = 0;
   std::shared_ptr<const store::DictReader> dict_;  ///< warm tier, may be null
   std::uint64_t store_hits_ = 0;
   std::uint64_t store_misses_ = 0;

@@ -56,6 +56,24 @@ TEST(CompositeMemo, KeyIsOrderIndependent) {
   EXPECT_EQ(memo.lookup(CompositeKey(ba)).get(), sig.get());
 }
 
+TEST(CompositeMemo, WindowLengthSeparatesKeys) {
+  // The same member set propagated over a truncated window is a different
+  // composite — sharing one entry would serve a full-window signature to
+  // an ATE-truncated context.
+  const Fault a = Fault::stem_sa(3, true);
+  const Fault b = Fault::stem_sa(9, false);
+  const Fault ab[2] = {a, b};
+  EXPECT_NE(CompositeKey(ab, 64), CompositeKey(ab, 32));
+
+  CompositeMemo memo(1 << 20);
+  const auto full = make_signature(4);
+  const auto truncated = make_signature(2);
+  memo.store(CompositeKey(ab, 64), full);
+  memo.store(CompositeKey(ab, 32), truncated);
+  EXPECT_EQ(memo.lookup(CompositeKey(ab, 64)).get(), full.get());
+  EXPECT_EQ(memo.lookup(CompositeKey(ab, 32)).get(), truncated.get());
+}
+
 TEST(CompositeMemo, AdmitsNewEntriesAfterFillingUp) {
   const std::size_t cost = one_entry_cost();
   ASSERT_GT(cost, 0u);

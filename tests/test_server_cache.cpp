@@ -146,6 +146,89 @@ TEST(SessionCache, EvictedSessionSurvivesForHolders) {
   EXPECT_EQ(held->good, simulate(held->netlist, held->patterns));
 }
 
+TEST(SessionCache, PinnedSessionSurvivesEvictionPressure) {
+  const CircuitFiles a = write_circuit_files("pin_a");
+  const CircuitFiles b = write_circuit_files("pin_b");
+  const CircuitFiles c = write_circuit_files("pin_c");
+
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(a.netlist_path, a.patterns_path)->approx_bytes;
+  }
+
+  // Budget holds two sessions. Pin A (the batch-in-flight scenario), then
+  // make A the LRU victim by touching B and loading C: the sweep must skip
+  // pinned A and evict B instead.
+  SessionCache cache(2 * one + one / 2);
+  const SessionCache::Pin pin = cache.pin(a.netlist_path, a.patterns_path);
+  cache.get(a.netlist_path, a.patterns_path);
+  cache.get(b.netlist_path, b.patterns_path);
+  cache.get(c.netlist_path, c.patterns_path);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  bool hit = false;
+  cache.get(a.netlist_path, a.patterns_path, &hit);
+  EXPECT_TRUE(hit) << "pinned LRU session must not be evicted";
+  cache.get(b.netlist_path, b.patterns_path, &hit);
+  EXPECT_FALSE(hit) << "unpinned B should have been the victim";
+}
+
+TEST(SessionCache, ReleasedPinMakesSessionEvictableAgain) {
+  const CircuitFiles a = write_circuit_files("unpin_a");
+  const CircuitFiles b = write_circuit_files("unpin_b");
+  const CircuitFiles c = write_circuit_files("unpin_c");
+
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(a.netlist_path, a.patterns_path)->approx_bytes;
+  }
+
+  SessionCache cache(2 * one + one / 2);
+  {
+    const SessionCache::Pin pin =
+        cache.pin(a.netlist_path, a.patterns_path);
+    cache.get(a.netlist_path, a.patterns_path);
+    cache.get(b.netlist_path, b.patterns_path);
+  }  // pin released: A is ordinary LRU state again
+  cache.get(b.netlist_path, b.patterns_path);  // A becomes LRU
+  cache.get(c.netlist_path, c.patterns_path);
+
+  bool hit = true;
+  cache.get(a.netlist_path, a.patterns_path, &hit);
+  EXPECT_FALSE(hit) << "released pin must not keep protecting A";
+}
+
+TEST(SessionCache, NestedPinsReleaseIndependently) {
+  const CircuitFiles a = write_circuit_files("nest_a");
+  const CircuitFiles b = write_circuit_files("nest_b");
+  const CircuitFiles c = write_circuit_files("nest_c");
+
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(a.netlist_path, a.patterns_path)->approx_bytes;
+  }
+
+  // Two concurrent batches pin the same session; releasing one must keep
+  // the other's protection intact.
+  SessionCache cache(2 * one + one / 2);
+  const SessionCache::Pin outer =
+      cache.pin(a.netlist_path, a.patterns_path);
+  {
+    const SessionCache::Pin inner =
+        cache.pin(a.netlist_path, a.patterns_path);
+  }
+  cache.get(a.netlist_path, a.patterns_path);
+  cache.get(b.netlist_path, b.patterns_path);
+  cache.get(c.netlist_path, c.patterns_path);
+
+  bool hit = false;
+  cache.get(a.netlist_path, a.patterns_path, &hit);
+  EXPECT_TRUE(hit) << "one released pin of two must not unpin the session";
+}
+
 TEST(SessionCache, LoadFailureIsNotCached) {
   const CircuitFiles f = write_circuit_files("fail");
   const std::string missing = ::testing::TempDir() + "cache_nosuch.bench";

@@ -17,10 +17,14 @@
 namespace mdd::server {
 namespace {
 
+/// Window length shared by the fixed-shape signatures below — entries are
+/// keyed by (fault, window) now, so the tests name it explicitly.
+constexpr std::size_t kWindow = 64;
+
 /// Identically-shaped signatures so every memo entry has the same cost —
 /// the eviction arithmetic in the tests stays exact.
 std::shared_ptr<const ErrorSignature> make_signature(std::size_t n_failing) {
-  auto sig = std::make_shared<ErrorSignature>(64, 4);
+  auto sig = std::make_shared<ErrorSignature>(kWindow, 4);
   const std::vector<Word> mask(sig->n_po_words(), Word{1});
   for (std::size_t p = 0; p < n_failing; ++p)
     sig->append(static_cast<std::uint32_t>(p), mask);
@@ -36,7 +40,7 @@ std::size_t budget_for(std::size_t n, std::size_t cost) { return n * cost; }
 
 std::size_t one_entry_cost() {
   SignatureMemo probe(1 << 20);
-  probe.store(nth_fault(0), make_signature(8));
+  probe.store(nth_fault(0), kWindow, make_signature(8));
   return probe.stats().approx_bytes;
 }
 
@@ -49,11 +53,11 @@ TEST(SignatureMemo, AdmitsNewEntriesAfterFillingUp) {
   // the memo silently declined everything from here on, so the "hot"
   // fault below would never be admitted.
   for (std::size_t i = 0; i < 8; ++i)
-    memo.store(nth_fault(i), make_signature(8));
+    memo.store(nth_fault(i), kWindow, make_signature(8));
 
   const Fault hot = nth_fault(100);
-  memo.store(hot, make_signature(8));
-  EXPECT_NE(memo.lookup(hot), nullptr)
+  memo.store(hot, kWindow, make_signature(8));
+  EXPECT_NE(memo.lookup(hot, kWindow), nullptr)
       << "a full memo must evict cold entries, not decline new ones";
 
   const SignatureMemoStats stats = memo.stats();
@@ -66,23 +70,23 @@ TEST(SignatureMemo, SecondChanceSparesRecentlyUsedEntries) {
   const std::size_t cost = one_entry_cost();
   SignatureMemo memo(budget_for(4, cost));
   for (std::size_t i = 0; i < 4; ++i)
-    memo.store(nth_fault(i), make_signature(8));
+    memo.store(nth_fault(i), kWindow, make_signature(8));
 
   // Reference entry 0; the clock hand must then clear its bit and pass
   // over it, evicting the first unreferenced entry (entry 1) instead.
-  EXPECT_NE(memo.lookup(nth_fault(0)), nullptr);
-  memo.store(nth_fault(4), make_signature(8));
+  EXPECT_NE(memo.lookup(nth_fault(0), kWindow), nullptr);
+  memo.store(nth_fault(4), kWindow, make_signature(8));
 
-  EXPECT_NE(memo.lookup(nth_fault(0)), nullptr);
-  EXPECT_EQ(memo.lookup(nth_fault(1)), nullptr);
-  EXPECT_NE(memo.lookup(nth_fault(4)), nullptr);
+  EXPECT_NE(memo.lookup(nth_fault(0), kWindow), nullptr);
+  EXPECT_EQ(memo.lookup(nth_fault(1), kWindow), nullptr);
+  EXPECT_NE(memo.lookup(nth_fault(4), kWindow), nullptr);
 }
 
 TEST(SignatureMemo, ByteAccountingIsExactAcrossEvictions) {
   const std::size_t cost = one_entry_cost();
   SignatureMemo memo(budget_for(3, cost));
   for (std::size_t i = 0; i < 10; ++i) {
-    memo.store(nth_fault(i), make_signature(8));
+    memo.store(nth_fault(i), kWindow, make_signature(8));
     const SignatureMemoStats stats = memo.stats();
     EXPECT_EQ(stats.approx_bytes, stats.entries * cost);
     EXPECT_LE(stats.approx_bytes, budget_for(3, cost));
@@ -93,8 +97,8 @@ TEST(SignatureMemo, ByteAccountingIsExactAcrossEvictions) {
 TEST(SignatureMemo, OversizedEntryIsDeclinedOutright) {
   const std::size_t cost = one_entry_cost();
   SignatureMemo memo(cost / 2);
-  memo.store(nth_fault(0), make_signature(8));
-  EXPECT_EQ(memo.lookup(nth_fault(0)), nullptr);
+  memo.store(nth_fault(0), kWindow, make_signature(8));
+  EXPECT_EQ(memo.lookup(nth_fault(0), kWindow), nullptr);
   EXPECT_EQ(memo.stats().entries, 0u);
   EXPECT_EQ(memo.stats().approx_bytes, 0u);
 }
@@ -103,9 +107,9 @@ TEST(SignatureMemo, DuplicateStoreKeepsFirstEntryAndAccounting) {
   const std::size_t cost = one_entry_cost();
   SignatureMemo memo(budget_for(4, cost));
   const auto first = make_signature(8);
-  memo.store(nth_fault(0), first);
-  memo.store(nth_fault(0), make_signature(8));  // racing compute, same fault
-  EXPECT_EQ(memo.lookup(nth_fault(0)).get(), first.get());
+  memo.store(nth_fault(0), kWindow, first);
+  memo.store(nth_fault(0), kWindow, make_signature(8));  // racing compute, same fault
+  EXPECT_EQ(memo.lookup(nth_fault(0), kWindow).get(), first.get());
   EXPECT_EQ(memo.stats().entries, 1u);
   EXPECT_EQ(memo.stats().approx_bytes, cost);
 }
@@ -122,11 +126,11 @@ TEST(SignatureMemo, ConcurrentChurnStaysWithinBudget) {
     threads.emplace_back([&memo, t] {
       for (int i = 0; i < kOpsPerThread; ++i) {
         const Fault f = nth_fault(static_cast<std::size_t>((t * 7 + i) % 32));
-        if (auto sig = memo.lookup(f)) {
+        if (auto sig = memo.lookup(f, kWindow)) {
           // Entries are immutable once stored; a hit must stay readable.
           EXPECT_EQ(sig->n_failing_patterns(), 8u);
         } else {
-          memo.store(f, make_signature(8));
+          memo.store(f, kWindow, make_signature(8));
         }
       }
     });
@@ -136,6 +140,54 @@ TEST(SignatureMemo, ConcurrentChurnStaysWithinBudget) {
   EXPECT_LE(stats.approx_bytes, budget);
   EXPECT_EQ(stats.approx_bytes, stats.entries * cost);
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(SignatureMemo, WindowsKeySeparateEntries) {
+  SignatureMemo memo(1 << 20);
+  const Fault f = nth_fault(0);
+  const auto full = make_signature(8);
+  memo.store(f, kWindow, full);
+
+  // A different (shorter) window is a different key — the full-window
+  // entry must never be returned AS-IS for it...
+  auto short_sig = std::make_shared<ErrorSignature>(kWindow / 2, 4);
+  memo.store(f, kWindow / 2, short_sig);
+  EXPECT_EQ(memo.lookup(f, kWindow / 2).get(), short_sig.get());
+  EXPECT_EQ(memo.lookup(f, kWindow).get(), full.get());
+  EXPECT_EQ(memo.stats().entries, 2u);
+}
+
+TEST(SignatureMemo, TruncatedLookupRestrictsFullWindowEntry) {
+  // Memo built knowing the session's full window: a miss on (f, short)
+  // falls back to restricting the (f, full) entry, byte-identical to a
+  // fresh simulation over the short window (shape included).
+  SignatureMemo memo(1 << 20, kWindow);
+  const Fault f = nth_fault(3);
+  memo.store(f, kWindow, make_signature(8));  // failing patterns 0..7
+
+  const std::size_t short_window = 5;
+  auto restricted = memo.lookup(f, short_window);
+  ASSERT_NE(restricted, nullptr);
+  EXPECT_EQ(restricted->n_patterns(), short_window);
+  EXPECT_EQ(restricted->n_failing_patterns(), 5u);  // patterns 0..4 kept
+  EXPECT_EQ(memo.stats().window_restricts, 1u);
+
+  // The restricted result is admitted under its exact key: the next
+  // lookup is a pointer copy, no second restriction.
+  EXPECT_EQ(memo.lookup(f, short_window).get(), restricted.get());
+  EXPECT_EQ(memo.stats().window_restricts, 1u);
+
+  // Unknown faults still miss.
+  EXPECT_EQ(memo.lookup(nth_fault(99), short_window), nullptr);
+}
+
+TEST(SignatureMemo, UnknownFullWindowServesExactKeysOnly) {
+  SignatureMemo memo(1 << 20);  // full window unknown (0)
+  const Fault f = nth_fault(1);
+  memo.store(f, kWindow, make_signature(8));
+  EXPECT_EQ(memo.lookup(f, kWindow / 2), nullptr)
+      << "without a known full window the memo must not guess which "
+         "entry is restrictable";
 }
 
 }  // namespace

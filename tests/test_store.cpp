@@ -15,6 +15,7 @@
 #include "diag/dictionary.hpp"
 #include "diag/multiplet.hpp"
 #include "fsim/fsim.hpp"
+#include "fsim/propagate.hpp"
 #include "netlist/generator.hpp"
 #include "server/signature_memo.hpp"
 #include "sim/kernel.hpp"
@@ -357,10 +358,11 @@ TEST(StoreMemo, DiskTierPromotesIntoMemoryTier) {
   server::SignatureMemo memo;
   memo.set_store(dict);
 
+  const std::size_t full = dict->n_patterns();
   const Fault fault = f.universe.front();
-  const auto first = memo.lookup(fault);
+  const auto first = memo.lookup(fault, full);
   ASSERT_NE(first, nullptr) << "store should answer the memory miss";
-  const auto second = memo.lookup(fault);
+  const auto second = memo.lookup(fault, full);
   ASSERT_NE(second, nullptr);
   EXPECT_EQ(second.get(), first.get())
       << "second lookup must be the promoted in-memory object";
@@ -373,8 +375,46 @@ TEST(StoreMemo, DiskTierPromotesIntoMemoryTier) {
   EXPECT_EQ(s.misses, 0u);
 
   // A fault the store lacks is a miss on both tiers.
-  EXPECT_EQ(memo.lookup(Fault::slow_to_rise(0)), nullptr);
+  EXPECT_EQ(memo.lookup(Fault::slow_to_rise(0), full), nullptr);
   EXPECT_EQ(memo.stats().store_misses, 1u);
+}
+
+TEST(StoreMemo, DiskTierRestrictsForTruncatedWindows) {
+  // ATE-truncated datalogs ask for a shorter window than the dictionary
+  // simulated; the memo must serve the restriction of the stored
+  // full-window signature, shape included — byte-identical to simulating
+  // over the short window directly.
+  const StoreFixture f = StoreFixture::make("memo-truncated");
+  const auto dict = DictReader::open(f.path);
+  server::SignatureMemo memo;
+  memo.set_store(dict);
+
+  const std::size_t full = dict->n_patterns();
+  ASSERT_GT(full, 1u);
+  const std::size_t short_window = full / 2;
+
+  // Pick a fault that actually fails somewhere so the comparison bites.
+  SingleFaultPropagator prop_full(f.netlist, f.patterns);
+  Fault fault = f.universe.front();
+  for (const Fault& u : f.universe) {
+    if (!prop_full.signature(u).empty()) {
+      fault = u;
+      break;
+    }
+  }
+
+  const auto served = memo.lookup(fault, short_window);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->n_patterns(), short_window);
+
+  PatternSet window(0, f.patterns.n_signals());
+  for (std::size_t p = 0; p < short_window; ++p)
+    window.append(f.patterns.pattern(p));
+  SingleFaultPropagator prop(f.netlist, window);
+  EXPECT_EQ(*served, prop.signature(fault))
+      << "restricted store answer must match a fresh short-window "
+         "simulation exactly";
+  EXPECT_GT(memo.stats().window_restricts, 0u);
 }
 
 }  // namespace

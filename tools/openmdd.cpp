@@ -7,6 +7,16 @@
 //                    [-o datalog.txt] [--max-failing N]
 //   openmdd diagnose <netlist> --patterns f --datalog f
 //                    [--method multiplet|slat|single|all] [--threads N]
+//   openmdd diagnose <netlist> --patterns f --batch <dir|list-file>
+//                    [--store-dir d] [--threads N] [--format text|json]
+//
+// --batch switches diagnose into volume mode: every *.datalog in the
+// directory (or every path listed in the file, one per line) is
+// diagnosed against ONE warmed session — shared baseline, dictionary
+// store, and signature memos — and a cross-datalog recurrence summary
+// (systematic vs. random, net hit counts) is appended. Per-datalog
+// reports are byte-identical to running `diagnose --datalog` once per
+// file.
 //
 // --threads N (or the MDD_THREADS environment variable; 0 = all cores)
 // pre-fills the candidate solo-signature cache candidate-parallel before
@@ -38,6 +48,7 @@
 #include "netlist/dot.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "server/result_json.hpp"
+#include "server/service.hpp"
 #include "sim/kernel.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
@@ -60,6 +71,10 @@ int usage() {
          " [--method multiplet|slat|single|all]\n"
          "                   [--threads N] [--format text|json]"
          " [--deadline-ms N]\n"
+         "  openmdd diagnose <netlist> --patterns <f> --batch"
+         " <dir|list-file> [--store-dir <d>]\n"
+         "                   [--method M] [--threads N]"
+         " [--format text|json]\n"
          "  openmdd dict build   <netlist> --patterns <f> --store-dir <dir>"
          " [--bridges N] [--bridge-seed N]\n"
          "                       [--no-bridges] [--no-wired] [--threads N]"
@@ -120,7 +135,8 @@ Args parse_args(int argc, char** argv, int first) {
       "-o",          "--patterns", "--fault",   "--datalog",
       "--seed",      "--method",   "--max-failing", "--threads",
       "--format",    "--deadline-ms", "--kernel",  "--store-dir",
-      "--bridges",   "--bridge-seed", "--sample",  "--netlist"};
+      "--bridges",   "--bridge-seed", "--sample",  "--netlist",
+      "--batch"};
   static const char* kFlags[] = {"--no-compact", "--no-bridges",
                                  "--no-wired", "--force"};
   for (int i = first; i < argc; ++i) {
@@ -247,7 +263,116 @@ int cmd_inject(const Args& args) {
   return 0;
 }
 
+/// Volume mode: one warmed in-process service session diagnoses every
+/// datalog in a directory (or list file), then prints the cross-datalog
+/// recurrence summary. Reports per datalog match `--datalog` runs.
+int cmd_diagnose_batch(const Args& args) {
+  const std::string batch = args.option("--batch");
+  const std::string format = args.option("--format", "text");
+  if (format != "text" && format != "json")
+    throw std::runtime_error("--format wants 'text' or 'json', got '" +
+                             format + "'");
+
+  server::ServiceOptions options;
+  options.n_workers = 1;  // handle() runs on this thread; no queue traffic
+  options.store_dir = args.option("--store-dir");
+  const std::string threads = args.option("--threads");
+  if (!threads.empty())
+    options.batch_threads = parse_count(threads, "--threads");
+
+  server::Json request;
+  request.set("op", "diagnose_batch");
+  request.set("netlist", args.positional.at(0));
+  request.set("patterns", args.option("--patterns"));
+  request.set("method", args.option("--method", "multiplet"));
+  if (std::filesystem::is_directory(batch)) {
+    request.set("datalog_dir", batch);
+  } else {
+    std::ifstream in(batch);
+    if (!in) throw std::runtime_error("cannot read batch list " + batch);
+    server::JsonArray files;
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+      if (!line.empty()) files.emplace_back(line);
+    }
+    request.set("datalog_files", server::Json(std::move(files)));
+  }
+
+  server::DiagnosisService service(options);
+  const server::Json response = service.handle(request);
+  if (response.get_string("status") == "error")
+    throw std::runtime_error(response.get_string("error"));
+
+  if (format == "json") {
+    std::cout << response.dump() << "\n";
+    return 0;
+  }
+
+  const server::Json* volume = response.find("volume");
+  std::cout << "datalogs:   "
+            << static_cast<std::size_t>(response.get_number("n_datalogs"))
+            << " (" << static_cast<std::size_t>(response.get_number("n_errors"))
+            << " errors, "
+            << static_cast<std::size_t>(response.get_number("threads"))
+            << " threads)\n";
+  if (const server::Json* results = response.find("results")) {
+    for (const server::Json& item : results->as_array()) {
+      std::cout << "  [" << static_cast<std::size_t>(item.get_number("index"))
+                << "] " << item.get_string("status");
+      const std::string file = item.get_string("datalog_file");
+      if (!file.empty()) std::cout << "  " << file;
+      if (const server::Json* reports = item.find("reports")) {
+        if (!reports->as_array().empty()) {
+          const server::Json& first = reports->as_array().front();
+          if (const server::Json* suspects = first.find("suspects"))
+            if (!suspects->as_array().empty())
+              std::cout << "  top: "
+                        << suspects->as_array().front().get_string("fault");
+        }
+      }
+      const std::string err = item.get_string("error");
+      if (!err.empty()) std::cout << "  " << err;
+      std::cout << "\n";
+    }
+  }
+  if (volume != nullptr) {
+    std::cout << "volume:     "
+              << static_cast<std::size_t>(
+                     volume->get_number("n_systematic_datalogs"))
+              << " systematic / "
+              << static_cast<std::size_t>(
+                     volume->get_number("n_random_datalogs"))
+              << " random datalogs, "
+              << static_cast<std::size_t>(
+                     volume->get_number("n_distinct_candidates"))
+              << " distinct candidates\n";
+    if (const server::Json* recs = volume->find("recurrences")) {
+      for (const server::Json& r : recs->as_array()) {
+        std::cout << "  " << r.get_string("fault") << "  "
+                  << static_cast<std::size_t>(r.get_number("n_datalogs"))
+                  << " datalogs ("
+                  << static_cast<std::size_t>(r.get_number("n_rank1"))
+                  << " rank-1)"
+                  << (r.get_bool("systematic") ? "  systematic" : "") << "\n";
+      }
+    }
+  }
+  if (const server::Json* amortization = response.find("amortization")) {
+    std::cout << "amortized:  "
+              << static_cast<std::size_t>(
+                     amortization->get_number("solo_computes"))
+              << " solo simulations for "
+              << static_cast<std::size_t>(
+                     amortization->get_number("candidates"))
+              << " candidate slots\n";
+  }
+  return 0;
+}
+
 int cmd_diagnose(const Args& args) {
+  if (!args.option("--batch").empty()) return cmd_diagnose_batch(args);
   const Netlist nl = load_netlist(args.positional.at(0));
   const PatternSet patterns = read_patterns_file(args.option("--patterns"));
   const Datalog log = read_datalog_file(args.option("--datalog"), nl);

@@ -3,6 +3,7 @@
 //   openmdd_loadgen --circuit g200 [--cases 50] [--concurrency 1,4,8]
 //   openmdd_loadgen --circuit g200 --connect 127.0.0.1:7411 [--shutdown]
 //   openmdd_loadgen --circuit g200 --coldstart
+//   openmdd_loadgen --circuit g1k --batch 16        # volume mode
 //
 // Builds a seed-deterministic corpus of tester datalogs (campaign-style
 // defect sampling) for one circuit, then replays it at each requested
@@ -17,6 +18,15 @@
 //   --coldstart       the one-process-per-datalog baseline: every request
 //                     re-parses the circuit, re-reads the patterns, and
 //                     re-simulates the good machine before diagnosing.
+//
+// --batch N switches to volume mode: the corpus is chunked into
+// `op=diagnose_batch` requests of N datalogs each (inproc or --connect),
+// so the table's dlogs/s column measures the amortized streaming path
+// against the per-request numbers from a plain run.
+//
+// After the runs the tool prints a per-op status breakdown and, for
+// serving modes, the session memo hit rates (signature + composite
+// layers, computed from stats deltas per concurrency level).
 //
 // With --circuit NAME the netlist/pattern files are emitted into
 // --workdir first (the daemon loads sessions from files), so the tool is
@@ -81,6 +91,10 @@ int usage() {
          "  --deadline-ms N       per-request deadline (default 0 = none)\n"
          "  --connect HOST:PORT   drive an external openmdd_serve over TCP\n"
          "  --coldstart           per-request circuit reload baseline\n"
+         "  --batch N             volume mode: diagnose_batch requests of N"
+         " datalogs each\n"
+         "  --batch-threads N     datalog-level threads per batch request"
+         " (inproc; default workers)\n"
          "  --workers N           inproc service workers (default 4)\n"
          "  --queue N             inproc queue depth (default 64)\n"
          "  --cache-mb N          inproc cache budget MiB (default 256)\n"
@@ -160,6 +174,98 @@ server::Json make_request(const RunConfig& cfg, const LoadgenCase& lc,
   return r;
 }
 
+/// Volume-mode request: datalogs [first, first+count) of the replayed
+/// corpus inline in one diagnose_batch.
+server::Json make_batch_request(const RunConfig& cfg,
+                                const std::vector<LoadgenCase>& corpus,
+                                std::size_t first, std::size_t count,
+                                std::size_t threads, std::size_t id) {
+  server::Json r;
+  r.set("id", id);
+  r.set("op", "diagnose_batch");
+  r.set("netlist", cfg.netlist_path);
+  r.set("patterns", cfg.patterns_path);
+  server::JsonArray datalogs;
+  datalogs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k)
+    datalogs.emplace_back(corpus[(first + k) % corpus.size()].datalog_text);
+  r.set("datalogs", server::Json(std::move(datalogs)));
+  r.set("method", cfg.method);
+  if (threads > 0) r.set("threads", threads);
+  if (cfg.deadline_ms > 0.0) r.set("deadline_ms", cfg.deadline_ms);
+  return r;
+}
+
+/// Status counts per op across every response seen, plus per-datalog
+/// failures inside diagnose_batch responses (which answer "ok" as a
+/// request even when individual items errored).
+class OpBreakdown {
+ public:
+  void add(const std::string& op, const server::Json& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Row& row = rows_[op];
+    const std::string status = response.get_string("status", "error");
+    if (status == "ok") ++row.ok;
+    else if (status == "timeout") ++row.timeout;
+    else if (status == "overloaded") ++row.overloaded;
+    else ++row.error;
+    row.item_errors +=
+        static_cast<std::size_t>(response.get_number("n_errors", 0.0));
+  }
+
+  void print(std::ostream& os, bool csv) {
+    TextTable table(
+        {"op", "ok", "timeout", "overld", "err", "item_err"});
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [op, row] : rows_)
+      table.add_row({op, std::to_string(row.ok),
+                     std::to_string(row.timeout),
+                     std::to_string(row.overloaded),
+                     std::to_string(row.error),
+                     std::to_string(row.item_errors)});
+    if (csv)
+      table.print_csv(os);
+    else
+      table.print(os);
+  }
+
+ private:
+  struct Row {
+    std::size_t ok = 0, timeout = 0, overloaded = 0, error = 0;
+    std::size_t item_errors = 0;
+  };
+  std::mutex mutex_;
+  std::map<std::string, Row> rows_;
+};
+
+/// Hit/miss totals of one memo layer pulled from a stats snapshot.
+struct MemoSample {
+  double sig_hits = 0, sig_misses = 0;
+  double comp_hits = 0, comp_misses = 0;
+};
+
+MemoSample memo_sample(const server::Json& stats) {
+  MemoSample s;
+  if (const server::Json* memos = stats.find("memos")) {
+    if (const server::Json* sig = memos->find("signature")) {
+      s.sig_hits = sig->get_number("hits");
+      s.sig_misses = sig->get_number("misses");
+    }
+    if (const server::Json* comp = memos->find("composite")) {
+      s.comp_hits = comp->get_number("hits");
+      s.comp_misses = comp->get_number("misses");
+    }
+  }
+  return s;
+}
+
+/// "97.2" or "-" when the layer saw no traffic during the run.
+std::string hit_rate(double hits, double misses) {
+  const double total = hits + misses;
+  if (total <= 0) return "-";
+  return fmt(100.0 * hits / total, 1);
+}
+
 /// Accumulates the top-level stages of `"trace"` arrays across responses
 /// (any worker thread) and prints mean/quantile rows per stage.
 class StageStats {
@@ -211,13 +317,12 @@ struct RunStats {
   }
 };
 
-/// Replays the corpus `repeat` times across `concurrency` closed-loop
-/// workers; `execute` maps one request to a response status string.
-template <typename Execute>
-RunStats run_closed_loop(const std::vector<LoadgenCase>& corpus,
-                         std::size_t repeat, std::size_t concurrency,
-                         const RunConfig& cfg, Execute&& execute) {
-  const std::size_t total = corpus.size() * repeat;
+/// Issues `total` requests across `concurrency` closed-loop workers;
+/// `make` builds request i, `execute` maps one request to a response
+/// status string.
+template <typename Make, typename Execute>
+RunStats run_closed_loop(std::size_t total, std::size_t concurrency,
+                         Make&& make, Execute&& execute) {
   std::atomic<std::size_t> next{0};
   std::vector<std::vector<double>> latencies(concurrency);
   std::vector<RunStats> partial(concurrency);
@@ -230,11 +335,10 @@ RunStats run_closed_loop(const std::vector<LoadgenCase>& corpus,
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= total) return;
-          const LoadgenCase& lc = corpus[i % corpus.size()];
           const auto r0 = std::chrono::steady_clock::now();
           std::string status;
           try {
-            status = execute(w, make_request(cfg, lc, i));
+            status = execute(w, make(i));
           } catch (const std::exception& e) {
             std::cerr << "loadgen worker: " << e.what() << "\n";
             status = "error";
@@ -315,7 +419,7 @@ int main(int argc, char** argv) {
   std::string connect, emit_corpus, concurrency_list = "1,4";
   RunConfig cfg;
   CorpusConfig corpus_cfg;
-  std::size_t repeat = 1;
+  std::size_t repeat = 1, batch = 0;
   bool coldstart = false, send_shutdown = false, csv = false;
   server::ServiceOptions service_opts;
   service_opts.n_workers = 4;
@@ -342,6 +446,11 @@ int main(int argc, char** argv) {
         cfg.deadline_ms = static_cast<double>(parse_count(value(), a));
       else if (a == "--connect") connect = value();
       else if (a == "--coldstart") coldstart = true;
+      else if (a == "--batch") {
+        batch = parse_count(value(), a);
+        if (batch == 0) throw std::runtime_error("--batch must be at least 1");
+      } else if (a == "--batch-threads")
+        service_opts.batch_threads = parse_count(value(), a);
       else if (a == "--workers") {
         service_opts.n_workers = parse_count(value(), a);
         if (service_opts.n_workers == 0)
@@ -373,6 +482,9 @@ int main(int argc, char** argv) {
     if (coldstart && cfg.trace)
       throw std::runtime_error(
           "--trace needs a serving response (inproc or --connect)");
+    if (coldstart && batch > 0)
+      throw std::runtime_error(
+          "--batch needs a serving mode (inproc or --connect)");
 
     const std::vector<std::size_t> concurrencies =
         parse_concurrency(concurrency_list);
@@ -454,18 +566,52 @@ int main(int argc, char** argv) {
       service = std::make_unique<server::DiagnosisService>(service_opts);
     }
 
-    TextTable table({"mode", "conc", "reqs", "ok", "timeout", "overld",
-                     "err", "wall_s", "req/s", "p50_ms", "p95_ms", "p99_ms",
+    // Stats snapshot of the serving side, for memo hit-rate deltas (one
+    // sample before and after each concurrency level). Coldstart has no
+    // serving side; its samples stay zero and the columns print "-".
+    const auto fetch_stats = [&]() -> server::Json {
+      if (mode == "inproc") return service->stats_json();
+      if (mode == "tcp") {
+        server::TcpLineClient client(host, port);
+        server::Json req;
+        req.set("op", "stats");
+        const server::Json r = server::Json::parse(
+            client.roundtrip(req.dump()));
+        if (const server::Json* stats = r.find("stats")) return *stats;
+      }
+      return server::Json();
+    };
+
+    const std::string run_mode = batch > 0 ? "batch" : mode;
+    TextTable table({"mode", "conc", "reqs", "dlogs", "ok", "timeout",
+                     "overld", "err", "wall_s", "req/s", "dlogs/s",
+                     "sig_hit%", "comp_hit%", "p50_ms", "p95_ms", "p99_ms",
                      "max_ms"});
     StageStats stage_stats;
+    OpBreakdown breakdown;
     bool any_error = false;
+    const std::string op = batch > 0 ? "diagnose_batch" : "diagnose";
     for (const std::size_t conc : concurrencies) {
+      const std::size_t n_datalogs = corpus.size() * repeat;
+      const std::size_t reqs =
+          batch > 0 ? (n_datalogs + batch - 1) / batch : n_datalogs;
+      const auto make = [&](std::size_t i) {
+        if (batch == 0) return make_request(cfg, corpus[i % corpus.size()], i);
+        const std::size_t first = i * batch;
+        return make_batch_request(cfg, corpus, first,
+                                  std::min(batch, n_datalogs - first),
+                                  service_opts.batch_threads, i);
+      };
+      const MemoSample before = memo_sample(fetch_stats());
       RunStats stats;
       if (mode == "coldstart") {
         stats = run_closed_loop(
-            corpus, repeat, conc, cfg,
-            [&](std::size_t, server::Json request) {
-              return execute_cold(cfg, request);
+            reqs, conc, make, [&](std::size_t, server::Json request) {
+              const std::string status = execute_cold(cfg, request);
+              server::Json response;
+              response.set("status", status);
+              breakdown.add(op, response);
+              return status;
             });
       } else if (mode == "tcp") {
         std::vector<std::unique_ptr<server::TcpLineClient>> clients;
@@ -476,35 +622,41 @@ int main(int argc, char** argv) {
         // resident serving, not the first parse.
         clients[0]->roundtrip(make_request(cfg, corpus[0], 0).dump());
         stats = run_closed_loop(
-            corpus, repeat, conc, cfg,
-            [&](std::size_t w, server::Json request) {
+            reqs, conc, make, [&](std::size_t w, server::Json request) {
               const server::Json response = server::Json::parse(
                   clients[w]->roundtrip(request.dump()));
               if (cfg.trace) stage_stats.add(response);
+              breakdown.add(op, response);
               return response.get_string("status", "error");
             });
       } else {
         service->handle(make_request(cfg, corpus[0], 0));  // warm
         stats = run_closed_loop(
-            corpus, repeat, conc, cfg,
-            [&](std::size_t, server::Json request) {
+            reqs, conc, make, [&](std::size_t, server::Json request) {
               std::promise<std::string> done;
               auto got = done.get_future();
               service->submit(std::move(request), [&](server::Json r) {
                 if (cfg.trace) stage_stats.add(r);
+                breakdown.add(op, r);
                 done.set_value(r.get_string("status", "error"));
               });
               return got.get();
             });
       }
+      const MemoSample after = memo_sample(fetch_stats());
       any_error |= stats.n_error > 0;
-      const std::size_t reqs = corpus.size() * repeat;
       table.add_row(
-          {mode, std::to_string(conc), std::to_string(reqs),
-           std::to_string(stats.n_ok), std::to_string(stats.n_timeout),
+          {run_mode, std::to_string(conc), std::to_string(reqs),
+           std::to_string(n_datalogs), std::to_string(stats.n_ok),
+           std::to_string(stats.n_timeout),
            std::to_string(stats.n_overloaded), std::to_string(stats.n_error),
            fmt(stats.wall_s, 3),
            fmt(stats.wall_s > 0 ? reqs / stats.wall_s : 0.0, 1),
+           fmt(stats.wall_s > 0 ? n_datalogs / stats.wall_s : 0.0, 1),
+           hit_rate(after.sig_hits - before.sig_hits,
+                    after.sig_misses - before.sig_misses),
+           hit_rate(after.comp_hits - before.comp_hits,
+                    after.comp_misses - before.comp_misses),
            fmt(stats.latency.p50_ms, 2), fmt(stats.latency.p95_ms, 2),
            fmt(stats.latency.p99_ms, 2), fmt(stats.latency.max_ms, 2)});
     }
@@ -512,6 +664,8 @@ int main(int argc, char** argv) {
       table.print_csv(std::cout);
     else
       table.print(std::cout);
+    std::cout << "\n";
+    breakdown.print(std::cout, csv);
     if (cfg.trace) {
       std::cout << "\n";
       stage_stats.print(std::cout, csv);

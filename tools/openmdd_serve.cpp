@@ -4,6 +4,7 @@
 //                 [--cache-mb N] [--memo-mb N] [--composite-mb N]
 //                 [--exec-threads N] [--default-deadline-ms N]
 //                 [--metrics-port N] [--slow-ms N] [--kernel NAME]
+//                 [--store-dir DIR] [--batch-threads N]
 //
 // Speaks line-delimited JSON (one request object per line, one response
 // per line; protocol in src/server/service.hpp and DESIGN.md §7) either
@@ -60,6 +61,10 @@ int usage() {
          "  --store-dir DIR        serve candidate signatures from"
          " prebuilt dictionary stores\n"
          "                         (openmdd dict build) found in DIR\n"
+         "  --batch-threads N      datalog-level threads inside one"
+         " diagnose_batch request\n"
+         "                         (default 0 = --workers; request"
+         " 'threads' overrides)\n"
          "  --kernel NAME          simulation kernel (available: "
       << mdd::kernel_names()
       << "; default: widest, or MDD_KERNEL)\n";
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
         options.slow_ms = static_cast<double>(parse_count(value(), a));
       } else if (a == "--store-dir") {
         options.store_dir = value();
+      } else if (a == "--batch-threads") {
+        options.batch_threads = parse_count(value(), a);
       } else if (a == "--kernel") {
         options.kernel = value();
       } else if (a == "--help" || a == "-h") {
