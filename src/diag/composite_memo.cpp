@@ -34,17 +34,42 @@ CompositeMemoMetrics& composite_memo_metrics() {
 
 std::shared_ptr<const ErrorSignature> CompositeMemo::lookup(
     const CompositeKey& key) {
+  std::shared_ptr<store::CompositeSpill> spill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      composite_memo_metrics().hits.inc();
+      it->second.referenced = true;
+      return it->second.sig;
+    }
+    spill = spill_;
+    if (spill == nullptr) {
+      ++misses_;
+      composite_memo_metrics().misses.inc();
+      return nullptr;
+    }
+  }
+  // Disk tier, consulted outside the memo lock (the spill does file I/O
+  // under its own mutex). A spill hit is served without re-propagation,
+  // so it does not count as a memo miss.
+  std::optional<ErrorSignature> from_disk =
+      spill->get(key.members(), key.window_patterns());
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  if (!from_disk) {
+    ++spill_misses_;
     ++misses_;
     composite_memo_metrics().misses.inc();
     return nullptr;
   }
+  auto sig = std::make_shared<const ErrorSignature>(std::move(*from_disk));
+  ++spill_hits_;
   ++hits_;
   composite_memo_metrics().hits.inc();
-  it->second.referenced = true;
-  return it->second.sig;
+  // Promote into the memory tier (racing promoters dedup inside admit).
+  admit_locked(key, sig);
+  return sig;
 }
 
 void CompositeMemo::make_room(std::size_t need) {
@@ -70,10 +95,9 @@ void CompositeMemo::make_room(std::size_t need) {
   }
 }
 
-void CompositeMemo::store(const CompositeKey& key,
-                          std::shared_ptr<const ErrorSignature> sig) {
+void CompositeMemo::admit_locked(const CompositeKey& key,
+                                 std::shared_ptr<const ErrorSignature> sig) {
   const std::size_t cost = approx_entry_bytes(key, *sig);
-  std::lock_guard<std::mutex> lock(mutex_);
   if (cost > max_bytes_) {
     composite_memo_metrics().declined.inc();
     return;
@@ -86,6 +110,31 @@ void CompositeMemo::store(const CompositeKey& key,
   composite_memo_metrics().inserts.inc();
 }
 
+void CompositeMemo::store(const CompositeKey& key,
+                          std::shared_ptr<const ErrorSignature> sig) {
+  std::shared_ptr<store::CompositeSpill> spill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admit_locked(key, sig);
+    spill = spill_;
+  }
+  // Write-through outside the memo lock: the composite reaches disk at
+  // store time, not eviction time, so it survives a restart even if it
+  // stays hot in memory until shutdown. The spill dedups and never throws.
+  if (spill != nullptr)
+    spill->put(key.members(), key.window_patterns(), *sig);
+}
+
+void CompositeMemo::set_spill(std::shared_ptr<store::CompositeSpill> spill) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spill_ = std::move(spill);
+}
+
+std::shared_ptr<store::CompositeSpill> CompositeMemo::spill() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spill_;
+}
+
 CompositeMemoStats CompositeMemo::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CompositeMemoStats s;
@@ -94,6 +143,8 @@ CompositeMemoStats CompositeMemo::stats() const {
   s.evictions = evictions_;
   s.entries = entries_.size();
   s.approx_bytes = bytes_;
+  s.spill_hits = spill_hits_;
+  s.spill_misses = spill_misses_;
   return s;
 }
 

@@ -26,6 +26,7 @@
 
 #include "fault/fault.hpp"
 #include "fsim/fsim.hpp"
+#include "store/spill.hpp"
 
 namespace mdd {
 
@@ -69,6 +70,11 @@ struct CompositeMemoStats {
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t approx_bytes = 0;
+  /// Disk-tier traffic (zero unless a spill is attached). A spill hit is
+  /// NOT a miss: the composite was served without propagation, just from
+  /// disk instead of the heap.
+  std::uint64_t spill_hits = 0;
+  std::uint64_t spill_misses = 0;
 };
 
 class CompositeMemo {
@@ -83,6 +89,14 @@ class CompositeMemo {
   void store(const CompositeKey& key,
              std::shared_ptr<const ErrorSignature> sig);
 
+  /// Attaches the disk tier: lookups that miss memory consult the spill
+  /// (promoting hits back into the memory tier), and stores write through
+  /// to it, so multiplet composites survive eviction AND restarts — the
+  /// same memory → disk → compute ladder the SignatureMemo has. The spill
+  /// is fail-open by construction; the memo never observes its errors.
+  void set_spill(std::shared_ptr<store::CompositeSpill> spill);
+  std::shared_ptr<store::CompositeSpill> spill() const;
+
   CompositeMemoStats stats() const;
 
  private:
@@ -94,6 +108,9 @@ class CompositeMemo {
 
   /// Evicts until `need` more bytes fit (caller holds the lock).
   void make_room(std::size_t need);
+  /// Inserts into the memory tier if it fits (caller holds the lock).
+  void admit_locked(const CompositeKey& key,
+                    std::shared_ptr<const ErrorSignature> sig);
 
   const std::size_t max_bytes_;
   mutable std::mutex mutex_;
@@ -104,6 +121,9 @@ class CompositeMemo {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::shared_ptr<store::CompositeSpill> spill_;  ///< disk tier, may be null
+  std::uint64_t spill_hits_ = 0;
+  std::uint64_t spill_misses_ = 0;
 };
 
 }  // namespace mdd

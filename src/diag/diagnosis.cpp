@@ -167,23 +167,21 @@ const ErrorSignature& DiagnosisContext::solo_signature(std::size_t i) {
 
 std::size_t DiagnosisContext::warm_solo_from_store() {
   if (solo_store_ == nullptr) return 0;
-  // A store miss must leave the slot cold for the regular warm/lazy fill.
-  // call_once only marks the flag done when the callable returns, so
-  // throwing out of it keeps the slot retryable — exactly the semantics
-  // needed here.
-  struct StoreMiss {};
+  // A store miss must leave the slot cold for the regular warm/lazy fill,
+  // so the lookup runs OUTSIDE the call_once and only a hit executes the
+  // callable. Nothing may throw through a once_flag here: TSan's
+  // pthread_once interceptor never resets an exceptionally-unwound flag
+  // (glibc's unwind handler does), so the next call_once on that slot
+  // blocks forever under the sanitizer. A losing racer just drops its
+  // decoded copy — the winner's signature is byte-identical.
   std::size_t warmed = 0;
+  const std::size_t window = window_.n_patterns();
   for (std::size_t i = 0; i < pool_.faults.size(); ++i) {
     SoloSlot& slot = solo_cache_[i];
-    try {
-      std::call_once(slot.once, [&] {
-        auto hit = solo_store_->lookup(pool_.faults[i], window_.n_patterns());
-        if (hit == nullptr) throw StoreMiss{};
-        slot.sig = apply_mask(std::move(hit));
-      });
-    } catch (const StoreMiss&) {
-      continue;
-    }
+    auto hit = solo_store_->lookup(pool_.faults[i], window);
+    if (hit == nullptr) continue;
+    std::call_once(slot.once,
+                   [&] { slot.sig = apply_mask(std::move(hit)); });
     if (slot.sig != nullptr) ++warmed;  // includes already-filled slots
   }
   if (warmed > 0) {

@@ -1,6 +1,7 @@
 #include "diag/volume.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
@@ -102,10 +103,13 @@ VolumeSummary VolumeAggregator::summarize() const {
   }
 
   // Classify, then classify the datalogs by their top suspect.
+  // Ceil, not truncation: "at least fraction×diagnosed" means a candidate
+  // in 2 of 9 datalogs at fraction 0.3 (2 < 2.7) is NOT systematic — a
+  // truncating cast would let it through at floor 2.
   const std::size_t systematic_floor = std::max<std::size_t>(
       options_.min_recurrences,
-      static_cast<std::size_t>(options_.systematic_fraction *
-                               static_cast<double>(out.n_diagnosed)));
+      static_cast<std::size_t>(std::ceil(options_.systematic_fraction *
+                                         static_cast<double>(out.n_diagnosed))));
   for (auto& [fault, rec] : by_fault)
     rec.systematic = rec.n_datalogs >= systematic_floor;
   for (std::size_t i = 0; i < slots_.size(); ++i) {

@@ -27,7 +27,9 @@ namespace mdd {
 struct VolumeOptions {
   /// A candidate is classified systematic when it is a suspect in at
   /// least `min_recurrences` datalogs AND in at least
-  /// `systematic_fraction` of all successfully diagnosed ones.
+  /// `systematic_fraction` of all successfully diagnosed ones. The
+  /// fractional floor rounds UP (ceil): at fraction 0.3 over 9 diagnosed
+  /// datalogs a candidate needs 3 recurrences, not the truncated 2.
   double systematic_fraction = 0.25;
   std::size_t min_recurrences = 2;
   /// Recurrence rows kept in the summary (most-recurrent first);

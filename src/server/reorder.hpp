@@ -1,0 +1,83 @@
+// openmdd — in-order publisher for streamed batch items.
+//
+// Batch datalogs are diagnosed by a private thread group in whatever
+// order workers grab them, but the streamed `diagnose_batch_item` lines
+// are part of the protocol in INDEX order — clients must see a
+// deterministic sequence. The reorder buffer sits between the workers and
+// the emit sink: publish(i, item) stores out-of-order completions and the
+// sink receives every ready prefix item exactly once, in order. Buffering
+// is bounded by the batch size by construction; the observed peak
+// (done-but-not-yet-emitted items) is exposed as a high-water mark so a
+// pathological schedule — item 0 finishing last behind the whole batch —
+// is visible in /stats instead of silent.
+//
+// Thread-safe: publish() may be called concurrently from any worker; the
+// sink runs under the internal mutex, so lines are serialized without the
+// caller needing its own emit lock.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "server/json.hpp"
+
+namespace mdd::server {
+
+class ReorderBuffer {
+ public:
+  using Sink = std::function<void(const Json&)>;
+
+  /// `n` is the batch size (every index in [0, n) must be published
+  /// exactly once). A null `sink` disables emission — items are only
+  /// collected for take_items() (the non-streamed response mode).
+  ReorderBuffer(std::size_t n, Sink sink)
+      : items_(n), done_(n, 0), sink_(std::move(sink)) {}
+
+  ReorderBuffer(const ReorderBuffer&) = delete;
+  ReorderBuffer& operator=(const ReorderBuffer&) = delete;
+
+  /// Records item `i` as finished and emits every ready prefix item.
+  void publish(std::size_t i, Json item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (i >= items_.size() || done_[i]) return;
+    items_[i] = std::move(item);
+    done_[i] = 1;
+    ++n_done_;
+    // Peak is measured BEFORE draining: when index 0 lands after k later
+    // items already finished, k+1 entries were buffered at once.
+    high_water_ = std::max(high_water_, n_done_ - next_emit_);
+    if (!sink_) return;
+    while (next_emit_ < items_.size() && done_[next_emit_]) {
+      sink_(items_[next_emit_]);
+      ++next_emit_;
+    }
+  }
+
+  /// Peak count of finished-but-not-yet-emitted items. With a null sink
+  /// nothing ever drains, so this degenerates to the publish count.
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+  /// Moves the collected items out (call once, after all publishes).
+  std::vector<Json> take_items() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(items_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Json> items_;
+  std::vector<char> done_;  ///< not vector<bool>: workers touch neighbors
+  Sink sink_;
+  std::size_t next_emit_ = 0;  ///< first index not yet handed to the sink
+  std::size_t n_done_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mdd::server

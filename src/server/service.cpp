@@ -14,9 +14,11 @@
 #include "diag/slat.hpp"
 #include "diag/volume.hpp"
 #include "obs/metrics.hpp"
+#include "server/reorder.hpp"
 #include "server/result_json.hpp"
 #include "sim/kernel.hpp"
 #include "store/format.hpp"
+#include "store/refresh.hpp"
 #include "workload/textio.hpp"
 
 namespace mdd::server {
@@ -88,6 +90,10 @@ struct VolumeMetrics {
   obs::Counter& random = obs::registry().counter("volume.random_datalogs");
   obs::Histogram& batch_ms = obs::registry().latency("volume.batch_ms");
   obs::Histogram& datalog_ms = obs::registry().latency("volume.datalog_ms");
+  /// Peak done-but-unemitted streamed items of the latest batch — how far
+  /// out-of-order completion ran ahead of the in-order protocol.
+  obs::Gauge& reorder_high_water =
+      obs::registry().gauge("volume.reorder_buffer_high_water");
 };
 
 VolumeMetrics& volume_metrics() {
@@ -170,15 +176,68 @@ DiagnosisService::DiagnosisService(const ServiceOptions& options)
   pump_ = std::thread([this] {
     pool_->run_on_all([this](std::size_t) { drain(); });
   });
+  if (options_.store_refresh_threshold > 0 && !options_.store_dir.empty())
+    refresh_thread_ = std::thread([this] { refresh_loop(); });
 }
 
 DiagnosisService::~DiagnosisService() { shutdown(); }
 
 void DiagnosisService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    stop_refresh_ = true;
+  }
+  refresh_cv_.notify_all();
+  if (refresh_thread_.joinable()) refresh_thread_.join();
   queue_.close();
   if (!joined_ && pump_.joinable()) {
     pump_.join();
     joined_ = true;
+  }
+}
+
+void DiagnosisService::refresh_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(refresh_mutex_);
+      refresh_cv_.wait_for(lock, std::chrono::milliseconds(200),
+                           [this] { return stop_refresh_; });
+      if (stop_refresh_) return;
+    }
+    for (const auto& session : cache_.resident_sessions()) {
+      if (session->journal == nullptr || session->journal->detached())
+        continue;
+      if (session->journal->pending() < options_.store_refresh_threshold)
+        continue;
+      refresh_session(session);
+    }
+  }
+}
+
+void DiagnosisService::refresh_session(
+    const std::shared_ptr<const Session>& session) {
+  // Snapshot → fold → swap → compact. The fold simulates on THIS thread
+  // (the maintenance thread, not a queue worker), and the swap is one
+  // shared_ptr store inside the memo: in-flight requests keep decoding
+  // the old mapping, later lookups serve the merged one. Faults recorded
+  // between the snapshot and the compact survive as journal remainder for
+  // the next round. Failures are counted and skipped — a broken disk must
+  // never take the serving path down.
+  try {
+    const std::vector<Fault> folded = session->journal->pending_faults();
+    if (folded.empty()) return;
+    store::fold_into_store(session->netlist, session->patterns,
+                           options_.store_dir, folded, options_.exec);
+    auto reader = store::DictReader::open(store::store_path_for(
+        options_.store_dir, session->netlist, session->patterns));
+    reader->validate_for(session->netlist, session->patterns);
+    session->memo->set_store(std::move(reader));
+    session->journal->compact(folded);
+    refreshes_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("store.refresh_failures").inc();
+    std::cerr << "openmdd_serve: store refresh failed: " << e.what() << "\n";
   }
 }
 
@@ -418,6 +477,11 @@ Json DiagnosisService::handle_diagnose(const Json& request,
   response.set("cache", cache_hit ? "hit" : "miss");
   if (outcome.timed_out) response.set("partial", true);
   response.set("reports", reports_to_json(outcome.reports, session->netlist));
+  // The store-coverage ledger (mirrors the batch "amortization" object):
+  // solo_computes counts candidates every serving tier missed — the gap
+  // to n_candidates is what memo + dictionary absorbed.
+  response.set("n_candidates", outcome.n_candidates);
+  response.set("solo_computes", outcome.solo_computes);
   Json timings;
   timings.set("session", t_session);
   timings.set("context", outcome.t_context);
@@ -485,10 +549,18 @@ Json DiagnosisService::handle_diagnose_batch(const Json& request,
       if (entry.is_regular_file() && entry.path().extension() == ".datalog")
         inputs.push_back({true, entry.path().string()});
     // Directory order is filesystem-dependent; the batch index order is
-    // part of the response, so fix it.
+    // part of the response (and of the CI byte-identity gate), so fix it
+    // byte-wise over unsigned chars — deliberately NOT strcoll or any
+    // locale collation, which would order "B2" / "a1" differently across
+    // hosts.
     std::sort(inputs.begin(), inputs.end(),
               [](const DatalogInput& a, const DatalogInput& b) {
-                return a.value < b.value;
+                return std::lexicographical_compare(
+                    a.value.begin(), a.value.end(), b.value.begin(),
+                    b.value.end(), [](char x, char y) {
+                      return static_cast<unsigned char>(x) <
+                             static_cast<unsigned char>(y);
+                    });
               });
   }
   if (inputs.empty())
@@ -529,26 +601,15 @@ Json DiagnosisService::handle_diagnose_batch(const Json& request,
 
   const auto t1 = Clock::now();
   auto diagnose_span = trace.span("diagnose");
-  std::vector<Json> items(inputs.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> total_candidates{0};
   std::atomic<std::uint64_t> total_solo_computes{0};
   std::atomic<std::uint64_t> n_item_errors{0};
-  std::mutex emit_mutex;
-  std::size_t next_emit = 0;
-  std::vector<char> item_done(inputs.size(), 0);
   // Streamed items go out in index order regardless of which worker
-  // finishes first — clients see a deterministic sequence.
-  const auto publish = [&](std::size_t i, Json item) {
-    std::lock_guard<std::mutex> lock(emit_mutex);
-    items[i] = std::move(item);
-    item_done[i] = 1;
-    if (!stream) return;
-    while (next_emit < items.size() && item_done[next_emit]) {
-      emit(items[next_emit]);
-      ++next_emit;
-    }
-  };
+  // finishes first — clients see a deterministic sequence. The buffer's
+  // high-water mark records how far completion ran ahead of emission.
+  ReorderBuffer reorder(inputs.size(),
+                        stream ? ReorderBuffer::Sink(emit) : nullptr);
 
   const auto worker = [&] {
     for (;;) {
@@ -586,7 +647,7 @@ Json DiagnosisService::handle_diagnose_batch(const Json& request,
         volume_metrics().datalog_errors.inc();
       }
       volume_metrics().datalog_ms.observe(ms_since(item_t0));
-      publish(i, std::move(item));
+      reorder.publish(i, std::move(item));
     }
   };
 
@@ -620,8 +681,12 @@ Json DiagnosisService::handle_diagnose_batch(const Json& request,
   response.set("threads", threads);
   if (stream) {
     response.set("results_streamed", true);
+    response.set("reorder_high_water", reorder.high_water());
+    volume_metrics().reorder_high_water.set(
+        static_cast<std::int64_t>(reorder.high_water()));
   } else {
     JsonArray results;
+    std::vector<Json> items = reorder.take_items();
     results.reserve(items.size());
     for (Json& item : items) results.push_back(std::move(item));
     response.set("results", Json(std::move(results)));
@@ -770,10 +835,13 @@ Json DiagnosisService::stats_json() const {
   memos.set("trace", memo_json(ls.traces.hits, ls.traces.misses,
                                ls.traces.evictions, ls.traces.entries,
                                ls.traces.approx_bytes));
-  memos.set("composite",
-            memo_json(ls.composites.hits, ls.composites.misses,
-                      ls.composites.evictions, ls.composites.entries,
-                      ls.composites.approx_bytes));
+  Json composite =
+      memo_json(ls.composites.hits, ls.composites.misses,
+                ls.composites.evictions, ls.composites.entries,
+                ls.composites.approx_bytes);
+  composite.set("spill_hits", ls.composites.spill_hits);
+  composite.set("spill_misses", ls.composites.spill_misses);
+  memos.set("composite", std::move(composite));
   s.set("memos", std::move(memos));
 
   Json store;
@@ -785,6 +853,18 @@ Json DiagnosisService::stats_json() const {
   store.set("bytes_mapped", ls.store_bytes_mapped);
   store.set("hits", ls.signature.store_hits);
   store.set("misses", ls.signature.store_misses);
+  store.set("refresh_threshold", options_.store_refresh_threshold);
+  store.set("refreshes", refreshes_.load());
+  store.set("refresh_failures", refresh_failures_.load());
+  Json journal;
+  journal.set("sessions", ls.journal_sessions);
+  journal.set("pending", ls.journal_pending);
+  store.set("journal", std::move(journal));
+  Json spill;
+  spill.set("sessions", ls.spill_sessions);
+  spill.set("entries", ls.spill_entries);
+  spill.set("bytes", ls.spill_bytes);
+  store.set("spill", std::move(spill));
   s.set("store", std::move(store));
   return s;
 }

@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -113,6 +114,15 @@ struct ServiceOptions {
   /// own "threads" field overrides this per batch (clamped to the batch
   /// size).
   std::size_t batch_threads = 0;
+  /// Background store refresh (`openmdd_serve --store-refresh N`): when a
+  /// resident session's store-miss journal accumulates at least N
+  /// distinct faults, a low-priority maintenance thread folds them into
+  /// the `.mdds` file and swaps a freshly opened reader into the
+  /// session's memo — in-flight requests keep the old mapping, later ones
+  /// serve the learned universe without a daemon restart. 0 (default)
+  /// disables the thread; requires a non-empty store_dir. Fold failures
+  /// are counted, never fatal.
+  std::size_t store_refresh_threshold = 0;
 };
 
 class DiagnosisService {
@@ -179,6 +189,9 @@ class DiagnosisService {
   };
 
   void drain();  ///< worker loop: pop → execute → done(response)
+  void refresh_loop();  ///< background store-refresh thread body
+  /// One fold for one session: journal → store → reader swap → compact.
+  void refresh_session(const std::shared_ptr<const Session>& session);
   Json dispatch(const Json& request, const CancelToken* cancel,
                 obs::Trace& trace, const Emit& emit);
   Json handle_diagnose(const Json& request, const CancelToken* cancel,
@@ -206,6 +219,13 @@ class DiagnosisService {
   std::unique_ptr<ThreadPool> pool_;
   std::thread pump_;  ///< runs pool_->run_on_all(drain) until shutdown
   bool joined_ = false;
+
+  std::thread refresh_thread_;  ///< background fold; joinable iff enabled
+  std::mutex refresh_mutex_;
+  std::condition_variable refresh_cv_;
+  bool stop_refresh_ = false;
+  std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> refresh_failures_{0};
 
   std::atomic<std::uint64_t> n_ok_{0};
   std::atomic<std::uint64_t> n_error_{0};

@@ -38,6 +38,11 @@ SessionMetrics& session_metrics() {
   return m;
 }
 
+/// The spill file may grow past the composite memo's RAM budget by this
+/// factor before further puts are declined — disk is cheap relative to
+/// re-propagating a multiplet, but not unbounded.
+constexpr std::size_t kSpillDiskFactor = 4;
+
 bool ends_with(const std::string& s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -103,6 +108,24 @@ std::shared_ptr<const Session> load_session(const std::string& netlist_path,
   session->dict =
       try_attach_store(store_dir, session->netlist, session->patterns);
   if (session->dict != nullptr) session->memo->set_store(session->dict);
+  if (!store_dir.empty()) {
+    // Journal + spill sidecars exist whenever a store directory does —
+    // also when the .mdds itself is still absent, so the very first
+    // served pass already feeds the first `dict refresh`. Both are
+    // fail-open: any problem detaches them, the session loads fine.
+    const std::uint64_t nh = store::netlist_content_hash(session->netlist);
+    const std::uint64_t ph = store::patterns_content_hash(session->patterns);
+    session->journal = std::make_shared<store::FaultJournal>(
+        store::journal_path_for(store_dir, session->netlist,
+                                session->patterns),
+        nh, ph);
+    session->memo->set_journal(session->journal);
+    session->spill = std::make_shared<store::CompositeSpill>(
+        store::spill_path_for(store_dir, session->netlist, session->patterns),
+        nh, ph, session->patterns.n_patterns(), session->netlist.n_outputs(),
+        composite_bytes * kSpillDiskFactor);
+    session->composites->set_spill(session->spill);
+  }
   session->approx_bytes = approx_session_bytes(*session);
   return session;
 }
@@ -271,13 +294,39 @@ MemoLayerStats SessionCache::layer_stats() const {
       out.composites.evictions += s.evictions;
       out.composites.entries += s.entries;
       out.composites.approx_bytes += s.approx_bytes;
+      out.composites.spill_hits += s.spill_hits;
+      out.composites.spill_misses += s.spill_misses;
     }
-    if (session->dict != nullptr) {
+    // Account the reader the memo is serving from NOW — a background
+    // refresh may have swapped a newer one in since load time.
+    const std::shared_ptr<const store::DictReader> dict =
+        session->memo ? session->memo->store_reader() : session->dict;
+    if (dict != nullptr) {
       ++out.store_sessions;
-      out.store_entries += session->dict->n_entries();
-      out.store_bytes_mapped += session->dict->bytes_mapped();
+      out.store_entries += dict->n_entries();
+      out.store_bytes_mapped += dict->bytes_mapped();
+    }
+    if (session->journal != nullptr && !session->journal->detached()) {
+      ++out.journal_sessions;
+      out.journal_pending += session->journal->pending();
+    }
+    if (session->spill != nullptr && !session->spill->detached()) {
+      const store::SpillStats s = session->spill->stats();
+      ++out.spill_sessions;
+      out.spill_entries += s.entries;
+      out.spill_bytes += s.bytes;
     }
   }
+  return out;
+}
+
+std::vector<std::shared_ptr<const Session>> SessionCache::resident_sessions()
+    const {
+  std::vector<std::shared_ptr<const Session>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_)
+    if (entry->session != nullptr) out.push_back(entry->session);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "diag/composite_memo.hpp"
 #include "fsim/propagate.hpp"
@@ -53,8 +54,17 @@ struct Session {
   /// Persistent dictionary store for this exact (netlist, patterns), if
   /// the cache's store directory held a matching valid file; also wired
   /// into `memo` as its disk tier. mmapped bytes are NOT charged against
-  /// the cache budget — they live in the page cache, not the heap.
+  /// the cache budget — they live in the page cache, not the heap. This
+  /// member is the reader attached at LOAD time; a background refresh may
+  /// swap a newer one into the memo (memo->store_reader() is current).
   std::shared_ptr<const store::DictReader> dict;
+  /// Store-miss journal (workload-learned universes), present iff the
+  /// cache has a store directory; wired into `memo` so every simulated
+  /// signature is recorded for the next refresh. Fail-open.
+  std::shared_ptr<store::FaultJournal> journal;
+  /// Composite-signature disk tier, present iff the cache has a store
+  /// directory; wired into `composites`. Fail-open.
+  std::shared_ptr<store::CompositeSpill> spill;
   std::size_t approx_bytes = 0;
 };
 
@@ -80,6 +90,11 @@ struct MemoLayerStats {
   std::size_t store_sessions = 0;  ///< resident sessions with a store
   std::size_t store_entries = 0;   ///< summed store fault records
   std::size_t store_bytes_mapped = 0;
+  std::size_t journal_sessions = 0;  ///< sessions with a live journal
+  std::size_t journal_pending = 0;   ///< summed unfolded journal faults
+  std::size_t spill_sessions = 0;    ///< sessions with a live spill
+  std::size_t spill_entries = 0;     ///< summed spilled composites
+  std::size_t spill_bytes = 0;       ///< summed spill file bytes
 };
 
 class SessionCache {
@@ -150,6 +165,10 @@ class SessionCache {
 
   /// Sums the memo/store stats of every loaded resident session.
   MemoLayerStats layer_stats() const;
+
+  /// Snapshot of every fully loaded resident session (the background
+  /// store-refresh thread walks these looking for journal backlog).
+  std::vector<std::shared_ptr<const Session>> resident_sessions() const;
 
   const std::string& store_dir() const { return store_dir_; }
 

@@ -176,8 +176,26 @@ void SignatureMemo::make_room(std::size_t need) {
 
 void SignatureMemo::store(const Fault& f, std::size_t window_patterns,
                           std::shared_ptr<const ErrorSignature> sig) {
+  std::shared_ptr<store::FaultJournal> journal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admit(Key{f, window_patterns}, std::move(sig));
+    journal = journal_;
+  }
+  // Outside the memo lock: the journal has its own mutex and does file
+  // I/O. Reaching store() means every serving tier missed and a real
+  // simulation was paid — exactly what the next refresh should fold in.
+  if (journal != nullptr) journal->record(f);
+}
+
+void SignatureMemo::set_journal(std::shared_ptr<store::FaultJournal> journal) {
   std::lock_guard<std::mutex> lock(mutex_);
-  admit(Key{f, window_patterns}, std::move(sig));
+  journal_ = std::move(journal);
+}
+
+std::shared_ptr<store::FaultJournal> SignatureMemo::journal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_;
 }
 
 SignatureMemoStats SignatureMemo::stats() const {

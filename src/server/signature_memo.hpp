@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "diag/diagnosis.hpp"
+#include "store/journal.hpp"
 #include "store/reader.hpp"
 
 namespace mdd::server {
@@ -81,6 +82,14 @@ class SignatureMemo final : public SoloSignatureStore {
   bool has_store() const;
   std::shared_ptr<const store::DictReader> store_reader() const;
 
+  /// Attaches the store-miss journal. store() is called exactly when a
+  /// context had to simulate a signature — i.e. every tier (memory,
+  /// window restriction, mmap dictionary) missed — so each such fault is
+  /// recorded for the next refresh to fold into the dictionary. The
+  /// journal itself dedups and never throws.
+  void set_journal(std::shared_ptr<store::FaultJournal> journal);
+  std::shared_ptr<store::FaultJournal> journal() const;
+
   SignatureMemoStats stats() const;
 
  private:
@@ -117,6 +126,7 @@ class SignatureMemo final : public SoloSignatureStore {
   std::uint64_t evictions_ = 0;
   std::uint64_t window_restricts_ = 0;
   std::shared_ptr<const store::DictReader> dict_;  ///< warm tier, may be null
+  std::shared_ptr<store::FaultJournal> journal_;  ///< miss ledger, may be null
   std::uint64_t store_hits_ = 0;
   std::uint64_t store_misses_ = 0;
 };

@@ -32,27 +32,111 @@ std::uint64_t patterns_content_hash(const PatternSet& patterns) {
   return h;
 }
 
-std::string store_file_name(std::uint64_t netlist_hash,
-                            std::uint64_t patterns_hash) {
+std::string sidecar_file_name(std::uint64_t netlist_hash,
+                              std::uint64_t patterns_hash,
+                              std::string_view extension) {
   static const char* hex = "0123456789abcdef";
   std::string name;
-  name.reserve(16 + 1 + 16 + 5);
+  name.reserve(16 + 1 + 16 + extension.size());
   const auto append_hex = [&](std::uint64_t v) {
     for (int i = 15; i >= 0; --i) name.push_back(hex[(v >> (4 * i)) & 0xf]);
   };
   append_hex(netlist_hash);
   name.push_back('-');
   append_hex(patterns_hash);
-  name += kStoreExtension;
+  name += extension;
   return name;
 }
 
-std::string store_path_for(const std::string& dir, const Netlist& netlist,
-                           const PatternSet& patterns) {
+std::string store_file_name(std::uint64_t netlist_hash,
+                            std::uint64_t patterns_hash) {
+  return sidecar_file_name(netlist_hash, patterns_hash, kStoreExtension);
+}
+
+namespace {
+
+std::string sidecar_path(const std::string& dir, const Netlist& netlist,
+                         const PatternSet& patterns,
+                         std::string_view extension) {
   std::string path = dir;
   if (!path.empty() && path.back() != '/') path.push_back('/');
-  return path + store_file_name(netlist_content_hash(netlist),
-                                patterns_content_hash(patterns));
+  return path + sidecar_file_name(netlist_content_hash(netlist),
+                                  patterns_content_hash(patterns), extension);
+}
+
+}  // namespace
+
+std::string store_path_for(const std::string& dir, const Netlist& netlist,
+                           const PatternSet& patterns) {
+  return sidecar_path(dir, netlist, patterns, kStoreExtension);
+}
+
+std::string journal_path_for(const std::string& dir, const Netlist& netlist,
+                             const PatternSet& patterns) {
+  return sidecar_path(dir, netlist, patterns, kJournalExtension);
+}
+
+std::string spill_path_for(const std::string& dir, const Netlist& netlist,
+                           const PatternSet& patterns) {
+  return sidecar_path(dir, netlist, patterns, kSpillExtension);
+}
+
+std::size_t encode_postings(const ErrorSignature& sig,
+                            std::uint64_t n_outputs,
+                            std::vector<std::uint8_t>& out) {
+  std::size_t n_positions = 0;
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < sig.n_failing_patterns(); ++i) {
+    const std::uint64_t base =
+        std::uint64_t{sig.failing_patterns()[i]} * n_outputs;
+    for (std::uint32_t po : sig.failing_outputs(i)) {
+      const std::uint64_t pos = base + po;
+      put_varint(out, first ? pos : pos - prev);
+      prev = pos;
+      first = false;
+      ++n_positions;
+    }
+  }
+  return n_positions;
+}
+
+ErrorSignature decode_postings(const std::uint8_t*& p,
+                               const std::uint8_t* end,
+                               std::uint32_t n_positions,
+                               std::uint64_t n_patterns,
+                               std::uint64_t n_outputs) {
+  ErrorSignature sig(n_patterns, n_outputs);
+  const std::uint64_t limit = n_patterns * n_outputs;
+  std::vector<Word> mask(sig.n_po_words(), kAllZero);
+  std::uint64_t current_pattern = 0;
+  bool have_pattern = false;
+  std::uint64_t pos = 0;
+  for (std::uint32_t k = 0; k < n_positions; ++k) {
+    const std::uint64_t delta = get_varint(p, end);
+    if (k == 0) {
+      pos = delta;
+    } else {
+      if (delta == 0) throw StoreError("store: zero posting delta");
+      if (delta > limit || pos > limit - delta)
+        throw StoreError("store: posting position overflow");
+      pos += delta;
+    }
+    if (pos >= limit)
+      throw StoreError("store: posting position out of range");
+    const std::uint64_t pattern = pos / n_outputs;
+    const std::uint64_t po = pos % n_outputs;
+    if (have_pattern && pattern != current_pattern) {
+      sig.append(static_cast<std::uint32_t>(current_pattern), mask);
+      std::fill(mask.begin(), mask.end(), kAllZero);
+    }
+    current_pattern = pattern;
+    have_pattern = true;
+    mask[po / 64] |= Word{1} << (po % 64);
+  }
+  if (have_pattern)
+    sig.append(static_cast<std::uint32_t>(current_pattern), mask);
+  return sig;
 }
 
 void append_header(std::vector<std::uint8_t>& out,

@@ -24,9 +24,11 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fsim/fsim.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/patterns.hpp"
 
@@ -47,6 +49,12 @@ inline constexpr std::size_t kRecordBytes = 40;
 /// Store files are named <netlist_hash>-<patterns_hash>.mdds inside the
 /// store directory, so one directory serves many circuits.
 inline constexpr const char* kStoreExtension = ".mdds";
+/// Sidecar of a store: the append-only journal of store-missed faults the
+/// serving layer simulated (workload-learned universe; store/journal.hpp).
+inline constexpr const char* kJournalExtension = ".journal";
+/// Sidecar of a store: the composite-signature spill tier
+/// (store/spill.hpp), so evicted multiplet composites survive restarts.
+inline constexpr const char* kSpillExtension = ".cspill";
 
 /// Decoded fixed-size header. On disk the fields follow the magic at the
 /// offsets documented inline (write_header/read_header are the codec).
@@ -155,6 +163,40 @@ std::string store_file_name(std::uint64_t netlist_hash,
 /// Full path of the store file for (netlist, patterns) inside `dir`.
 std::string store_path_for(const std::string& dir, const Netlist& netlist,
                            const PatternSet& patterns);
+
+/// "<netlist_hash>-<patterns_hash><extension>" — the naming scheme shared
+/// by the store file and its sidecars (journal, composite spill).
+std::string sidecar_file_name(std::uint64_t netlist_hash,
+                              std::uint64_t patterns_hash,
+                              std::string_view extension);
+
+/// Full path of the store-miss journal for (netlist, patterns) in `dir`.
+std::string journal_path_for(const std::string& dir, const Netlist& netlist,
+                             const PatternSet& patterns);
+
+/// Full path of the composite spill for (netlist, patterns) in `dir`.
+std::string spill_path_for(const std::string& dir, const Netlist& netlist,
+                           const PatternSet& patterns);
+
+// ---- posting-list codec --------------------------------------------------
+
+/// Delta-varint encodes the sorted global bit positions of `sig`
+/// (`pattern * n_outputs + po`) into `out`; returns the number of
+/// positions written. Shared by the store writer, the refresh fold, and
+/// the composite spill tier.
+std::size_t encode_postings(const ErrorSignature& sig,
+                            std::uint64_t n_outputs,
+                            std::vector<std::uint8_t>& out);
+
+/// Reconstructs an ErrorSignature of shape (n_patterns, n_outputs) from
+/// `n_positions` delta-varint positions starting at *p, advancing *p past
+/// them. Every bound and delta is checked; throws StoreError on malformed
+/// input. Byte-identical to what encode_postings consumed.
+ErrorSignature decode_postings(const std::uint8_t*& p,
+                               const std::uint8_t* end,
+                               std::uint32_t n_positions,
+                               std::uint64_t n_patterns,
+                               std::uint64_t n_outputs);
 
 // ---- record / header codec -----------------------------------------------
 

@@ -1,0 +1,271 @@
+#include "store/journal.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace mdd::store {
+
+namespace {
+
+constexpr const char* kJournalMagic = "mddj1";
+
+struct JournalMetrics {
+  obs::Counter& appends = obs::registry().counter("store.journal_appends");
+  obs::Counter& append_failures =
+      obs::registry().counter("store.journal_append_failures");
+  obs::Counter& open_failures =
+      obs::registry().counter("store.journal_open_failures");
+  obs::Counter& skipped_lines =
+      obs::registry().counter("store.journal_skipped_lines");
+  /// Distinct faults pending across every live journal (fold backlog).
+  obs::Gauge& entries = obs::registry().gauge("store.journal_entries");
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics m;
+  return m;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string header_line(std::uint64_t netlist_hash,
+                        std::uint64_t patterns_hash) {
+  return std::string(kJournalMagic) + " " + hex16(netlist_hash) + " " +
+         hex16(patterns_hash) + "\n";
+}
+
+std::string fault_line(const Fault& f) {
+  std::ostringstream out;
+  out << "f " << static_cast<unsigned>(f.kind) << " " << f.net << " "
+      << f.pin << " " << f.bridge_net << "\n";
+  return out.str();
+}
+
+/// Strict decimal u64 with an upper bound; false on any malformation.
+bool parse_field(const std::string& tok, std::uint64_t max,
+                 std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    if (v > (max - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// One "f <kind> <net> <pin> <bridge_net>" record; false drops the line.
+bool parse_fault_line(const std::string& line, Fault& out) {
+  std::istringstream ls(line);
+  std::string tag, kind_tok, net_tok, pin_tok, bridge_tok, extra;
+  if (!(ls >> tag >> kind_tok >> net_tok >> pin_tok >> bridge_tok) ||
+      tag != "f" || (ls >> extra))
+    return false;
+  std::uint64_t kind = 0, net = 0, pin = 0, bridge = 0;
+  constexpr std::uint64_t kU32Max = 0xffffffffull;
+  if (!parse_field(kind_tok,
+                   static_cast<std::uint64_t>(FaultKind::SlowToFall), kind) ||
+      !parse_field(net_tok, kU32Max, net) ||
+      !parse_field(pin_tok, kU32Max, pin) ||
+      !parse_field(bridge_tok, kU32Max, bridge))
+    return false;
+  out.kind = static_cast<FaultKind>(kind);
+  out.net = static_cast<NetId>(net);
+  out.pin = static_cast<std::uint32_t>(pin);
+  out.bridge_net = static_cast<NetId>(bridge);
+  return true;
+}
+
+/// Validates the header of an existing journal. Throws StoreError on a
+/// malformed header or a content-hash mismatch.
+void check_header(const std::string& line, const std::string& path,
+                  std::uint64_t netlist_hash, std::uint64_t patterns_hash) {
+  std::istringstream hs(line);
+  std::string magic, nh, ph, extra;
+  if (!(hs >> magic >> nh >> ph) || (hs >> extra) || magic != kJournalMagic)
+    throw StoreError("journal: malformed header in " + path);
+  if (nh != hex16(netlist_hash) || ph != hex16(patterns_hash))
+    throw StoreError("journal: " + path +
+                     " was written for different content hashes");
+}
+
+}  // namespace
+
+JournalContents read_journal(const std::string& path,
+                             std::uint64_t netlist_hash,
+                             std::uint64_t patterns_hash) {
+  JournalContents out;
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) return out;  // absent = empty (normal first run)
+
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), fp)) > 0;)
+    text.append(buf, n);
+  std::fclose(fp);
+  if (text.empty()) return out;
+
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line))
+    throw StoreError("journal: unreadable header in " + path);
+  check_header(line, path, netlist_hash, patterns_hash);
+
+  std::unordered_set<Fault, FaultHash> seen;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++out.n_lines;
+    Fault f;
+    // A torn final append shows up as a truncated last line (no trailing
+    // newline, missing fields) — skip + count, like any stray bytes.
+    if (!parse_fault_line(line, f)) {
+      ++out.n_skipped;
+      journal_metrics().skipped_lines.inc();
+      continue;
+    }
+    if (seen.insert(f).second) out.faults.push_back(f);
+  }
+  return out;
+}
+
+void reset_journal_file(const std::string& path, std::uint64_t netlist_hash,
+                        std::uint64_t patterns_hash) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) throw StoreError("journal: cannot create " + tmp);
+  const std::string header = header_line(netlist_hash, patterns_hash);
+  const bool written =
+      std::fwrite(header.data(), 1, header.size(), fp) == header.size() &&
+      std::fflush(fp) == 0;
+  const bool closed = std::fclose(fp) == 0;
+  if (!written || !closed) {
+    std::remove(tmp.c_str());
+    throw StoreError("journal: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreError("journal: cannot rename " + tmp + " into place");
+  }
+}
+
+FaultJournal::FaultJournal(std::string path, std::uint64_t netlist_hash,
+                           std::uint64_t patterns_hash)
+    : path_(std::move(path)),
+      netlist_hash_(netlist_hash),
+      patterns_hash_(patterns_hash) {
+  try {
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path_, ec) && !ec;
+    if (exists) {
+      // Wrong-hash or malformed headers throw here → detach below.
+      JournalContents contents =
+          read_journal(path_, netlist_hash_, patterns_hash_);
+      pending_ = std::move(contents.faults);
+      for (const Fault& f : pending_) seen_.insert(f);
+    } else {
+      reset_journal_file(path_, netlist_hash_, patterns_hash_);
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr)
+      throw StoreError("journal: cannot open " + path_ + " for append");
+    journal_metrics().entries.add(static_cast<std::int64_t>(pending_.size()));
+  } catch (const std::exception&) {
+    journal_metrics().open_failures.inc();
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = nullptr;
+    pending_.clear();
+    seen_.clear();
+  }
+}
+
+FaultJournal::~FaultJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_metrics().entries.add(-static_cast<std::int64_t>(pending_.size()));
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void FaultJournal::detach_locked() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+  journal_metrics().entries.add(-static_cast<std::int64_t>(pending_.size()));
+  pending_.clear();
+}
+
+void FaultJournal::record(const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;  // detached: fail-open no-op
+  if (!seen_.insert(fault).second) return;
+  const std::string line = fault_line(fault);
+  // One fwrite per record: a crash tears at most the final line, which
+  // read_journal() then skips.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    journal_metrics().append_failures.inc();
+    detach_locked();
+    return;
+  }
+  pending_.push_back(fault);
+  journal_metrics().appends.inc();
+  journal_metrics().entries.add(1);
+}
+
+std::vector<Fault> FaultJournal::pending_faults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+std::size_t FaultJournal::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void FaultJournal::compact(const std::vector<Fault>& folded) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::unordered_set<Fault, FaultHash> gone(folded.begin(), folded.end());
+  std::vector<Fault> remainder;
+  for (const Fault& f : pending_)
+    if (gone.count(f) == 0) remainder.push_back(f);
+  try {
+    std::fclose(file_);
+    file_ = nullptr;
+    reset_journal_file(path_, netlist_hash_, patterns_hash_);
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr)
+      throw StoreError("journal: cannot reopen " + path_);
+    for (const Fault& f : remainder) {
+      const std::string line = fault_line(f);
+      if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+        throw StoreError("journal: short rewrite of " + path_);
+    }
+    if (std::fflush(file_) != 0)
+      throw StoreError("journal: cannot flush " + path_);
+  } catch (const std::exception&) {
+    journal_metrics().append_failures.inc();
+    detach_locked();
+    return;
+  }
+  journal_metrics().entries.add(
+      static_cast<std::int64_t>(remainder.size()) -
+      static_cast<std::int64_t>(pending_.size()));
+  pending_ = std::move(remainder);
+}
+
+bool FaultJournal::detached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_ == nullptr;
+}
+
+}  // namespace mdd::store

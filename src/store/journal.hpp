@@ -1,0 +1,107 @@
+// openmdd — store-miss journal (workload-learned fault universes).
+//
+// The persistent dictionary's deterministically sampled bridge universe
+// cannot anticipate the dominant-bridge candidates the no-assumptions
+// extractor invents from observed failing behavior, so a served pass pays
+// a simulation for every such miss. The journal closes that gap: the
+// serving layer appends the identity of every fault it had to simulate
+// (one line per distinct fault) into an append-only text sidecar next to
+// the store file, and `openmdd dict refresh` / the daemon's background
+// refresh fold those faults into the `.mdds` file — the next cold start
+// serves the exact universe the workload shaped.
+//
+// Format (line-based text, one record per line, trailing '\n' required):
+//
+//   mddj1 <netlist_hash> <patterns_hash>        header, hashes in hex
+//   f <kind> <net> <pin> <bridge_net>           one fault, fields decimal
+//
+// Fail-open contract: the journal is an optimization ledger, never a
+// dependency. A corrupt or mismatched header detaches the writer (appends
+// become no-ops, counted); torn or malformed record lines are skipped and
+// counted on read; append I/O errors detach. No journal condition ever
+// fails a diagnosis or a session load.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "store/format.hpp"
+
+namespace mdd::store {
+
+/// What read_journal() recovered from a journal file.
+struct JournalContents {
+  std::vector<Fault> faults;   ///< well-formed records, deduped, file order
+  std::size_t n_lines = 0;     ///< record lines seen (header excluded)
+  std::size_t n_skipped = 0;   ///< malformed/torn lines dropped
+};
+
+/// Reads the journal at `path` for the given content hashes. A missing or
+/// empty file yields empty contents (the normal first-run case); a
+/// present file whose header is malformed or names different hashes
+/// throws StoreError (a journal must never be folded into the wrong
+/// store). Malformed record lines — a torn final append, stray bytes —
+/// are skipped and counted, never fatal.
+JournalContents read_journal(const std::string& path,
+                             std::uint64_t netlist_hash,
+                             std::uint64_t patterns_hash);
+
+/// Atomically resets the journal at `path` to a header-only file
+/// (tmp + rename). Throws StoreError on I/O failure.
+void reset_journal_file(const std::string& path, std::uint64_t netlist_hash,
+                        std::uint64_t patterns_hash);
+
+/// Append-side handle used by the serving layer. Opens (creating if
+/// absent) the journal for one (netlist, patterns) pair and keeps an
+/// in-memory dedup set so each distinct fault is journaled once per
+/// process. All methods are thread-safe; none ever throws.
+class FaultJournal {
+ public:
+  /// Never throws: any open/validation problem detaches the journal
+  /// (record() becomes a no-op) and bumps `store.journal_open_failures`.
+  /// Pre-existing well-formed entries are loaded into the dedup set and
+  /// count as pending.
+  FaultJournal(std::string path, std::uint64_t netlist_hash,
+               std::uint64_t patterns_hash);
+  ~FaultJournal();
+
+  FaultJournal(const FaultJournal&) = delete;
+  FaultJournal& operator=(const FaultJournal&) = delete;
+
+  /// Appends `fault` unless already journaled (or detached). One full
+  /// line per write so a crash can tear at most the final record.
+  void record(const Fault& fault);
+
+  /// Distinct faults currently in the file, oldest first — what a refresh
+  /// should fold into the store.
+  std::vector<Fault> pending_faults() const;
+  std::size_t pending() const;
+
+  /// After `folded` were merged into the store: rewrites the file
+  /// atomically keeping only the still-pending remainder (faults recorded
+  /// between the fold's snapshot and now). The dedup set is kept — folded
+  /// faults are served by the store from here on, so re-journaling them
+  /// would only re-grow the file. Never throws (failure detaches).
+  void compact(const std::vector<Fault>& folded);
+
+  bool detached() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void detach_locked();  ///< caller holds mutex_
+
+  const std::string path_;
+  const std::uint64_t netlist_hash_;
+  const std::uint64_t patterns_hash_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;  ///< append handle; null once detached
+  std::vector<Fault> pending_;  ///< in-file faults, append order
+  std::unordered_set<Fault, FaultHash> seen_;  ///< ever journaled (process)
+};
+
+}  // namespace mdd::store

@@ -173,6 +173,17 @@ Fault DictReader::fault_at(std::size_t i) const {
   return read_record(record_ptr(i)).fault;
 }
 
+FaultRecord DictReader::record_at(std::size_t i) const {
+  if (i >= header_.n_faults)
+    throw StoreError("store: record index out of range");
+  return read_record(record_ptr(i));
+}
+
+std::span<const std::uint8_t> DictReader::postings_at(std::size_t i) const {
+  const FaultRecord rec = record_at(i);
+  return {payload_base() + rec.offset, rec.n_bytes};
+}
+
 ErrorSignature DictReader::decode(std::size_t i) const {
   if (i >= header_.n_faults)
     throw StoreError("store: record index out of range");
@@ -180,37 +191,8 @@ ErrorSignature DictReader::decode(std::size_t i) const {
   const std::uint8_t* p = payload_base() + rec.offset;
   const std::uint8_t* end = p + rec.n_bytes;
 
-  ErrorSignature sig(header_.n_patterns, header_.n_outputs);
-  const std::uint64_t n_outputs = header_.n_outputs;
-  const std::uint64_t limit = header_.n_patterns * n_outputs;
-  std::vector<Word> mask(sig.n_po_words(), kAllZero);
-  std::uint64_t current_pattern = 0;
-  bool have_pattern = false;
-  std::uint64_t pos = 0;
-  for (std::uint32_t k = 0; k < rec.n_positions; ++k) {
-    const std::uint64_t delta = get_varint(p, end);
-    if (k == 0) {
-      pos = delta;
-    } else {
-      if (delta == 0) throw StoreError("store: zero posting delta");
-      if (delta > limit || pos > limit - delta)
-        throw StoreError("store: posting position overflow");
-      pos += delta;
-    }
-    if (pos >= limit)
-      throw StoreError("store: posting position out of range");
-    const std::uint64_t pattern = pos / n_outputs;
-    const std::uint64_t po = pos % n_outputs;
-    if (have_pattern && pattern != current_pattern) {
-      sig.append(static_cast<std::uint32_t>(current_pattern), mask);
-      std::fill(mask.begin(), mask.end(), kAllZero);
-    }
-    current_pattern = pattern;
-    have_pattern = true;
-    mask[po / 64] |= Word{1} << (po % 64);
-  }
-  if (have_pattern)
-    sig.append(static_cast<std::uint32_t>(current_pattern), mask);
+  ErrorSignature sig = decode_postings(p, end, rec.n_positions,
+                                       header_.n_patterns, header_.n_outputs);
   if (p != end)
     throw StoreError("store: posting list has trailing bytes");
   if (sig.n_failing_patterns() != rec.n_failing)

@@ -1,0 +1,53 @@
+// openmdd — store refresh: folding journaled faults into the `.mdds` file.
+//
+// A refresh merges workload-learned faults (store/journal.hpp) into the
+// persistent dictionary without re-simulating what the store already
+// knows: existing records' posting bytes are carried over verbatim from
+// the mmap'd file, only genuinely new faults are simulated, and the
+// merged store is written with the writer's tmp+rename protocol — readers
+// holding the old mapping keep serving it, and the next open (or the
+// daemon's reader swap) picks up the grown universe. If the store is
+// absent or unreadable, the fold rebuilds it from the default universe
+// plus the journaled faults, so `dict refresh` also works as a first
+// build.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/exec.hpp"
+#include "fault/fault.hpp"
+#include "store/writer.hpp"
+
+namespace mdd::store {
+
+struct RefreshStats {
+  std::size_t n_offered = 0;   ///< faults given to the fold
+  std::size_t n_new = 0;       ///< simulated and added to the store
+  std::size_t n_existing = 0;  ///< records carried over byte-for-byte
+  std::size_t n_invalid = 0;   ///< offered faults that failed validation
+  bool rebuilt = false;        ///< store was absent/corrupt → fresh build
+  bool wrote = false;          ///< a new store file was written
+  BuildStats build;            ///< of the written file (empty if !wrote)
+};
+
+/// Folds `extra` faults into the store for (netlist, patterns) inside
+/// `dir`. Already-present and invalid faults are skipped (counted); if
+/// nothing new remains and the store is healthy, no file is written.
+/// Throws StoreError on I/O failure writing the merged store.
+RefreshStats fold_into_store(const Netlist& netlist,
+                             const PatternSet& patterns,
+                             const std::string& dir,
+                             std::span<const Fault> extra,
+                             const ExecPolicy& exec = {});
+
+/// CLI/daemon entry point: reads the journal sidecar, folds its faults
+/// into the store, and resets the journal to header-only on success.
+/// A malformed or mismatched journal header throws StoreError (the
+/// journal must never be folded into the wrong store); a missing journal
+/// is a healthy no-op.
+RefreshStats refresh_store(const Netlist& netlist, const PatternSet& patterns,
+                           const std::string& dir,
+                           const ExecPolicy& exec = {});
+
+}  // namespace mdd::store

@@ -1,0 +1,362 @@
+#include "store/spill.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace mdd::store {
+
+namespace {
+
+constexpr char kSpillMagic[8] = {'M', 'D', 'D', 'C', 'S', 'P', 'L', '1'};
+constexpr std::uint32_t kSpillVersion = 1;
+constexpr std::size_t kSpillHeaderBytes = 48;
+/// u32 payload_bytes + u64 fnv1a(payload) before every record payload.
+constexpr std::size_t kRecordPrefixBytes = 12;
+constexpr std::size_t kMemberBytes = 16;
+/// A record longer than this is structurally impossible for any sane
+/// composite and rejects hostile length fields before allocation.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+
+struct SpillMetrics {
+  obs::Counter& writes = obs::registry().counter("store.spill_writes");
+  obs::Counter& hits = obs::registry().counter("store.spill_hits");
+  obs::Counter& misses = obs::registry().counter("store.spill_misses");
+  obs::Counter& declined = obs::registry().counter("store.spill_declined");
+  obs::Counter& open_failures =
+      obs::registry().counter("store.spill_open_failures");
+  obs::Counter& decode_failures =
+      obs::registry().counter("store.spill_decode_failures");
+  obs::Counter& dropped_records =
+      obs::registry().counter("store.spill_dropped_records");
+  obs::Gauge& entries = obs::registry().gauge("store.spill_entries");
+  obs::Gauge& bytes = obs::registry().gauge("store.spill_bytes");
+};
+
+SpillMetrics& spill_metrics() {
+  static SpillMetrics m;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_spill_header(std::uint64_t netlist_hash,
+                                              std::uint64_t patterns_hash,
+                                              std::uint64_t n_outputs) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kSpillMagic), std::end(kSpillMagic));
+  put_u32(out, kSpillVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, netlist_hash);
+  put_u64(out, patterns_hash);
+  put_u64(out, n_outputs);
+  put_u64(out, 0);  // reserved
+  return out;
+}
+
+/// Full pread of [offset, offset+n); false on I/O error or short file.
+bool pread_exact(int fd, std::uint8_t* buf, std::size_t n,
+                 std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd, buf + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got <= 0) return false;
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, buf + done, n - done);
+    if (put <= 0) return false;
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t CompositeSpill::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = fnv1a_u64(k.window, kFnvOffset);
+  for (const Fault& f : k.members) {
+    h = fnv1a_u64(static_cast<std::uint64_t>(f.kind), h);
+    h = fnv1a_u64(f.net, h);
+    h = fnv1a_u64(f.pin, h);
+    h = fnv1a_u64(f.bridge_net, h);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CompositeSpill::CompositeSpill(std::string path, std::uint64_t netlist_hash,
+                               std::uint64_t patterns_hash,
+                               std::uint64_t n_patterns,
+                               std::uint64_t n_outputs,
+                               std::size_t max_bytes)
+    : path_(std::move(path)),
+      netlist_hash_(netlist_hash),
+      patterns_hash_(patterns_hash),
+      n_patterns_(n_patterns),
+      n_outputs_(n_outputs),
+      max_bytes_(max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    spill_metrics().open_failures.inc();
+    return;
+  }
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+    spill_metrics().open_failures.inc();
+    detach_locked();
+    return;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (size == 0) {
+    const std::vector<std::uint8_t> header =
+        encode_spill_header(netlist_hash_, patterns_hash_, n_outputs_);
+    if (!write_exact(fd_, header.data(), header.size())) {
+      spill_metrics().open_failures.inc();
+      detach_locked();
+      return;
+    }
+    bytes_ = header.size();
+  } else if (!scan_existing_locked(size)) {
+    spill_metrics().open_failures.inc();
+    detach_locked();
+    return;
+  }
+  spill_metrics().entries.add(static_cast<std::int64_t>(index_.size()));
+  spill_metrics().bytes.add(static_cast<std::int64_t>(bytes_));
+}
+
+/// Validates the header and walks the record chain, indexing every record
+/// whose checksum and key decode cleanly. A torn/corrupt tail is cut off
+/// with ftruncate so subsequent appends land on a record boundary. Returns
+/// false only for conditions that make the whole file untrustworthy.
+bool CompositeSpill::scan_existing_locked(std::uint64_t file_size) {
+  if (file_size < kSpillHeaderBytes) return false;
+  std::uint8_t header[kSpillHeaderBytes];
+  if (!pread_exact(fd_, header, sizeof(header), 0)) return false;
+  if (std::memcmp(header, kSpillMagic, sizeof(kSpillMagic)) != 0) return false;
+  if (read_u32(header + 8) != kSpillVersion) return false;
+  if (read_u64(header + 16) != netlist_hash_ ||
+      read_u64(header + 24) != patterns_hash_ ||
+      read_u64(header + 32) != n_outputs_)
+    return false;
+
+  std::uint64_t offset = kSpillHeaderBytes;
+  std::vector<std::uint8_t> payload;
+  while (offset < file_size) {
+    std::uint8_t prefix[kRecordPrefixBytes];
+    if (offset + kRecordPrefixBytes > file_size ||
+        !pread_exact(fd_, prefix, sizeof(prefix), offset))
+      break;  // torn tail
+    const std::uint32_t payload_bytes = read_u32(prefix);
+    const std::uint64_t checksum = read_u64(prefix + 4);
+    if (payload_bytes == 0 || payload_bytes > kMaxPayloadBytes ||
+        offset + kRecordPrefixBytes + payload_bytes > file_size)
+      break;
+    payload.resize(payload_bytes);
+    if (!pread_exact(fd_, payload.data(), payload_bytes,
+                     offset + kRecordPrefixBytes))
+      break;
+    if (fnv1a(payload.data(), payload.size()) != checksum) break;
+    try {
+      const std::uint8_t* p = payload.data();
+      const std::uint8_t* end = p + payload.size();
+      Key key;
+      key.window = get_varint(p, end);
+      const std::uint64_t n_members = get_varint(p, end);
+      if (key.window == 0 || key.window > n_patterns_ || n_members == 0 ||
+          n_members > (static_cast<std::uint64_t>(end - p)) / kMemberBytes)
+        throw StoreError("spill: implausible record key");
+      key.members.reserve(n_members);
+      for (std::uint64_t m = 0; m < n_members; ++m) {
+        const std::uint8_t kind = p[0];
+        if (kind > static_cast<std::uint8_t>(FaultKind::SlowToFall))
+          throw StoreError("spill: unknown member fault kind");
+        Fault f;
+        f.kind = static_cast<FaultKind>(kind);
+        f.net = read_u32(p + 4);
+        f.pin = read_u32(p + 8);
+        f.bridge_net = read_u32(p + 12);
+        key.members.push_back(f);
+        p += kMemberBytes;
+      }
+      Extent ext;
+      ext.offset = offset + kRecordPrefixBytes;
+      ext.payload_bytes = payload_bytes;
+      ext.checksum = checksum;
+      // Last write wins, though put() never duplicates a key itself.
+      index_[std::move(key)] = ext;
+    } catch (const StoreError&) {
+      // An in-place corrupt record with a valid checksum cannot happen by
+      // accident; treat the rest of the file as untrustworthy too.
+      break;
+    }
+    offset += kRecordPrefixBytes + payload_bytes;
+  }
+  if (offset < file_size) {
+    dropped_ = 1;
+    spill_metrics().dropped_records.inc();
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) return false;
+  }
+  bytes_ = offset;
+  return true;
+}
+
+CompositeSpill::~CompositeSpill() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    spill_metrics().entries.add(-static_cast<std::int64_t>(index_.size()));
+    spill_metrics().bytes.add(-static_cast<std::int64_t>(bytes_));
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void CompositeSpill::detach_locked() {
+  if (fd_ >= 0) {
+    spill_metrics().entries.add(-static_cast<std::int64_t>(index_.size()));
+    spill_metrics().bytes.add(-static_cast<std::int64_t>(bytes_));
+    ::close(fd_);
+    fd_ = -1;
+  }
+  index_.clear();
+}
+
+void CompositeSpill::put(std::span<const Fault> members, std::size_t window,
+                         const ErrorSignature& sig) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;  // detached: fail-open no-op
+  Key key;
+  key.members.assign(members.begin(), members.end());
+  key.window = window;
+  if (window == 0 || window > n_patterns_ || members.empty() ||
+      index_.count(key) != 0) {
+    ++declined_;
+    spill_metrics().declined.inc();
+    return;
+  }
+
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, key.window);
+  put_varint(payload, key.members.size());
+  for (const Fault& f : key.members) {
+    payload.push_back(static_cast<std::uint8_t>(f.kind));
+    payload.push_back(0);
+    payload.push_back(0);
+    payload.push_back(0);
+    put_u32(payload, f.net);
+    put_u32(payload, f.pin);
+    put_u32(payload, f.bridge_net);
+  }
+  std::vector<std::uint8_t> postings;
+  const std::size_t n_positions = encode_postings(sig, n_outputs_, postings);
+  put_varint(payload, n_positions);
+  payload.insert(payload.end(), postings.begin(), postings.end());
+
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordPrefixBytes + payload.size());
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64(record, fnv1a(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  if (max_bytes_ != 0 && bytes_ + record.size() > max_bytes_) {
+    ++declined_;
+    spill_metrics().declined.inc();
+    return;
+  }
+  // One write(2) per record to the O_APPEND descriptor: a crash tears at
+  // most this record, and the checksum scan drops it on the next open.
+  if (!write_exact(fd_, record.data(), record.size())) {
+    spill_metrics().open_failures.inc();
+    detach_locked();
+    return;
+  }
+  Extent ext;
+  ext.offset = bytes_ + kRecordPrefixBytes;
+  ext.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  ext.checksum = read_u64(record.data() + 4);
+  bytes_ += record.size();
+  index_[std::move(key)] = ext;
+  ++writes_;
+  spill_metrics().writes.inc();
+  spill_metrics().entries.add(1);
+  spill_metrics().bytes.add(static_cast<std::int64_t>(record.size()));
+}
+
+std::optional<ErrorSignature> CompositeSpill::get(
+    std::span<const Fault> members, std::size_t window) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return std::nullopt;
+  Key key;
+  key.members.assign(members.begin(), members.end());
+  key.window = window;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    spill_metrics().misses.inc();
+    return std::nullopt;
+  }
+  const Extent ext = it->second;
+  std::vector<std::uint8_t> payload(ext.payload_bytes);
+  try {
+    if (!pread_exact(fd_, payload.data(), payload.size(), ext.offset))
+      throw StoreError("spill: cannot read record payload");
+    if (fnv1a(payload.data(), payload.size()) != ext.checksum)
+      throw StoreError("spill: record checksum mismatch");
+    const std::uint8_t* p = payload.data();
+    const std::uint8_t* end = p + payload.size();
+    const std::uint64_t stored_window = get_varint(p, end);
+    const std::uint64_t n_members = get_varint(p, end);
+    if (stored_window != window || n_members != key.members.size() ||
+        n_members > (static_cast<std::uint64_t>(end - p)) / kMemberBytes)
+      throw StoreError("spill: record key mismatch");
+    p += n_members * kMemberBytes;  // members were matched via the index
+    const std::uint64_t n_positions = get_varint(p, end);
+    // Every encoded position is at least one byte.
+    if (n_positions > static_cast<std::uint64_t>(end - p))
+      throw StoreError("spill: implausible position count");
+    ErrorSignature sig = decode_postings(
+        p, end, static_cast<std::uint32_t>(n_positions), window, n_outputs_);
+    if (p != end) throw StoreError("spill: record has trailing bytes");
+    ++hits_;
+    spill_metrics().hits.inc();
+    return sig;
+  } catch (const std::exception&) {
+    // The record passed its checksum at open/put time; a failure here
+    // means the file changed under us — stop trusting all of it.
+    spill_metrics().decode_failures.inc();
+    detach_locked();
+    return std::nullopt;
+  }
+}
+
+SpillStats CompositeSpill::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpillStats s;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.writes = writes_;
+  s.declined = declined_;
+  s.dropped = dropped_;
+  s.detached = fd_ < 0;
+  return s;
+}
+
+bool CompositeSpill::detached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_ < 0;
+}
+
+}  // namespace mdd::store

@@ -1,0 +1,134 @@
+// openmdd — composite-signature spill (disk tier of the CompositeMemo).
+//
+// Solo signatures already survive restarts through the mmap'd `.mdds`
+// store; composite (multiplet) signatures lived only in the bounded
+// in-memory CompositeMemo and evaporated on every restart or eviction.
+// The spill closes that gap: a binary append-only sidecar next to the
+// store file holds one record per composite — the sorted member set, the
+// window it was simulated over, and the delta-varint posting list of its
+// failing (pattern, PO) bits — giving composites the same
+// memory → disk → simulate ladder the SignatureMemo has.
+//
+// Layout (all integers little-endian):
+//
+//   [ 0, 48)  header: magic "MDDCSPL1", u32 version, u32 reserved,
+//             u64 netlist_hash, u64 patterns_hash, u64 n_outputs,
+//             u64 reserved
+//   records:  u32 payload_bytes, u64 fnv1a(payload), payload
+//   payload:  varint window_patterns, varint n_members,
+//             n_members × (u8 kind, 3×u8 pad, u32 net, u32 pin,
+//                          u32 bridge_net),
+//             varint n_positions, delta-varint positions
+//             (`pattern * n_outputs + po`, strictly increasing)
+//
+// Records are written with one write(2) each to an O_APPEND descriptor;
+// a crash tears at most the final record, which the checksummed
+// scan-on-open detects and truncates away. Reads go through pread(2) and
+// re-verify the checksum, so a spill can never serve silently corrupted
+// bits.
+//
+// Fail-open contract: like the journal, the spill is an optimization
+// tier, never a dependency. Open problems (bad header, wrong hashes,
+// I/O errors) detach the instance — puts and gets become counted no-ops;
+// a torn tail is truncated; a record that fails its checksum or decode at
+// get() time detaches. No spill condition ever fails a diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "store/format.hpp"
+
+namespace mdd::store {
+
+/// Aggregate counters of one spill instance (surfaced via /stats).
+struct SpillStats {
+  std::size_t entries = 0;        ///< indexed composite records
+  std::size_t bytes = 0;          ///< current file size
+  std::uint64_t hits = 0;         ///< get() served from disk
+  std::uint64_t misses = 0;       ///< get() with no such key
+  std::uint64_t writes = 0;       ///< put() appended
+  std::uint64_t declined = 0;     ///< put() refused (cap / duplicate)
+  std::uint64_t dropped = 0;      ///< corrupt records discarded at open
+  bool detached = false;
+};
+
+/// Disk tier of the CompositeMemo for one (netlist, patterns) pair.
+/// Keys are (sorted member faults, window_patterns) — exactly the
+/// CompositeKey identity, passed as a span so the store layer stays
+/// independent of the diagnosis layer. All methods are thread-safe and
+/// never throw.
+class CompositeSpill {
+ public:
+  /// Opens (creating if absent) the spill at `path`. A pre-existing file
+  /// is scanned record by record to build the in-memory index; a corrupt
+  /// tail is truncated (dropped records counted); a bad header or
+  /// mismatched content hashes detach the instance. Never throws.
+  CompositeSpill(std::string path, std::uint64_t netlist_hash,
+                 std::uint64_t patterns_hash, std::uint64_t n_patterns,
+                 std::uint64_t n_outputs, std::size_t max_bytes);
+  ~CompositeSpill();
+
+  CompositeSpill(const CompositeSpill&) = delete;
+  CompositeSpill& operator=(const CompositeSpill&) = delete;
+
+  /// Appends (members, window) → sig unless the key is already present,
+  /// the byte cap would be exceeded, or the spill is detached. `members`
+  /// must be sorted (CompositeKey already sorts); `sig` must have shape
+  /// (window, n_outputs).
+  void put(std::span<const Fault> members, std::size_t window,
+           const ErrorSignature& sig);
+
+  /// Reads the signature stored for (members, window), re-verifying the
+  /// record checksum and every decode bound. Any corruption detaches the
+  /// spill and reports a miss.
+  std::optional<ErrorSignature> get(std::span<const Fault> members,
+                                    std::size_t window);
+
+  SpillStats stats() const;
+  bool detached() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Extent {
+    std::uint64_t offset = 0;  ///< of the payload (past the record prefix)
+    std::uint32_t payload_bytes = 0;
+    std::uint64_t checksum = 0;
+  };
+  struct Key {
+    std::vector<Fault> members;
+    std::uint64_t window = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  void detach_locked();  ///< caller holds mutex_
+  bool scan_existing_locked(std::uint64_t file_size);
+
+  const std::string path_;
+  const std::uint64_t netlist_hash_;
+  const std::uint64_t patterns_hash_;
+  const std::uint64_t n_patterns_;
+  const std::uint64_t n_outputs_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;  ///< O_APPEND descriptor; -1 once detached
+  std::uint64_t bytes_ = 0;
+  std::unordered_map<Key, Extent, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t declined_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mdd::store

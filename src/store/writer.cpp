@@ -17,28 +17,6 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Delta-varint encodes the sorted global bit positions of `sig` into
-/// `out`; returns the number of positions written.
-std::size_t encode_postings(const ErrorSignature& sig,
-                            std::uint64_t n_outputs,
-                            std::vector<std::uint8_t>& out) {
-  std::size_t n_positions = 0;
-  std::uint64_t prev = 0;
-  bool first = true;
-  for (std::size_t i = 0; i < sig.n_failing_patterns(); ++i) {
-    const std::uint64_t base =
-        std::uint64_t{sig.failing_patterns()[i]} * n_outputs;
-    for (std::uint32_t po : sig.failing_outputs(i)) {
-      const std::uint64_t pos = base + po;
-      put_varint(out, first ? pos : pos - prev);
-      prev = pos;
-      first = false;
-      ++n_positions;
-    }
-  }
-  return n_positions;
-}
-
 }  // namespace
 
 std::vector<Fault> default_store_universe(const Netlist& netlist,

@@ -218,8 +218,18 @@ Fault parse_fault_spec(std::string_view spec, const Netlist& netlist) {
         site.find_first_not_of("0123456789", dot + 1) == std::string::npos &&
         dot + 1 < site.size() && netlist.find_net(site) == kNoNet) {
       const NetId gate = net_of(site.substr(0, dot));
-      const std::uint32_t pin =
-          static_cast<std::uint32_t>(std::stoul(site.substr(dot + 1)));
+      // Bounded read like read_count: "g1.99999999999999999999" must
+      // fail with the textio: prefix, not escape as raw std::out_of_range.
+      const std::string pin_tok = site.substr(dot + 1);
+      std::uint32_t pin = 0;
+      try {
+        const unsigned long v = std::stoul(pin_tok);
+        if (v > std::numeric_limits<std::uint32_t>::max()) throw
+            std::out_of_range(pin_tok);
+        pin = static_cast<std::uint32_t>(v);
+      } catch (const std::exception&) {
+        fail("branch pin out of range: '" + site + "'");
+      }
       const Fault f = Fault::branch_sa(gate, pin, value);
       validate_fault(f, netlist);
       return f;

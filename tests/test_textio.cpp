@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <typeinfo>
 
 #include "netlist/generator.hpp"
 #include "workload/textio.hpp"
@@ -156,6 +158,30 @@ TEST(FaultSpec, RejectsBadSpecs) {
   // Trailing junk after a valid spec is rejected, not silently dropped.
   EXPECT_THROW(parse_fault_spec("sa0 16 extra", nl), std::runtime_error);
   EXPECT_THROW(parse_fault_spec("dom 10 19 22", nl), std::runtime_error);
+}
+
+TEST(FaultSpec, RejectsHostileBranchPins) {
+  const Netlist nl = make_c17();
+  // A pin number past unsigned-long range used to escape as a raw
+  // std::out_of_range from std::stoul. It must surface as the parser's
+  // own error (std::runtime_error with the "textio:" prefix) — note
+  // out_of_range derives from logic_error, so a raw escape would NOT
+  // satisfy the EXPECT below.
+  const auto expect_parse_error = [&](const std::string& spec) {
+    try {
+      (void)parse_fault_spec(spec, nl);
+      ADD_FAILURE() << "'" << spec << "' parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("textio:", 0), 0u)
+          << "'" << spec << "' threw '" << e.what() << "'";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "'" << spec << "' escaped as " << typeid(e).name()
+                    << ": " << e.what();
+    }
+  };
+  expect_parse_error("sa0 16.99999999999999999999");  // > unsigned long
+  expect_parse_error("sa0 16.4294967296");  // fits unsigned long, > uint32
+  expect_parse_error("sa0 16.18446744073709551617");  // > uint64 wrap bait
 }
 
 }  // namespace

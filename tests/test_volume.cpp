@@ -7,10 +7,12 @@
 // binary because batches spawn their own worker threads).
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "diag/datalog.hpp"
@@ -18,6 +20,7 @@
 #include "fsim/fsim.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generator.hpp"
+#include "server/reorder.hpp"
 #include "server/service.hpp"
 #include "workload/textio.hpp"
 
@@ -142,6 +145,66 @@ TEST(VolumeAggregator, FailedAndUnfilledRecordsAreAccounted) {
   EXPECT_THROW(agg.record(std::move(out_of_range)), std::out_of_range);
 }
 
+TEST(VolumeAggregator, SystematicFractionFloorRoundsUpNotDown) {
+  // 9 diagnosed datalogs at fraction 0.3: the floor is ceil(2.7) = 3.
+  // The old truncating cast gave 2, misclassifying a twice-seen candidate
+  // as systematic.
+  const Fault twice = Fault::stem_sa(5, false);
+  const Fault thrice = Fault::stem_sa(9, true);
+  const Fault filler = Fault::stem_sa(13, false);
+  VolumeOptions options;
+  options.systematic_fraction = 0.3;
+  options.min_recurrences = 2;
+
+  VolumeAggregator agg(9, options);
+  agg.record(make_rec(0, {twice}, {4.0}));
+  agg.record(make_rec(1, {twice}, {4.0}));
+  agg.record(make_rec(2, {thrice}, {4.0}));
+  agg.record(make_rec(3, {thrice}, {4.0}));
+  agg.record(make_rec(4, {thrice}, {4.0}));
+  for (std::size_t i = 5; i < 9; ++i)
+    agg.record(make_rec(i, {filler}, {1.0}));
+
+  const VolumeSummary s = agg.summarize();
+  ASSERT_EQ(s.n_diagnosed, 9u);
+  for (const CandidateRecurrence& r : s.recurrences) {
+    if (r.fault == twice)
+      EXPECT_FALSE(r.systematic) << "2 of 9 is below ceil(0.3*9)=3";
+    if (r.fault == thrice) EXPECT_TRUE(r.systematic);
+  }
+  // Top-suspect classification moves with the corrected floor too: the
+  // two `twice` datalogs are random, not systematic.
+  EXPECT_EQ(s.n_systematic_datalogs, 7u);
+  EXPECT_EQ(s.n_random_datalogs, 2u);
+}
+
+TEST(VolumeAggregator, ExactlyAtFractionThresholdIsSystematic) {
+  // ceil must not overshoot: 0.25 of 8 diagnosed is exactly 2 — an
+  // integral product needs no rounding, and 2 recurrences qualify.
+  const Fault edge = Fault::stem_sa(5, false);
+  const Fault filler = Fault::stem_sa(13, false);
+  VolumeOptions options;
+  options.systematic_fraction = 0.25;
+  options.min_recurrences = 1;
+
+  VolumeAggregator agg(8, options);
+  agg.record(make_rec(0, {edge}, {4.0}));
+  agg.record(make_rec(1, {edge}, {4.0}));
+  for (std::size_t i = 2; i < 8; ++i)
+    agg.record(make_rec(i, {filler}, {1.0}));
+
+  const VolumeSummary s = agg.summarize();
+  ASSERT_EQ(s.n_diagnosed, 8u);
+  bool saw_edge = false;
+  for (const CandidateRecurrence& r : s.recurrences) {
+    if (r.fault == edge) {
+      saw_edge = true;
+      EXPECT_TRUE(r.systematic) << "exactly fraction*diagnosed qualifies";
+    }
+  }
+  EXPECT_TRUE(saw_edge);
+}
+
 TEST(VolumeAggregator, BridgeFaultsHitBothNets) {
   const Fault bridge = Fault::bridge_dom(6, 13);
   VolumeAggregator agg(1);
@@ -150,6 +213,68 @@ TEST(VolumeAggregator, BridgeFaultsHitBothNets) {
   ASSERT_EQ(s.net_hits.size(), 2u);
   EXPECT_EQ(s.net_hits[0], (std::pair<NetId, std::size_t>{6, 1}));
   EXPECT_EQ(s.net_hits[1], (std::pair<NetId, std::size_t>{13, 1}));
+}
+
+Json indexed_item(std::size_t i) {
+  Json item;
+  item.set("index", static_cast<double>(i));
+  return item;
+}
+
+TEST(ReorderBuffer, WorstCaseScheduleEmitsInOrderWithBoundedPeak) {
+  // The pathological schedule: item 0 finishes LAST. Nothing may reach
+  // the sink until it lands, then the whole batch drains in index order,
+  // and the high-water mark records that 8 items were buffered at once.
+  constexpr std::size_t kN = 8;
+  std::vector<std::size_t> emitted;
+  ReorderBuffer buffer(kN, [&](const Json& item) {
+    emitted.push_back(static_cast<std::size_t>(item.get_number("index")));
+  });
+  for (std::size_t i = kN - 1; i >= 1; --i) {
+    buffer.publish(i, indexed_item(i));
+    EXPECT_TRUE(emitted.empty()) << "nothing may emit before index 0";
+  }
+  EXPECT_EQ(buffer.high_water(), kN - 1);
+  buffer.publish(0, indexed_item(0));
+  ASSERT_EQ(emitted.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(emitted[i], i);
+  EXPECT_EQ(buffer.high_water(), kN);
+
+  // Duplicate and out-of-range publishes are dropped, not re-emitted.
+  buffer.publish(3, indexed_item(3));
+  buffer.publish(kN + 5, indexed_item(kN + 5));
+  EXPECT_EQ(emitted.size(), kN);
+}
+
+TEST(ReorderBuffer, ConcurrentPublishersStillEmitStrictIndexOrder) {
+  constexpr std::size_t kN = 16;
+  std::vector<std::size_t> emitted;
+  ReorderBuffer buffer(kN, [&](const Json& item) {
+    // The sink runs under the buffer's mutex: no extra lock needed.
+    emitted.push_back(static_cast<std::size_t>(item.get_number("index")));
+  });
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < kN; ++i)
+    workers.emplace_back(
+        [&buffer, i] { buffer.publish(i, indexed_item(i)); });
+  for (std::thread& t : workers) t.join();
+
+  ASSERT_EQ(emitted.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(emitted[i], i) << "stream order must be index order";
+  EXPECT_GE(buffer.high_water(), 1u);
+  EXPECT_LE(buffer.high_water(), kN) << "buffering is bounded by the batch";
+}
+
+TEST(ReorderBuffer, NullSinkCollectsForTheInlineResponse) {
+  constexpr std::size_t kN = 4;
+  ReorderBuffer buffer(kN, nullptr);
+  for (std::size_t i = kN; i-- > 0;) buffer.publish(i, indexed_item(i));
+  EXPECT_EQ(buffer.high_water(), kN) << "nothing drains without a sink";
+  const std::vector<Json> items = buffer.take_items();
+  ASSERT_EQ(items.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(static_cast<std::size_t>(items[i].get_number("index")), i);
 }
 
 /// One circuit + pattern set on disk plus three datalogs (distinct
@@ -297,6 +422,10 @@ TEST(DiagnoseBatch, StreamedItemsArriveInOrderAndMatchInlineResults) {
   EXPECT_TRUE(response.get_bool("results_streamed"));
   EXPECT_EQ(response.find("results"), nullptr)
       << "streamed batches must not duplicate items in the final response";
+  const double high_water = response.get_number("reorder_high_water", -1);
+  EXPECT_GE(high_water, 1.0);
+  EXPECT_LE(high_water, static_cast<double>(f.datalog_texts.size()))
+      << "reorder buffering is bounded by the batch size";
 
   ASSERT_EQ(streamed.size(), f.datalog_texts.size());
   for (std::size_t i = 0; i < streamed.size(); ++i) {
@@ -389,6 +518,49 @@ TEST(DiagnoseBatch, DatalogDirMatchesExplicitFileList) {
   ASSERT_EQ(b.get_string("status"), "ok");
   EXPECT_EQ(a.find("results")->dump(), b.find("results")->dump());
   EXPECT_EQ(a.find("volume")->dump(), b.find("volume")->dump());
+}
+
+TEST(DiagnoseBatch, DatalogDirOrderIsByteWiseNotLocaleCollated) {
+  // Two batches over the same directory must enumerate identically on
+  // every machine: the scan sorts file names byte-wise, so "B" (0x42)
+  // precedes "a" (0x61) even under a case-folding locale collation that
+  // would say a < B.
+  const BatchFixture f = BatchFixture::make("locale", 2);
+  const char* saved = std::setlocale(LC_COLLATE, nullptr);
+  const std::string previous = saved != nullptr ? saved : "C";
+  std::setlocale(LC_COLLATE, "en_US.UTF-8");  // absent locale: no-op
+  const std::string dir = ::testing::TempDir() + "vol_locale_corpus";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/B_upper.datalog") << f.datalog_texts[0];
+  std::ofstream(dir + "/a_lower.datalog") << f.datalog_texts[1];
+
+  Json request;
+  request.set("op", "diagnose_batch");
+  request.set("netlist", f.netlist_path);
+  request.set("patterns", f.patterns_path);
+  request.set("datalog_dir", dir);
+  request.set("method", "single");
+  request.set("threads", 1);
+
+  DiagnosisService service;
+  const Json response = service.handle(request);
+  std::setlocale(LC_COLLATE, previous.c_str());
+  ASSERT_EQ(response.get_string("status"), "ok") << response.dump();
+
+  const JsonArray& results = response.find("results")->as_array();
+  ASSERT_EQ(results.size(), 2u);
+  const std::string first = results[0].get_string("datalog_file");
+  const std::string second = results[1].get_string("datalog_file");
+  EXPECT_NE(first.find("B_upper"), std::string::npos)
+      << "'B' (0x42) must sort before 'a' (0x61): got " << first;
+  EXPECT_NE(second.find("a_lower"), std::string::npos);
+
+  // And the items carry the RIGHT diagnosis for each file, not just the
+  // right names: compare to single requests on the same texts.
+  const std::vector<std::string> singles = sequential_single_reports(f);
+  EXPECT_EQ(results[0].find("reports")->dump(), singles[0]);
+  EXPECT_EQ(results[1].find("reports")->dump(), singles[1]);
 }
 
 TEST(DiagnoseBatch, ValidatesInputsBeforeTouchingTheSession) {
