@@ -6,6 +6,6 @@
 
 namespace mdd {
 
-inline constexpr std::string_view kVersion = "0.6.0";
+inline constexpr std::string_view kVersion = "0.7.0";
 
 }  // namespace mdd

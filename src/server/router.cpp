@@ -1,0 +1,920 @@
+#include "server/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/version.hpp"
+#include "obs/metrics.hpp"
+#include "server/serve.hpp"
+
+namespace mdd::server {
+
+namespace {
+
+struct RouterMetrics {
+  obs::Counter& connections = obs::registry().counter("router.connections");
+  obs::Counter& requests_routed =
+      obs::registry().counter("router.requests_routed");
+  /// Typed shard_failed responses synthesized for requests whose worker
+  /// died (or never came back) — the lines a hung connection would have
+  /// swallowed.
+  obs::Counter& shard_failures =
+      obs::registry().counter("router.shard_failures");
+  obs::Counter& respawns = obs::registry().counter("router.respawns");
+  obs::Counter& heartbeat_kills =
+      obs::registry().counter("router.heartbeat_kills");
+  obs::Counter& parse_errors = obs::registry().counter("router.parse_errors");
+};
+
+RouterMetrics& router_metrics() {
+  static RouterMetrics m;
+  return m;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: the bit mixer behind the rendezvous weights.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool blank(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+const char* state_name(int state) {
+  switch (state) {
+    case 0: return "down";
+    case 1: return "starting";
+    default: return "live";
+  }
+}
+
+std::string shard_failed_line(const Json* id, std::size_t shard) {
+  Json r;
+  if (id != nullptr) r.set("id", *id);
+  r.set("status", "error");
+  r.set("error", "shard_failed");
+  r.set("shard", shard);
+  return r.dump();
+}
+
+Json local_error(const Json& request, const std::string& what) {
+  Json r;
+  if (const Json* id = request.find("id")) r.set("id", *id);
+  r.set("status", "error");
+  r.set("error", what);
+  return r;
+}
+
+/// Field-wise sum of worker stats objects: numbers add, objects recurse
+/// (union, first-seen key order), everything else keeps the first shard's
+/// value (version strings, store dirs, bools).
+void merge_sum(Json& acc, const Json& add) {
+  if (acc.is_null()) {  // first shard seeds the aggregate
+    acc = add;
+    return;
+  }
+  if (acc.is_number() && add.is_number()) {
+    acc = Json(acc.as_number() + add.as_number());
+    return;
+  }
+  if (acc.is_object() && add.is_object()) {
+    for (const auto& [key, value] : add.as_object()) {
+      if (const Json* have = acc.find(key)) {
+        Json merged = *have;
+        merge_sum(merged, value);
+        acc.set(key, std::move(merged));
+      } else {
+        acc.set(key, value);
+      }
+    }
+  }
+}
+
+/// One ping over a fresh connection: true iff the worker answered within
+/// `reply_ms`. Workers answer pings on their reader thread, so a shard
+/// that is merely saturated with diagnosis work still passes.
+bool probe_shard(const std::string& path, int connect_ms, int reply_ms) {
+  try {
+    UdsLineClient probe(path, connect_ms);
+    probe.send_line("{\"op\":\"ping\"}");
+    return probe.recv_line_for(reply_ms).has_value();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// The router side of one client connection: serialized verbatim writes
+/// with a sticky failure latch (a client that hung up stops costing us
+/// write attempts but never throws into a pump thread).
+struct ClientConn {
+  explicit ClientConn(int fd) : link(fd) {}
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (write_failed) return;
+    try {
+      link.send_line(line);
+    } catch (const std::exception&) {
+      write_failed = true;
+    }
+  }
+
+  LineClient link;
+  std::mutex write_mutex;
+  bool write_failed = false;
+};
+
+struct InflightEntry {
+  Json id;            ///< the request's `id` value, echoed in failures
+  bool has_id = false;
+  std::size_t count = 0;  ///< same id may be in flight more than once
+};
+
+/// One upstream worker connection owned by one client connection; the
+/// pump thread forwards worker lines verbatim and synthesizes typed
+/// shard_failed responses if the worker dies with requests in flight.
+struct Upstream {
+  std::size_t shard = 0;
+  std::uint64_t generation = 0;
+  std::unique_ptr<LineClient> link;
+  std::mutex send_mutex;
+
+  std::mutex inflight_mutex;
+  std::unordered_map<std::string, InflightEntry> inflight;  ///< key=id dump
+  bool drained = false;  ///< pump exited; no further registrations
+  std::thread pump;
+};
+
+constexpr char kAnonKey[] = "\x01anon";  ///< requests without an `id`
+
+void pump_main(Upstream* up, ClientConn* conn) {
+  for (;;) {
+    std::string line;
+    try {
+      line = up->link->recv_line();
+    } catch (const std::exception&) {
+      break;  // worker hung up (exit, kill, or shutdown)
+    }
+    // A line is FINAL for its id unless it is a streamed batch item; the
+    // line itself is forwarded untouched either way (byte identity).
+    bool is_final = true;
+    std::string key = kAnonKey;
+    try {
+      const Json response = Json::parse(line);
+      is_final = response.get_string("op") != "diagnose_batch_item";
+      if (const Json* id = response.find("id")) key = id->dump();
+    } catch (const std::exception&) {
+    }
+    conn->write_line(line);
+    if (is_final) {
+      std::lock_guard<std::mutex> lock(up->inflight_mutex);
+      const auto it = up->inflight.find(key);
+      if (it != up->inflight.end() && --it->second.count == 0)
+        up->inflight.erase(it);
+    }
+  }
+  // Worker gone: every request still in flight gets a typed error line
+  // instead of a hung connection.
+  std::vector<std::string> failures;
+  {
+    std::lock_guard<std::mutex> lock(up->inflight_mutex);
+    up->drained = true;
+    for (const auto& [key, entry] : up->inflight)
+      for (std::size_t k = 0; k < entry.count; ++k)
+        failures.push_back(shard_failed_line(
+            entry.has_id ? &entry.id : nullptr, up->shard));
+    up->inflight.clear();
+  }
+  for (const std::string& failure : failures) {
+    router_metrics().shard_failures.inc();
+    conn->write_line(failure);
+  }
+}
+
+/// Wakes the pump (shutdown unblocks a blocked read) and joins it.
+void retire_upstream(std::unique_ptr<Upstream> up) {
+  if (up->link) ::shutdown(up->link->fd(), SHUT_RDWR);
+  if (up->pump.joinable()) up->pump.join();
+}
+
+}  // namespace
+
+std::size_t pick_shard(std::string_view key, std::size_t n_shards) {
+  if (n_shards <= 1) return 0;
+  const std::uint64_t key_hash = fnv1a64(key);
+  std::size_t best = 0;
+  std::uint64_t best_weight = 0;
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const std::uint64_t weight =
+        mix64(key_hash ^ mix64(static_cast<std::uint64_t>(i) + 1));
+    if (i == 0 || weight > best_weight) {
+      best = i;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+ShardRouter::ShardRouter(RouterOptions options, std::ostream& log)
+    : options_(std::move(options)), log_(log) {}
+
+ShardRouter::~ShardRouter() { shutdown_workers(); }
+
+void ShardRouter::log_event(const Json& record) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_ << record.dump() << "\n";
+  log_.flush();
+}
+
+void ShardRouter::spawn_locked(Shard& shard) {
+  std::vector<std::string> args = options_.worker_argv;
+  args.push_back("--uds");
+  args.push_back(shard.socket_path);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const auto now = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child of a threaded parent: only async-signal-safe calls before
+    // exec. Every daemon fd is CLOEXEC, so the worker starts clean.
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  if (pid < 0) {
+    shard.state = Shard::State::down;
+    shard.respawn_after =
+        now + std::chrono::milliseconds(shard.backoff_ms);
+    Json record;
+    record.set("event", "shard_spawn_failed");
+    record.set("shard", shard.index);
+    record.set("error", std::strerror(errno));
+    log_event(record);
+    return;
+  }
+  ++shard.generation;
+  if (shard.generation > 1) {
+    ++shard.respawns;
+    router_metrics().respawns.inc();
+  }
+  shard.pid = pid;
+  shard.state = Shard::State::starting;
+  shard.spawned_at = now;
+  shard.missed_beats = 0;
+  Json record;
+  record.set("event", "shard_spawn");
+  record.set("shard", shard.index);
+  record.set("pid", pid);
+  record.set("generation", shard.generation);
+  log_event(record);
+}
+
+void ShardRouter::start() {
+  if (options_.n_shards == 0)
+    throw std::runtime_error("router: need at least one shard");
+  if (options_.worker_argv.empty())
+    throw std::runtime_error("router: empty worker command line");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.resize(options_.n_shards);
+    for (std::size_t i = 0; i < options_.n_shards; ++i) {
+      Shard& shard = shards_[i];
+      shard.index = i;
+      shard.socket_path =
+          options_.socket_dir + "/shard-" + std::to_string(i) + ".sock";
+      if (shard.socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+        throw std::runtime_error("router: socket path too long: " +
+                                 shard.socket_path);
+      shard.backoff_ms = options_.respawn_backoff_ms;
+      spawn_locked(shard);
+    }
+  }
+  supervisor_ = std::thread([this] { supervise(); });
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.ready_timeout_ms + 5000);
+  const auto all_live = [this] {
+    return std::all_of(shards_.begin(), shards_.end(), [](const Shard& s) {
+      return s.state == Shard::State::live;
+    });
+  };
+  state_cv_.wait_until(lock, deadline,
+                       [&] { return stopping_ || all_live(); });
+  if (!all_live())
+    throw std::runtime_error("router: shard workers failed to become ready");
+}
+
+void ShardRouter::supervise() {
+  using Clock = std::chrono::steady_clock;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto now = Clock::now();
+
+    // Reap exits. A worker that died is respawned after its backoff;
+    // crash-looping (death within 2s of readiness, or before it) doubles
+    // the backoff up to 5s so a broken binary cannot busy-spin the box.
+    for (Shard& shard : shards_) {
+      if (shard.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(shard.pid, &status, WNOHANG) != shard.pid) continue;
+      const bool early_death =
+          shard.state != Shard::State::live ||
+          now - shard.ready_at < std::chrono::seconds(2);
+      shard.backoff_ms =
+          early_death ? std::min(shard.backoff_ms * 2, 5000)
+                      : options_.respawn_backoff_ms;
+      Json record;
+      record.set("event", "shard_exit");
+      record.set("shard", shard.index);
+      record.set("pid", shard.pid);
+      record.set("exit_status", status);
+      record.set("backoff_ms", shard.backoff_ms);
+      log_event(record);
+      shard.pid = -1;
+      shard.state = Shard::State::down;
+      shard.respawn_after =
+          now + std::chrono::milliseconds(shard.backoff_ms);
+      state_cv_.notify_all();
+    }
+
+    for (Shard& shard : shards_)
+      if (shard.state == Shard::State::down && shard.pid < 0 &&
+          now >= shard.respawn_after)
+        spawn_locked(shard);
+
+    // Probes run outside the lock (they block on sockets). Results are
+    // applied only if the shard's generation is unchanged — a shard that
+    // died and respawned mid-probe must not inherit a stale verdict.
+    struct Probe {
+      std::size_t index;
+      std::string path;
+      std::uint64_t generation;
+      pid_t pid;
+      bool readiness;  ///< else heartbeat
+    };
+    std::vector<Probe> probes;
+    for (Shard& shard : shards_) {
+      if (shard.state == Shard::State::starting) {
+        probes.push_back({shard.index, shard.socket_path, shard.generation,
+                          shard.pid, true});
+      } else if (shard.state == Shard::State::live &&
+                 options_.heartbeat_ms > 0 && now >= shard.next_beat) {
+        probes.push_back({shard.index, shard.socket_path, shard.generation,
+                          shard.pid, false});
+      }
+    }
+    lock.unlock();
+    std::vector<std::pair<Probe, bool>> verdicts;
+    verdicts.reserve(probes.size());
+    for (const Probe& probe : probes) {
+      const bool ok =
+          probe.readiness
+              ? probe_shard(probe.path, /*connect_ms=*/100, /*reply_ms=*/1000)
+              : probe_shard(probe.path, /*connect_ms=*/1000,
+                            std::max(1000, options_.heartbeat_ms));
+      verdicts.emplace_back(probe, ok);
+    }
+    lock.lock();
+    const auto after = Clock::now();
+    for (const auto& [probe, ok] : verdicts) {
+      Shard& shard = shards_[probe.index];
+      if (shard.generation != probe.generation) continue;
+      if (probe.readiness) {
+        if (shard.state != Shard::State::starting) continue;
+        if (ok) {
+          shard.state = Shard::State::live;
+          shard.ready_at = after;
+          shard.missed_beats = 0;
+          shard.next_beat =
+              after + std::chrono::milliseconds(options_.heartbeat_ms);
+          state_cv_.notify_all();
+          Json record;
+          record.set("event", "shard_ready");
+          record.set("shard", shard.index);
+          record.set("pid", shard.pid);
+          record.set("generation", shard.generation);
+          log_event(record);
+        } else if (after - shard.spawned_at >
+                   std::chrono::milliseconds(options_.ready_timeout_ms)) {
+          ::kill(probe.pid, SIGKILL);  // reaped (and respawned) next tick
+          Json record;
+          record.set("event", "shard_ready_timeout");
+          record.set("shard", shard.index);
+          record.set("pid", probe.pid);
+          log_event(record);
+        }
+      } else {
+        if (shard.state != Shard::State::live) continue;
+        if (ok) {
+          shard.missed_beats = 0;
+          shard.next_beat =
+              after + std::chrono::milliseconds(options_.heartbeat_ms);
+        } else if (++shard.missed_beats >= 2) {
+          // Two silent heartbeats: the process is wedged (pings bypass
+          // the work queue, so load alone cannot trip this).
+          router_metrics().heartbeat_kills.inc();
+          ::kill(probe.pid, SIGKILL);
+          Json record;
+          record.set("event", "shard_heartbeat_kill");
+          record.set("shard", shard.index);
+          record.set("pid", probe.pid);
+          log_event(record);
+        } else {
+          shard.next_beat = after;  // re-probe on the next tick
+        }
+      }
+    }
+    state_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+std::optional<std::uint64_t> ShardRouter::wait_live(std::size_t shard) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.route_wait_ms);
+  Shard& s = shards_[shard];
+  for (;;) {
+    if (s.state == Shard::State::live) return s.generation;
+    if (stopping_) return std::nullopt;
+    if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (s.state == Shard::State::live) return s.generation;
+      return std::nullopt;
+    }
+  }
+}
+
+Json ShardRouter::aggregate_stats() {
+  struct ShardView {
+    std::size_t index;
+    std::string path;
+    int state;
+    pid_t pid;
+    std::uint64_t generation;
+    std::uint64_t respawns;
+  };
+  std::vector<ShardView> views;
+  std::uint64_t total_respawns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Shard& s : shards_) {
+      views.push_back({s.index, s.socket_path, static_cast<int>(s.state),
+                       s.pid, s.generation, s.respawns});
+      total_respawns += s.respawns;
+    }
+  }
+
+  Json aggregate;
+  JsonArray per_shard;
+  std::size_t live = 0;
+  for (const ShardView& view : views) {
+    Json entry;
+    entry.set("shard", view.index);
+    entry.set("state", state_name(view.state));
+    entry.set("pid", view.pid);
+    entry.set("generation", view.generation);
+    entry.set("respawns", view.respawns);
+    if (view.state == 2) {
+      ++live;
+      try {
+        UdsLineClient client(view.path, 1000);
+        client.send_line("{\"op\":\"stats\"}");
+        if (const auto line = client.recv_line_for(10000)) {
+          const Json response = Json::parse(*line);
+          if (const Json* stats = response.find("stats")) {
+            merge_sum(aggregate, *stats);
+            entry.set("stats", *stats);
+          }
+        }
+      } catch (const std::exception&) {
+        // Worker died between the snapshot and the scrape: the shards
+        // array still reports it, minus a stats object.
+      }
+    }
+    per_shard.push_back(std::move(entry));
+  }
+
+  Json router;
+  router.set("shards", views.size());
+  router.set("live", live);
+  router.set("respawns", total_respawns);
+  router.set("heartbeat_kills", router_metrics().heartbeat_kills.value());
+  router.set("shard_failures", router_metrics().shard_failures.value());
+  aggregate.set("shards", std::move(per_shard));
+  aggregate.set("router", std::move(router));
+  return aggregate;
+}
+
+std::string ShardRouter::prometheus_text() {
+  std::vector<std::pair<std::size_t, std::string>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Shard& s : shards_)
+      if (s.state == Shard::State::live)
+        live.emplace_back(s.index, s.socket_path);
+  }
+  std::vector<std::pair<std::string, std::string>> labeled;
+  for (const auto& [index, path] : live) {
+    try {
+      UdsLineClient client(path, 1000);
+      client.send_line("{\"op\":\"prometheus\"}");
+      if (const auto line = client.recv_line_for(10000)) {
+        const Json response = Json::parse(*line);
+        labeled.emplace_back(std::to_string(index),
+                             response.get_string("text"));
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  labeled.emplace_back("router",
+                       obs::render_prometheus(obs::registry().snapshot()));
+  return obs::merge_prometheus(labeled, "shard");
+}
+
+void ShardRouter::shutdown_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_down_) return;
+    workers_down_ = true;
+    stopping_ = true;
+    state_cv_.notify_all();
+  }
+  if (supervisor_.joinable()) supervisor_.join();
+
+  struct Target {
+    pid_t pid;
+    std::string path;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard& s : shards_) {
+      if (s.pid > 0) targets.push_back({s.pid, s.socket_path});
+      s.pid = -1;
+      s.state = Shard::State::down;
+    }
+  }
+  for (const Target& target : targets) {
+    try {
+      // Graceful first: the worker drains its queue and acknowledges.
+      UdsLineClient client(target.path, 500);
+      client.send_line("{\"op\":\"shutdown\"}");
+      client.recv_line_for(5000);
+    } catch (const std::exception&) {
+    }
+    bool reaped = false;
+    for (int i = 0; i < 100 && !reaped; ++i) {
+      if (::waitpid(target.pid, nullptr, WNOHANG) == target.pid)
+        reaped = true;
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!reaped) {
+      ::kill(target.pid, SIGKILL);
+      ::waitpid(target.pid, nullptr, 0);
+    }
+    ::unlink(target.path.c_str());
+  }
+}
+
+void ShardRouter::handle_connection(int fd, std::atomic<bool>& stop) {
+  router_metrics().connections.inc();
+  ClientConn conn(fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.insert(fd);
+  }
+  // Upstream worker connections, one per shard this client has touched.
+  // Owned (created, replaced, retired) by this reader thread only; pump
+  // threads hold raw pointers that stay valid until the retire join.
+  std::map<std::size_t, std::unique_ptr<Upstream>> upstreams;
+
+  const auto route = [&](const std::string& raw, const Json& request,
+                         std::size_t shard) {
+    const Json* id = request.find("id");
+    const auto fail = [&] {
+      router_metrics().shard_failures.inc();
+      conn.write_line(shard_failed_line(id, shard));
+    };
+    const std::optional<std::uint64_t> generation = wait_live(shard);
+    if (!generation) {
+      fail();
+      return;
+    }
+    auto it = upstreams.find(shard);
+    if (it != upstreams.end()) {
+      bool stale = it->second->generation != *generation;
+      if (!stale) {
+        std::lock_guard<std::mutex> lock(it->second->inflight_mutex);
+        stale = it->second->drained;
+      }
+      if (stale) {
+        retire_upstream(std::move(it->second));
+        upstreams.erase(it);
+        it = upstreams.end();
+      }
+    }
+    if (it == upstreams.end()) {
+      std::string path;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path = shards_[shard].socket_path;
+      }
+      auto up = std::make_unique<Upstream>();
+      up->shard = shard;
+      up->generation = *generation;
+      try {
+        up->link = std::make_unique<LineClient>(connect_uds_fd(path, 2000));
+      } catch (const std::exception&) {
+        fail();
+        return;
+      }
+      Upstream* raw_up = up.get();
+      up->pump = std::thread([raw_up, &conn] { pump_main(raw_up, &conn); });
+      it = upstreams.emplace(shard, std::move(up)).first;
+    }
+    Upstream* up = it->second.get();
+    {
+      std::lock_guard<std::mutex> lock(up->inflight_mutex);
+      if (up->drained) {
+        fail();
+        return;
+      }
+      InflightEntry& entry =
+          up->inflight[id != nullptr ? id->dump() : kAnonKey];
+      if (entry.count == 0 && id != nullptr) {
+        entry.id = *id;
+        entry.has_id = true;
+      }
+      ++entry.count;
+    }
+    try {
+      std::lock_guard<std::mutex> lock(up->send_mutex);
+      up->link->send_line(raw);
+      router_metrics().requests_routed.inc();
+    } catch (const std::exception&) {
+      // Worker died mid-send: the pump's EOF path answers the id.
+    }
+  };
+
+  bool shutdown_server = false;
+  for (;;) {
+    std::string line;
+    try {
+      line = conn.link.recv_line();
+    } catch (const std::exception&) {
+      break;  // client hung up (or a shutdown elsewhere woke us)
+    }
+    if (blank(line)) continue;
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const std::exception& e) {
+      router_metrics().parse_errors.inc();
+      Json r;
+      r.set("status", "error");
+      r.set("error", e.what());
+      conn.write_line(r.dump());
+      continue;
+    }
+    const std::string op = request.get_string("op", "diagnose");
+
+    if (op == "shutdown") {
+      // Drain this connection's in-flight work (matching single-process
+      // semantics: shutdown answers after outstanding requests do).
+      const auto drain_deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(30);
+      for (auto& [shard, up] : upstreams) {
+        for (;;) {
+          {
+            std::lock_guard<std::mutex> lock(up->inflight_mutex);
+            if (up->inflight.empty() || up->drained) break;
+          }
+          if (std::chrono::steady_clock::now() >= drain_deadline) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      for (auto& [shard, up] : upstreams) retire_upstream(std::move(up));
+      upstreams.clear();
+      // Wake every other client connection so its upstreams close —
+      // workers join their connection threads before exiting.
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (const int other : conn_fds_)
+          if (other != fd) ::shutdown(other, SHUT_RD);
+      }
+      {
+        std::unique_lock<std::mutex> lock(conns_mutex_);
+        conns_cv_.wait_for(lock, std::chrono::seconds(10),
+                           [&] { return conn_fds_.size() <= 1; });
+      }
+      shutdown_workers();
+      Json ack;
+      if (const Json* id = request.find("id")) ack.set("id", *id);
+      ack.set("status", "ok");
+      ack.set("op", "shutdown");
+      conn.write_line(ack.dump());
+      shutdown_server = true;
+      break;
+    }
+    if (op == "ping") {
+      Json r;
+      if (const Json* id = request.find("id")) r.set("id", *id);
+      r.set("status", "ok");
+      r.set("op", "ping");
+      r.set("version", kVersion);
+      Json router;
+      std::size_t live = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const Shard& s : shards_)
+          if (s.state == Shard::State::live) ++live;
+      }
+      router.set("shards", options_.n_shards);
+      router.set("live", live);
+      r.set("router", std::move(router));
+      conn.write_line(r.dump());
+      continue;
+    }
+    if (op == "stats") {
+      Json r;
+      if (const Json* id = request.find("id")) r.set("id", *id);
+      r.set("status", "ok");
+      r.set("op", "stats");
+      r.set("stats", aggregate_stats());
+      conn.write_line(r.dump());
+      continue;
+    }
+    if (op == "prometheus") {
+      Json r;
+      if (const Json* id = request.find("id")) r.set("id", *id);
+      r.set("status", "ok");
+      r.set("op", "prometheus");
+      r.set("text", prometheus_text());
+      conn.write_line(r.dump());
+      continue;
+    }
+    if (op == "shard_of") {
+      const std::string netlist = request.get_string("netlist");
+      const std::string patterns = request.get_string("patterns");
+      if (netlist.empty() || patterns.empty()) {
+        conn.write_line(
+            local_error(request, "shard_of requires netlist and patterns")
+                .dump());
+        continue;
+      }
+      const std::size_t shard =
+          pick_shard(netlist + "\n" + patterns, options_.n_shards);
+      Json r;
+      if (const Json* id = request.find("id")) r.set("id", *id);
+      r.set("status", "ok");
+      r.set("op", "shard_of");
+      r.set("shard", shard);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const Shard& s = shards_[shard];
+        r.set("pid", s.pid);
+        r.set("state", state_name(static_cast<int>(s.state)));
+        r.set("generation", s.generation);
+      }
+      conn.write_line(r.dump());
+      continue;
+    }
+
+    // Everything else rides the session placement: requests that name a
+    // (netlist, patterns) pair go to their session's shard; keyless ones
+    // (sleep without paths, metrics, unknown ops) round-robin.
+    const std::string netlist = request.get_string("netlist");
+    const std::string patterns = request.get_string("patterns");
+    const std::size_t shard =
+        (!netlist.empty() && !patterns.empty())
+            ? pick_shard(netlist + "\n" + patterns, options_.n_shards)
+            : rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                  options_.n_shards;
+    route(line, request, shard);
+  }
+
+  for (auto& [shard, up] : upstreams) retire_upstream(std::move(up));
+  upstreams.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.erase(fd);
+  }
+  conns_cv_.notify_all();
+  if (shutdown_server) {
+    stop.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+}
+
+int ShardRouter::serve_tcp(
+    std::uint16_t port, const std::function<void(std::uint16_t)>& on_listening) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    log_ << "openmdd_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    log_ << "openmdd_serve: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  listen_fd_ = listen_fd;
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  const std::uint16_t bound_port = ntohs(addr.sin_port);
+  {
+    Json record;
+    record.set("event", "router_listening");
+    record.set("port", bound_port);
+    record.set("shards", options_.n_shards);
+    log_event(record);
+  }
+  if (on_listening) on_listening(bound_port);
+
+  std::atomic<bool> stop{false};
+  std::mutex threads_mutex;
+  std::vector<std::thread> threads;
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (shutdown) or fatal
+    }
+    if (stop.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    threads.emplace_back(
+        [this, &stop](int cfd) {
+          try {
+            handle_connection(cfd, stop);
+          } catch (const std::exception& e) {
+            Json record;
+            record.set("event", "router_connection_error");
+            record.set("fd", cfd);
+            record.set("error", e.what());
+            log_event(record);
+            // The fd itself was closed by ClientConn's unwind; only the
+            // registry entry may be left behind.
+            {
+              std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+              conn_fds_.erase(cfd);
+            }
+            conns_cv_.notify_all();
+          }
+        },
+        fd);
+  }
+  ::close(listen_fd);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+  }
+  shutdown_workers();
+  log_ << "openmdd_serve: router shut down\n";
+  return 0;
+}
+
+}  // namespace mdd::server

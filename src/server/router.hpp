@@ -1,0 +1,161 @@
+// openmdd — sharded multi-session serving: the crash-recovering router.
+//
+// The diagnosis flow is embarrassingly partitionable by the
+// (netlist, patterns) pair — every session, memo, store file, and
+// journal is already keyed by that content-hash pair — so the router
+// scales the daemon past one process by placing each session on one of
+// N forked worker processes and speaking plain JSONL to all of them:
+//
+//   client ── TCP ──► router ── unix sockets ──► worker 0..N-1
+//                       │                          (openmdd_serve --uds)
+//                       └─ supervisor: waitpid + heartbeat + respawn
+//
+// Placement is rendezvous (highest-random-weight) hashing of the session
+// key over ALL shard indices, independent of liveness: a shard that dies
+// and respawns is re-admitted with exactly its old sessions, which it
+// cold-starts from the shared --store-dir. Responses stream back
+// VERBATIM — the router never re-serializes a worker line, so routed
+// responses are byte-identical to a single-process daemon's (including
+// `diagnose_batch` item streams, whose in-order emission the worker's
+// ReorderBuffer already guarantees).
+//
+// Robustness contract:
+//  * worker exit (crash, OOM-kill) is detected by waitpid; every request
+//    in flight on that shard is answered with a typed
+//    {"status":"error","error":"shard_failed","shard":k} line instead of
+//    a hung connection, and the shard respawns with capped backoff;
+//  * worker hang is detected by heartbeat pings (answered on the
+//    worker's reader thread, so a busy queue never looks like a hang)
+//    and cured with SIGKILL + respawn;
+//  * `op=stats` fans out and returns the field-wise sum plus a
+//    per-shard breakdown; the Prometheus exposition merges worker
+//    registries under a `shard` label (obs::merge_prometheus);
+//  * store refresh needs no router involvement: workers serialize folds
+//    through the flock beside the journal (store::RefreshLock).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/json.hpp"
+
+namespace mdd::server {
+
+/// Rendezvous placement of `key` over shards [0, n): the shard whose
+/// mixed hash with the key is highest wins. Stable under shard death
+/// (placement ignores liveness) and fully deterministic across router
+/// restarts — the property the respawn byte-identity test pins.
+std::size_t pick_shard(std::string_view key, std::size_t n_shards);
+
+struct RouterOptions {
+  std::size_t n_shards = 2;
+  /// Directory for the per-shard unix sockets (`shard-<i>.sock`). Must
+  /// exist and be writable; typically a mkdtemp under /tmp.
+  std::string socket_dir;
+  /// Worker command line; the router appends `--uds <socket>` per shard.
+  /// Typically /proc/self/exe plus the serving flags minus --port.
+  std::vector<std::string> worker_argv;
+  /// Liveness probe period; a worker missing 2 consecutive probes is
+  /// SIGKILLed and respawned. 0 disables hang detection (exit detection
+  /// via waitpid always runs).
+  int heartbeat_ms = 5000;
+  /// Spawn → serving deadline per worker before it is killed and retried.
+  int ready_timeout_ms = 30000;
+  /// How long a routed request waits for its dead shard to respawn
+  /// before giving up with `shard_failed`.
+  int route_wait_ms = 10000;
+  /// Base respawn delay; doubles (capped at 5s) while a worker
+  /// crash-loops, resets once it stays up.
+  int respawn_backoff_ms = 200;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter(RouterOptions options, std::ostream& log);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Spawns every worker and waits until all are serving (readiness =
+  /// ping answered on the shard socket). Throws std::runtime_error if
+  /// any worker cannot be started within ready_timeout_ms.
+  void start();
+
+  /// Accept loop on 127.0.0.1:`port` (0 = ephemeral) until a client
+  /// sends {"op":"shutdown"}; returns 0 on clean exit. Workers are shut
+  /// down (drain + ack) before the client's shutdown is acknowledged.
+  int serve_tcp(std::uint16_t port,
+                const std::function<void(std::uint16_t)>& on_listening = {});
+
+  /// Aggregated exposition: every live worker's registry relabelled
+  /// `shard="<i>"`, plus the router's own registry as `shard="router"`.
+  std::string prometheus_text();
+
+  /// Stops the supervisor and terminates every worker (shutdown op, then
+  /// SIGKILL after a drain deadline). Idempotent; the destructor calls it.
+  void shutdown_workers();
+
+ private:
+  struct Shard {
+    std::size_t index = 0;
+    std::string socket_path;
+    // Guarded by mutex_ below.
+    pid_t pid = -1;
+    std::uint64_t generation = 0;  ///< bumped on every (re)spawn
+    enum class State { down, starting, live } state = State::down;
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point ready_at{};
+    std::chrono::steady_clock::time_point respawn_after{};
+    std::chrono::steady_clock::time_point next_beat{};
+    int backoff_ms = 0;
+    int missed_beats = 0;
+    std::uint64_t respawns = 0;
+  };
+
+  void supervise();  ///< supervisor thread body
+  void spawn_locked(Shard& shard);
+  void handle_connection(int fd, std::atomic<bool>& stop);
+  /// Blocks until `shard` is live (or route_wait_ms passes); returns the
+  /// live generation, or nullopt on timeout/shutdown.
+  std::optional<std::uint64_t> wait_live(std::size_t shard);
+  Json aggregate_stats();
+  void log_event(const Json& record);
+
+  RouterOptions options_;
+  std::ostream& log_;
+  std::mutex log_mutex_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable state_cv_;  ///< signalled on shard state change
+  std::vector<Shard> shards_;
+  bool stopping_ = false;
+  bool workers_down_ = false;  ///< shutdown_workers already ran
+
+  /// Live client-connection fds: a shutdown op wakes every other
+  /// connection (shutdown(SHUT_RD)) so their upstreams close and the
+  /// workers' connection threads can drain before the workers exit.
+  std::mutex conns_mutex_;
+  std::condition_variable conns_cv_;
+  std::unordered_set<int> conn_fds_;
+
+  std::atomic<std::size_t> rr_next_{0};  ///< keyless-request round robin
+
+  std::thread supervisor_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace mdd::server

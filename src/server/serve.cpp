@@ -2,7 +2,9 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -31,6 +33,11 @@ struct ServeMetrics {
   obs::Counter& connection_errors =
       obs::registry().counter("server.connection_errors");
   obs::Counter& parse_errors = obs::registry().counter("server.parse_errors");
+  /// Writes that hit a full socket buffer and had to wait for POLLOUT —
+  /// a slow reader behind a multi-KB response (streamed batches, big
+  /// reports). Waiting is fine; only a stall past the write deadline
+  /// fails the connection.
+  obs::Counter& write_stalls = obs::registry().counter("server.write_stalls");
 };
 
 ServeMetrics& serve_metrics() {
@@ -77,13 +84,30 @@ Json parse_error_response(const std::string& what) {
   return r;
 }
 
+/// How long one response write may make zero progress before the
+/// connection is declared dead. Generous: a scraper or batch client that
+/// stops reading for 30s has effectively hung up.
+constexpr int kWriteStallTimeoutMs = 30000;
+
 // MSG_NOSIGNAL: a client that disconnects mid-response must surface as
-// EPIPE here, not as a process-killing SIGPIPE.
+// EPIPE here, not as a process-killing SIGPIPE. A short write is never
+// dropped: the loop resumes at the unwritten tail, and a full socket
+// buffer (EAGAIN — possible under SO_SNDTIMEO or a nonblocking fd) waits
+// for POLLOUT instead of discarding the remainder.
 void write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
     const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        serve_metrics().write_stalls.inc();
+        pollfd p{fd, POLLOUT, 0};
+        const int ready = ::poll(&p, 1, kWriteStallTimeoutMs);
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0)
+          throw std::runtime_error("write: receiver stalled past deadline");
+        continue;
+      }
       throw std::runtime_error(std::string("write: ") + std::strerror(errno));
     }
     data += w;
@@ -91,79 +115,11 @@ void write_all(int fd, const char* data, std::size_t n) {
   }
 }
 
-}  // namespace
-
-int serve_stdio(DiagnosisService& service, std::istream& in,
-                std::ostream& out) {
-  std::mutex out_mutex;
-  Outstanding outstanding;
-  const auto respond = [&](const Json& response) {
-    std::lock_guard<std::mutex> lock(out_mutex);
-    out << response.dump() << "\n";
-    out.flush();
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (blank(line)) continue;
-    Json request;
-    try {
-      request = Json::parse(line);
-    } catch (const std::exception& e) {
-      serve_metrics().parse_errors.inc();
-      respond(parse_error_response(e.what()));
-      continue;
-    }
-    if (request.get_string("op") == "shutdown") {
-      outstanding.wait_idle();
-      Json ack;
-      if (const Json* id = request.find("id")) ack.set("id", *id);
-      ack.set("status", "ok");
-      ack.set("op", "shutdown");
-      respond(ack);
-      return 0;
-    }
-    outstanding.add();
-    service.submit(
-        std::move(request),
-        [&](Json response) {
-          respond(response);
-          outstanding.done();
-        },
-        [&](const Json& streamed) { respond(streamed); });
-  }
-  outstanding.wait_idle();
-  return 0;
-}
-
-int serve_tcp(DiagnosisService& service, std::uint16_t port,
-              std::ostream& log,
-              const std::function<void(std::uint16_t)>& on_listening) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    log << "openmdd_serve: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd, 64) < 0) {
-    log << "openmdd_serve: bind/listen: " << std::strerror(errno) << "\n";
-    ::close(listen_fd);
-    return 1;
-  }
-  socklen_t addr_len = sizeof addr;
-  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  const std::uint16_t bound_port = ntohs(addr.sin_port);
-  log << "openmdd_serve: listening on 127.0.0.1:" << bound_port << "\n";
-  log.flush();
-  if (on_listening) on_listening(bound_port);
-
+/// The accept loop shared by the TCP and Unix-domain transports: one
+/// reader thread per connection, all feeding the shared service queue; a
+/// shutdown op drains, acknowledges, and closes the listener.
+int serve_on_listener(DiagnosisService& service, int listen_fd,
+                      std::ostream& log) {
   std::atomic<bool> stop{false};
   std::mutex threads_mutex;
   std::vector<std::thread> threads;
@@ -228,6 +184,13 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
           shutdown_server = true;
           break;
         }
+        if (request.get_string("op") == "ping") {
+          // Answered on the reader thread, ahead of the queue: the
+          // router's heartbeat must measure process liveness, not queue
+          // depth (a shard deep into a batch is busy, not hung).
+          respond(service.handle(request));
+          continue;
+        }
         outstanding.add();
         service.submit(
             std::move(request),
@@ -248,7 +211,7 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
   };
 
   for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed (shutdown) or fatal
@@ -288,8 +251,122 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
   return 0;
 }
 
-TcpLineClient::TcpLineClient(const std::string& host, std::uint16_t port,
-                             int connect_timeout_ms) {
+}  // namespace
+
+int serve_stdio(DiagnosisService& service, std::istream& in,
+                std::ostream& out) {
+  std::mutex out_mutex;
+  Outstanding outstanding;
+  const auto respond = [&](const Json& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << response.dump() << "\n";
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (blank(line)) continue;
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const std::exception& e) {
+      serve_metrics().parse_errors.inc();
+      respond(parse_error_response(e.what()));
+      continue;
+    }
+    if (request.get_string("op") == "shutdown") {
+      outstanding.wait_idle();
+      Json ack;
+      if (const Json* id = request.find("id")) ack.set("id", *id);
+      ack.set("status", "ok");
+      ack.set("op", "shutdown");
+      respond(ack);
+      return 0;
+    }
+    if (request.get_string("op") == "ping") {
+      respond(service.handle(request));  // liveness probe: jumps the queue
+      continue;
+    }
+    outstanding.add();
+    service.submit(
+        std::move(request),
+        [&](Json response) {
+          respond(response);
+          outstanding.done();
+        },
+        [&](const Json& streamed) { respond(streamed); });
+  }
+  outstanding.wait_idle();
+  return 0;
+}
+
+int serve_tcp(DiagnosisService& service, std::uint16_t port,
+              std::ostream& log,
+              const std::function<void(std::uint16_t)>& on_listening) {
+  const int listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    log << "openmdd_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 64) < 0) {
+    log << "openmdd_serve: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  const std::uint16_t bound_port = ntohs(addr.sin_port);
+  log << "openmdd_serve: listening on 127.0.0.1:" << bound_port << "\n";
+  log.flush();
+  if (on_listening) on_listening(bound_port);
+  return serve_on_listener(service, listen_fd, log);
+}
+
+int serve_uds(DiagnosisService& service, const std::string& path,
+              std::ostream& log,
+              const std::function<void(const std::string&)>& on_listening) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    log << "openmdd_serve: socket path too long: " << path << "\n";
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    log << "openmdd_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  // A respawned worker reclaims its shard's address: the stale socket
+  // file of a crashed predecessor must not fail the bind.
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 64) < 0) {
+    log << "openmdd_serve: bind/listen " << path << ": "
+        << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  log << "openmdd_serve: listening on " << path << "\n";
+  log.flush();
+  if (on_listening) on_listening(path);
+  const int rc = serve_on_listener(service, listen_fd, log);
+  ::unlink(path.c_str());
+  return rc;
+}
+
+int connect_tcp_fd(const std::string& host, std::uint16_t port,
+                   int connect_timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -298,14 +375,13 @@ TcpLineClient::TcpLineClient(const std::string& host, std::uint16_t port,
   const auto give_up = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(connect_timeout_ms);
   for (;;) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
       throw std::runtime_error(std::string("socket: ") +
                                std::strerror(errno));
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
-      return;
-    ::close(fd_);
-    fd_ = -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    ::close(fd);
     if (std::chrono::steady_clock::now() >= give_up)
       throw std::runtime_error("cannot connect to " + host + ":" +
                                std::to_string(port));
@@ -313,16 +389,38 @@ TcpLineClient::TcpLineClient(const std::string& host, std::uint16_t port,
   }
 }
 
-TcpLineClient::~TcpLineClient() {
+int connect_uds_fd(const std::string& path, int connect_timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(connect_timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+      throw std::runtime_error(std::string("socket: ") +
+                               std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= give_up)
+      throw std::runtime_error("cannot connect to " + path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+LineClient::~LineClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void TcpLineClient::send_line(const std::string& line) {
+void LineClient::send_line(const std::string& line) {
   const std::string framed = line + "\n";
   write_all(fd_, framed.data(), framed.size());
 }
 
-std::string TcpLineClient::recv_line() {
+std::string LineClient::recv_line() {
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -338,7 +436,32 @@ std::string TcpLineClient::recv_line() {
   }
 }
 
-std::string TcpLineClient::roundtrip(const std::string& line) {
+std::optional<std::string> LineClient::recv_line_for(int timeout_ms) {
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        give_up - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready == 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t r = ::read(fd_, chunk, sizeof chunk);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) throw std::runtime_error("connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+std::string LineClient::roundtrip(const std::string& line) {
   send_line(line);
   return recv_line();
 }

@@ -1,22 +1,28 @@
 // openmdd — transports for the diagnosis daemon.
 //
 // The service itself is transport-free (JSON in, JSON out); this layer
-// frames it as line-delimited JSON over two transports:
+// frames it as line-delimited JSON over three transports:
 //
 //  * serve_stdio — one request object per stdin line, one response object
 //    per stdout line. Responses are written as they complete, so they can
 //    arrive out of order relative to requests — clients match on `id`.
 //  * serve_tcp — same framing on a loopback-only TCP socket, one reader
 //    thread per connection, all feeding the shared service queue.
+//  * serve_uds — same framing on a Unix-domain stream socket; this is the
+//    shard-worker transport behind the router (server/router.hpp), kept
+//    off TCP so a box full of workers burns no ports and gets filesystem
+//    permissions for free.
 //
-// Both loops understand {"op":"shutdown"}: drain outstanding work,
-// acknowledge, and return. TCP also provides TcpLineClient, the matching
-// blocking client used by openmdd_loadgen and the smoke tests.
+// All loops understand {"op":"shutdown"}: drain outstanding work,
+// acknowledge, and return. The matching blocking clients (LineClient and
+// its TCP/UDS flavors) are used by openmdd_loadgen, the router, and the
+// smoke tests.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "server/service.hpp"
@@ -35,28 +41,66 @@ int serve_tcp(DiagnosisService& service, std::uint16_t port,
               std::ostream& log,
               const std::function<void(std::uint16_t)>& on_listening = {});
 
-/// Blocking JSONL client: one line out, one line in. Throws
-/// std::runtime_error on connect/IO failure.
-class TcpLineClient {
- public:
-  /// Retries the connect for up to `connect_timeout_ms` (server startup
-  /// races in scripts/CI).
-  TcpLineClient(const std::string& host, std::uint16_t port,
-                int connect_timeout_ms = 5000);
-  ~TcpLineClient();
+/// Binds a Unix-domain stream socket at `path` (an existing socket file
+/// is unlinked first — workers respawn onto the same address), reports
+/// readiness through `on_listening`, serves until a shutdown op. Returns
+/// 0 on clean exit, nonzero on socket errors.
+int serve_uds(DiagnosisService& service, const std::string& path,
+              std::ostream& log,
+              const std::function<void(const std::string&)>& on_listening = {});
 
-  TcpLineClient(const TcpLineClient&) = delete;
-  TcpLineClient& operator=(const TcpLineClient&) = delete;
+/// Connects a blocking stream socket to the Unix-domain address `path`,
+/// retrying for up to `connect_timeout_ms` (worker startup races).
+/// Returns the connected fd (CLOEXEC); throws std::runtime_error on
+/// timeout.
+int connect_uds_fd(const std::string& path, int connect_timeout_ms = 5000);
+
+/// Same, for 127.0.0.1:`port` TCP.
+int connect_tcp_fd(const std::string& host, std::uint16_t port,
+                   int connect_timeout_ms = 5000);
+
+/// Blocking JSONL client over an adopted stream socket: one line out, one
+/// line in. Throws std::runtime_error on IO failure.
+class LineClient {
+ public:
+  /// Adopts `fd` (closed by the destructor).
+  explicit LineClient(int fd) : fd_(fd) {}
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
 
   /// Sends one request line and blocks for one response line.
   std::string roundtrip(const std::string& line);
 
- private:
   void send_line(const std::string& line);
   std::string recv_line();
+  /// recv_line with a poll deadline: nullopt if no complete line arrived
+  /// within `timeout_ms` (the connection stays usable); throws on EOF or
+  /// socket error like recv_line.
+  std::optional<std::string> recv_line_for(int timeout_ms);
 
+  int fd() const { return fd_; }
+
+ private:
   int fd_ = -1;
   std::string buffer_;
+};
+
+/// LineClient connected to 127.0.0.1:`port`, retrying the connect for up
+/// to `connect_timeout_ms` (server startup races in scripts/CI).
+class TcpLineClient : public LineClient {
+ public:
+  TcpLineClient(const std::string& host, std::uint16_t port,
+                int connect_timeout_ms = 5000)
+      : LineClient(connect_tcp_fd(host, port, connect_timeout_ms)) {}
+};
+
+/// LineClient connected to a Unix-domain socket path.
+class UdsLineClient : public LineClient {
+ public:
+  explicit UdsLineClient(const std::string& path, int connect_timeout_ms = 5000)
+      : LineClient(connect_uds_fd(path, connect_timeout_ms)) {}
 };
 
 }  // namespace mdd::server

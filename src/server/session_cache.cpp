@@ -262,6 +262,41 @@ std::shared_ptr<const Session> SessionCache::get(
   }
 }
 
+SessionCache::AccountingCheck SessionCache::check_accounting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AccountingCheck out;
+  out.accounted = bytes_;
+  const auto fail = [&](std::string what) {
+    if (out.ok) {
+      out.ok = false;
+      out.detail = std::move(what);
+    }
+  };
+  std::size_t n_lru = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it, ++n_lru) {
+    const Key& key = *it;
+    const auto pos = lru_pos_.find(key);
+    if (pos == lru_pos_.end() || pos->second != it) {
+      fail("lru_pos_ does not point at the LRU node for '" + key + "'");
+      continue;
+    }
+    const auto ent = entries_.find(key);
+    if (ent == entries_.end() || ent->second->session == nullptr) {
+      fail("LRU key '" + key + "' has no loaded entry");
+      continue;
+    }
+    out.recomputed += ent->second->session->approx_bytes;
+  }
+  if (lru_pos_.size() != n_lru)
+    fail("lru_pos_ holds keys the LRU list does not");
+  for (const auto& [key, count] : pins_)
+    if (count == 0) fail("pin count for '" + key + "' decayed to zero");
+  if (out.recomputed != out.accounted)
+    fail("accounted bytes " + std::to_string(out.accounted) +
+         " != recomputed " + std::to_string(out.recomputed));
+  return out;
+}
+
 MemoLayerStats SessionCache::layer_stats() const {
   MemoLayerStats out;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -163,6 +163,22 @@ class SessionCache {
 
   SessionCacheStats stats() const;
 
+  /// Byte-accounting invariant for tests: recomputes the resident total
+  /// from the loaded entries and cross-checks the LRU index bookkeeping
+  /// (every LRU key resolves to a loaded entry, `lru_pos_` points at its
+  /// node, pins never hold negative counts). `detail` names the first
+  /// violated invariant. Meaningful at quiescent points — an entry whose
+  /// load is mid-flight is admitted to the LRU only after its bytes are
+  /// accounted, but the check itself takes the cache lock, not the
+  /// per-entry load locks.
+  struct AccountingCheck {
+    bool ok = true;
+    std::size_t accounted = 0;   ///< the running `bytes_` total
+    std::size_t recomputed = 0;  ///< sum of resident approx_bytes
+    std::string detail;
+  };
+  AccountingCheck check_accounting() const;
+
   /// Sums the memo/store stats of every loaded resident session.
   MemoLayerStats layer_stats() const;
 

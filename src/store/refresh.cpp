@@ -1,6 +1,11 @@
 #include "store/refresh.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -51,7 +56,89 @@ void atomic_write_file(const std::string& path,
   }
 }
 
+struct LockMetrics {
+  /// try_acquire calls that found another fold in progress (the caller
+  /// skipped its round — the holder will fold those faults instead).
+  obs::Counter& busy = obs::registry().counter("store.refresh_lock_busy");
+  /// Lock files that could not be created/locked at all — folds proceed
+  /// unguarded (fail-open), but the condition is worth alerting on.
+  obs::Counter& unavailable =
+      obs::registry().counter("store.refresh_lock_unavailable");
+};
+
+LockMetrics& lock_metrics() {
+  static LockMetrics m;
+  return m;
+}
+
 }  // namespace
+
+RefreshLock RefreshLock::acquire_impl(const std::string& lock_path,
+                                      bool block) {
+  const int fd =
+      ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    lock_metrics().unavailable.inc();
+    return {};
+  }
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX | (block ? 0 : LOCK_NB));
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0) return RefreshLock(fd, RefreshLock::State::held);
+  ::close(fd);
+  if (!block && errno == EWOULDBLOCK) {
+    lock_metrics().busy.inc();
+    return RefreshLock(-1, RefreshLock::State::busy);
+  }
+  lock_metrics().unavailable.inc();
+  return {};
+}
+
+RefreshLock& RefreshLock::operator=(RefreshLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = std::exchange(other.fd_, -1);
+    state_ = other.state_;
+  }
+  return *this;
+}
+
+RefreshLock::~RefreshLock() { release(); }
+
+void RefreshLock::release() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the descriptor drops the flock
+    fd_ = -1;
+  }
+  state_ = State::unavailable;
+}
+
+std::string refresh_lock_path_for(const std::string& dir,
+                                  const Netlist& netlist,
+                                  const PatternSet& patterns) {
+  return store_path_for(dir, netlist, patterns) + ".lock";
+}
+
+RefreshLock RefreshLock::try_acquire(const std::string& dir,
+                                     const Netlist& netlist,
+                                     const PatternSet& patterns) {
+  return acquire_impl(refresh_lock_path_for(dir, netlist, patterns), false);
+}
+
+RefreshLock RefreshLock::acquire(const std::string& dir,
+                                 const Netlist& netlist,
+                                 const PatternSet& patterns) {
+  return acquire_impl(refresh_lock_path_for(dir, netlist, patterns), true);
+}
+
+RefreshLock RefreshLock::try_acquire_path(const std::string& lock_path) {
+  return acquire_impl(lock_path, false);
+}
+
+RefreshLock RefreshLock::acquire_path(const std::string& lock_path) {
+  return acquire_impl(lock_path, true);
+}
 
 RefreshStats fold_into_store(const Netlist& netlist,
                              const PatternSet& patterns,
@@ -173,6 +260,11 @@ RefreshStats fold_into_store(const Netlist& netlist,
 
 RefreshStats refresh_store(const Netlist& netlist, const PatternSet& patterns,
                            const std::string& dir, const ExecPolicy& exec) {
+  // Wait for any in-flight fold (a daemon worker's refresh thread), THEN
+  // read the journal: the snapshot must postdate the holder's compact or
+  // its folded faults would be folded twice (harmless) and this fold's
+  // store read could predate the holder's rename (the lost update).
+  const RefreshLock lock = RefreshLock::acquire(dir, netlist, patterns);
   const std::uint64_t nh = netlist_content_hash(netlist);
   const std::uint64_t ph = patterns_content_hash(patterns);
   const std::string journal_path = journal_path_for(dir, netlist, patterns);

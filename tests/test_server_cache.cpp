@@ -40,6 +40,17 @@ CircuitFiles write_circuit_files(const std::string& tag) {
   return f;
 }
 
+/// Asserts the byte-accounting invariant (satellite of the sharding PR):
+/// the running `bytes_` total must equal the sum of resident sessions'
+/// approx_bytes, and the LRU index bookkeeping must be self-consistent.
+/// Called after every mutation-heavy sequence in this file so any drift
+/// across load/evict/pin paths fails loudly at the point it appears.
+void expect_sound_accounting(const SessionCache& cache) {
+  const SessionCache::AccountingCheck check = cache.check_accounting();
+  EXPECT_TRUE(check.ok) << check.detail;
+  EXPECT_EQ(check.accounted, check.recomputed) << check.detail;
+}
+
 TEST(SessionCache, MissThenHitSharesOneSession) {
   const CircuitFiles f = write_circuit_files("hit");
   SessionCache cache(1ull << 30);
@@ -59,6 +70,7 @@ TEST(SessionCache, MissThenHitSharesOneSession) {
   EXPECT_EQ(s.entries, 1u);
   EXPECT_EQ(s.bytes, first->approx_bytes);
   EXPECT_GT(s.bytes, 0u);
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, SessionPrecomputesSharedState) {
@@ -123,6 +135,7 @@ TEST(SessionCache, EvictsLeastRecentlyUsed) {
   EXPECT_TRUE(hit) << "recently-used A should have survived";
   cache.get(b.netlist_path, b.patterns_path, &hit);
   EXPECT_FALSE(hit) << "LRU B should have been evicted";
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, EvictedSessionSurvivesForHolders) {
@@ -144,6 +157,7 @@ TEST(SessionCache, EvictedSessionSurvivesForHolders) {
 
   // The evicted session remains fully usable.
   EXPECT_EQ(held->good, simulate(held->netlist, held->patterns));
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, PinnedSessionSurvivesEvictionPressure) {
@@ -172,6 +186,7 @@ TEST(SessionCache, PinnedSessionSurvivesEvictionPressure) {
   EXPECT_TRUE(hit) << "pinned LRU session must not be evicted";
   cache.get(b.netlist_path, b.patterns_path, &hit);
   EXPECT_FALSE(hit) << "unpinned B should have been the victim";
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, ReleasedPinMakesSessionEvictableAgain) {
@@ -198,6 +213,7 @@ TEST(SessionCache, ReleasedPinMakesSessionEvictableAgain) {
   bool hit = true;
   cache.get(a.netlist_path, a.patterns_path, &hit);
   EXPECT_FALSE(hit) << "released pin must not keep protecting A";
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, NestedPinsReleaseIndependently) {
@@ -227,6 +243,7 @@ TEST(SessionCache, NestedPinsReleaseIndependently) {
   bool hit = false;
   cache.get(a.netlist_path, a.patterns_path, &hit);
   EXPECT_TRUE(hit) << "one released pin of two must not unpin the session";
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCache, LoadFailureIsNotCached) {
@@ -249,6 +266,7 @@ TEST(SessionCache, LoadFailureIsNotCached) {
   EXPECT_FALSE(hit);
   ASSERT_NE(session, nullptr);
   EXPECT_EQ(cache.stats().entries, 1u);
+  expect_sound_accounting(cache);
 }
 
 TEST(SessionCacheStress, ConcurrentGetsShareOneLoad) {
@@ -287,6 +305,51 @@ TEST(SessionCacheStress, ConcurrentDistinctCircuitsLoadIndependently) {
     EXPECT_EQ(got[t].get(), got[t % 2].get());
   EXPECT_NE(got[0].get(), got[1].get());
   EXPECT_EQ(cache.stats().entries, 2u);
+  expect_sound_accounting(cache);
+}
+
+TEST(SessionCacheStress, ChurnKeepsByteAccountingExact) {
+  // Satellite of the sharding PR: hammer the load/evict/pin/release paths
+  // from several threads under a budget that forces constant eviction,
+  // then assert the running byte total still matches a recomputation.
+  // Any leak (evicted bytes not subtracted, double-subtraction on a
+  // pin/evict race) shows up as accounted != recomputed.
+  const CircuitFiles files[3] = {write_circuit_files("churn_a"),
+                                 write_circuit_files("churn_b"),
+                                 write_circuit_files("churn_c")};
+
+  std::size_t one;
+  {
+    SessionCache scout(1ull << 30);
+    one = scout.get(files[0].netlist_path, files[0].patterns_path)
+              ->approx_bytes;
+  }
+
+  // Room for two of the three sessions: every third distinct get evicts.
+  SessionCache cache(2 * one + one / 2);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kIters = 6;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const CircuitFiles& f = files[(t + i) % 3];
+        const SessionCache::Pin pin =
+            cache.pin(f.netlist_path, f.patterns_path);
+        const auto session = cache.get(f.netlist_path, f.patterns_path);
+        EXPECT_NE(session, nullptr);
+        // Also churn a neighbour without pinning it, so pinned and
+        // unpinned entries compete for the same budget.
+        cache.get(files[(t + i + 1) % 3].netlist_path,
+                  files[(t + i + 1) % 3].patterns_path);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  const SessionCacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u) << "budget was meant to force eviction churn";
+  EXPECT_LE(s.entries, 3u);
+  expect_sound_accounting(cache);
 }
 
 }  // namespace

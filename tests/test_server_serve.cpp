@@ -112,6 +112,114 @@ TEST(ServeTcp, MalformedLineAnswersErrorAndCountsParseError) {
   server.shutdown();
 }
 
+TEST(ServeTcp, PingBypassesABusyQueue) {
+  // Pings are answered on the connection's reader thread, ahead of the
+  // work queue — the router's heartbeat must measure process liveness,
+  // so a daemon saturated with slow work still answers promptly.
+  TcpServerFixture server;
+  TcpLineClient busy("127.0.0.1", server.port);
+  busy.send_line("{\"op\":\"sleep\",\"ms\":2000}");
+  busy.send_line("{\"op\":\"sleep\",\"ms\":2000}");
+
+  TcpLineClient prober("127.0.0.1", server.port);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string response = prober.roundtrip("{\"op\":\"ping\"}");
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_NE(response.find("\"op\":\"ping\""), std::string::npos) << response;
+  EXPECT_LT(elapsed, 1000.0)
+      << "ping waited behind the queue instead of jumping it";
+
+  // Drain the sleeps so shutdown is quick and deterministic.
+  EXPECT_NE(busy.recv_line().find("\"ok\""), std::string::npos);
+  EXPECT_NE(busy.recv_line().find("\"ok\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST(ServeTcp, UdsTransportRoundTrips) {
+  DiagnosisService service;
+  std::ostringstream log;
+  const std::string path =
+      ::testing::TempDir() + "mdd_uds_" + std::to_string(::getpid()) +
+      ".sock";
+  std::promise<std::string> bound;
+  auto bound_future = bound.get_future();
+  std::thread thread([&] {
+    serve_uds(service, path, log,
+              [&bound](const std::string& p) { bound.set_value(p); });
+  });
+  ASSERT_EQ(bound_future.get(), path);
+  {
+    UdsLineClient client(path);
+    const std::string response = client.roundtrip("{\"op\":\"ping\"}");
+    EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+        << response;
+  }
+  {
+    UdsLineClient client(path);
+    client.roundtrip("{\"op\":\"shutdown\"}");
+  }
+  thread.join();
+}
+
+namespace {
+
+/// One blocking HTTP GET against the metrics endpoint.
+std::string http_get(std::uint16_t port) {
+  const int fd = connect_tcp_fd("127.0.0.1", port);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+    if (r <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(MetricsHttp, IdleClientIsCutOffAndScrapingContinues) {
+  // Regression: the single-threaded responder used to block in recv()
+  // on a client that connected and sent nothing — one such client wedged
+  // scraping (and stop()) forever. Now it is cut off at the poll
+  // deadline, counted, and the next scrape is served normally.
+  std::ostringstream log;
+  MetricsHttpServer server(0, log);
+  server.set_io_timeout_ms(100);
+  const std::uint64_t slow_before = counter_value("metrics.slow_clients");
+
+  const int idle_fd = connect_tcp_fd("127.0.0.1", server.port());
+  char byte;
+  const ssize_t r = ::recv(idle_fd, &byte, 1, 0);  // until the cutoff
+  EXPECT_EQ(r, 0) << "idle client should be dropped, not served";
+  ::close(idle_fd);
+  EXPECT_GT(counter_value("metrics.slow_clients"), slow_before);
+
+  const std::string response = http_get(server.port());
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+      << "scraping must survive a hostile client";
+  server.stop();
+}
+
+TEST(MetricsHttp, BodyProviderReplacesRegistryExposition) {
+  std::ostringstream log;
+  MetricsHttpServer server(0, log, {},
+                           [] { return std::string("router_series 7\n"); });
+  const std::string response = http_get(server.port());
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("router_series 7"), std::string::npos);
+  server.stop();
+}
+
 TEST(MetricsHttp, ServesPrometheusExposition) {
   obs::registry().counter("obs_test.http_probe").inc(41);
   std::ostringstream log;

@@ -6,9 +6,12 @@
 // case must fail OPEN: sidecars are optimizations, never dependencies.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "diag/composite_memo.hpp"
@@ -274,6 +277,105 @@ Fault detected_fault(const LearnedFixture& f, FaultSimulator& fsim) {
   }
   ADD_FAILURE() << "no detectable fault in the fixture circuit";
   return Fault::stem_sa(0, false);
+}
+
+TEST(RefreshLock, SecondAcquirerSeesBusyUntilRelease) {
+  const std::string lock_path =
+      ::testing::TempDir() + "refresh_lock_excl.lock";
+  RefreshLock first = RefreshLock::try_acquire_path(lock_path);
+  ASSERT_TRUE(first.held());
+  EXPECT_TRUE(first.may_fold());
+
+  // flock is per open file description, so a second open in the same
+  // process models a second worker process exactly.
+  const RefreshLock second = RefreshLock::try_acquire_path(lock_path);
+  EXPECT_EQ(second.state(), RefreshLock::State::busy);
+  EXPECT_FALSE(second.held());
+  EXPECT_FALSE(second.may_fold()) << "busy must mean: skip this round";
+
+  first.release();
+  const RefreshLock third = RefreshLock::try_acquire_path(lock_path);
+  EXPECT_TRUE(third.held()) << "release must free the lock for reuse";
+}
+
+TEST(RefreshLock, UnusableLockFileFailsOpen) {
+  // The lock is an optimization guard, never a dependency: if the lock
+  // file cannot be created, folds proceed unguarded rather than stop.
+  const RefreshLock lock = RefreshLock::try_acquire_path(
+      ::testing::TempDir() + "no_such_dir_for_lock/x.lock");
+  EXPECT_EQ(lock.state(), RefreshLock::State::unavailable);
+  EXPECT_FALSE(lock.held());
+  EXPECT_TRUE(lock.may_fold()) << "fail-open: unguarded, not blocked";
+}
+
+TEST(RefreshLock, RefreshStoreWaitsForTheHolder) {
+  // Regression for the sharded-daemon lost-update race: refresh_store
+  // must block on the holder and re-read journal + store after it
+  // releases, so the holder's fold cannot be silently overwritten.
+  const LearnedFixture f = LearnedFixture::make("lock_wait", true);
+  const std::vector<Fault> learned = f.bridges(2);
+  {
+    FaultJournal journal(f.journal_path(), f.nh, f.ph);
+    for (const Fault& x : learned) journal.record(x);
+  }
+
+  RefreshLock holder = RefreshLock::acquire_path(
+      refresh_lock_path_for(f.dir, f.netlist, f.patterns));
+  ASSERT_TRUE(holder.held());
+
+  std::atomic<bool> folded{false};
+  RefreshStats stats;
+  std::thread refresher([&] {
+    stats = refresh_store(f.netlist, f.patterns, f.dir);
+    folded.store(true);
+  });
+  // Generous settle window: the refresher must still be parked on the
+  // flock, not done, while we hold it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(folded.load())
+      << "refresh_store must wait for the in-flight fold";
+
+  holder.release();
+  refresher.join();
+  EXPECT_TRUE(folded.load());
+  EXPECT_TRUE(stats.wrote);
+  const auto dict = DictReader::open(f.store_path());
+  for (const Fault& x : learned) EXPECT_TRUE(dict->find(x).has_value());
+}
+
+TEST(RefreshLock, SerializedFoldsLoseNoFaults) {
+  // Two workers folding disjoint learned sets against one store: with
+  // each fold under the lock, the second fold reads the first fold's
+  // output, so both sets land. (Unserialized, both read version N and
+  // the last rename silently drops the other fold — the audited race.)
+  const LearnedFixture f = LearnedFixture::make("lock_serial", true);
+  const std::string lock_path =
+      refresh_lock_path_for(f.dir, f.netlist, f.patterns);
+  const std::vector<Fault> set_a = f.bridges(2);
+  std::vector<Fault> set_b;
+  for (std::size_t i = 0; i < 2; ++i)
+    set_b.push_back(Fault::bridge_dom(
+        static_cast<NetId>(f.netlist.n_nets() / 2 + 10 + i),
+        static_cast<NetId>(f.netlist.n_nets() / 4 + 10 + i)));
+
+  std::thread worker_a([&] {
+    const RefreshLock lock = RefreshLock::acquire_path(lock_path);
+    ASSERT_TRUE(lock.may_fold());
+    fold_into_store(f.netlist, f.patterns, f.dir, set_a);
+  });
+  std::thread worker_b([&] {
+    const RefreshLock lock = RefreshLock::acquire_path(lock_path);
+    ASSERT_TRUE(lock.may_fold());
+    fold_into_store(f.netlist, f.patterns, f.dir, set_b);
+  });
+  worker_a.join();
+  worker_b.join();
+
+  const auto dict = DictReader::open(f.store_path());
+  for (const Fault& x : set_a)
+    EXPECT_TRUE(dict->find(x).has_value()) << "worker A's fold was lost";
+  for (const Fault& x : set_b)
+    EXPECT_TRUE(dict->find(x).has_value()) << "worker B's fold was lost";
 }
 
 TEST(Spill, PutGetRoundTripsAcrossReopen) {
